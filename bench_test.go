@@ -1,0 +1,370 @@
+// Benchmarks regenerating every figure-level experiment of the paper,
+// plus ablations for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Latency-style results (figures 3/5, tunnels) are wall-clock costs of
+// the full control-plane round trip over the in-memory transport with
+// zero injected latency, i.e. pure protocol + crypto cost; the
+// latency-scaled series are produced by cmd/experiments.
+package e2eqos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"e2eqos/internal/envelope"
+	"e2eqos/internal/experiment"
+	"e2eqos/internal/gara"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/policy"
+	"e2eqos/internal/resv"
+	"e2eqos/internal/units"
+)
+
+// --- Figure 1: policy evaluation ------------------------------------------
+
+func BenchmarkFig1PolicyEvaluation(b *testing.B) {
+	req := &policy.Request{
+		User:      policy.AliceDN,
+		Bandwidth: 10 * units.Mbps,
+		Available: 100 * units.Mbps,
+		Time:      time.Date(2001, 8, 7, 12, 0, 0, 0, time.UTC),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if d := policy.Figure6PolicyA.Evaluate(req); !d.Granted() {
+			b.Fatal("unexpected deny")
+		}
+	}
+}
+
+// --- Figures 3 & 5: signalling strategies ---------------------------------
+
+// benchWorld builds a warmed N-domain world plus user for signalling
+// benchmarks.
+func benchWorld(b *testing.B, domains int, universalTrust bool) (*experiment.World, *experiment.User, *gara.NetworkAPI) {
+	b.Helper()
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains:            domains,
+		Capacity:              units.Bandwidth(1000) * units.Gbps,
+		TrustUserCAEverywhere: universalTrust,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(u.Close)
+	api := gara.NewNetworkAPI(w.Topo)
+	warm := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	if res, err := api.Reserve(u, warm, gara.Concurrent); err != nil || !res.Granted {
+		// Fall back to hop-by-hop warmup when local mode is untrusted.
+		if res2, err2 := u.ReserveE2E(warm); err2 != nil || !res2.Granted {
+			b.Fatalf("warmup failed: %v %v", err, err2)
+		}
+	}
+	return w, u, api
+}
+
+func benchStrategy(b *testing.B, domains int, strat gara.Strategy) {
+	_, u, api := benchWorld(b, domains, strat != gara.HopByHop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := u.NewSpec(experiment.SpecOptions{DestDomain: "Domain" + fmt.Sprint(domains-1), Bandwidth: units.Mbps})
+		res, err := api.Reserve(u, spec, strat)
+		if err != nil || !res.Granted {
+			b.Fatalf("reserve failed: %v %+v", err, res)
+		}
+	}
+}
+
+func BenchmarkFig3SourceDomainSignalling(b *testing.B) {
+	for _, n := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("sequential/domains=%d", n), func(b *testing.B) {
+			benchStrategy(b, n, gara.Sequential)
+		})
+		b.Run(fmt.Sprintf("concurrent/domains=%d", n), func(b *testing.B) {
+			benchStrategy(b, n, gara.Concurrent)
+		})
+	}
+}
+
+func BenchmarkFig5HopByHopSignalling(b *testing.B) {
+	for _, n := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("domains=%d", n), func(b *testing.B) {
+			benchStrategy(b, n, gara.HopByHop)
+		})
+	}
+}
+
+// --- Figure 4: misreservation attack --------------------------------------
+
+func BenchmarkFig4Misreservation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiment.RunFigure4(500 * time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if results[0].AliceGoodput >= results[1].AliceGoodput {
+			b.Fatal("attack did not degrade the honest flow")
+		}
+	}
+}
+
+// --- Figure 6: full-path policy enforcement -------------------------------
+
+func BenchmarkFig6EndToEndPolicy(b *testing.B) {
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains: 3,
+		Labels:     []string{"DomainA", "DomainB", "DomainC"},
+		Capacity:   units.Bandwidth(1000) * units.Gbps,
+		Policies: map[string]*policy.Policy{
+			"DomainA": policy.Figure6PolicyA,
+			"DomainB": policy.Figure6PolicyB,
+			"DomainC": policy.Figure6PolicyC,
+		},
+		CPUs: map[string]int{"DomainC": 1 << 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	alice, err := w.NewUser("Alice", "DomainA", []string{"network-reservation"}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(alice.Close)
+	now := time.Now()
+	noon := time.Date(now.Year(), now.Month(), now.Day(), 12, 0, 0, 0, time.UTC).AddDate(0, 0, 1)
+	win := units.NewWindow(noon, time.Hour)
+	cpuHandle, err := w.CPU["DomainC"].Reserve(alice.DN(), 1, units.NewWindow(noon, 24*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := alice.NewSpec(experiment.SpecOptions{
+			DestDomain: "DomainC",
+			Bandwidth:  10 * units.Mbps,
+			Window:     win,
+			Linked:     map[string]string{"cpu": cpuHandle},
+		})
+		res, err := alice.ReserveE2E(spec)
+		if err != nil || !res.Granted {
+			b.Fatalf("reserve failed: %v %+v", err, res)
+		}
+	}
+}
+
+// --- Figure 7: capability delegation chain --------------------------------
+
+func BenchmarkFig7DelegationChain(b *testing.B) {
+	for _, hops := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			w, err := experiment.BuildProtocolWorld(hops, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Propagate(w.NewSpec()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §6.4: transitive trust verification ----------------------------------
+
+func BenchmarkTrustChainVerify(b *testing.B) {
+	for _, hops := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
+			w, err := experiment.BuildProtocolWorld(hops, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Build the final RAR once; benchmark only the
+			// destination's verification.
+			spec := w.NewSpec()
+			env, err := w.User.BuildRAR(spec, w.Certs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			peerDN := w.User.Key.DN
+			peerCert := w.User.Cert.DER
+			now := time.Now()
+			for i := 0; i < hops-1; i++ {
+				verified, err := w.Brokers[i].Verify(env, peerDN, peerCert, now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				env, err = w.Brokers[i].Extend(env, peerCert, verified, w.Certs[i+1], nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peerDN = w.Brokers[i].DN()
+				peerCert = w.Certs[i].DER
+			}
+			dest := w.Brokers[hops-1]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dest.Verify(env, peerDN, peerCert, now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Tunnels: per-flow signalling vs sub-flow allocation -------------------
+
+func BenchmarkTunnelVsPerFlow(b *testing.B) {
+	b.Run("per-flow-e2e/domains=5", func(b *testing.B) {
+		_, u, _ := benchWorld(b, 5, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := u.NewSpec(experiment.SpecOptions{DestDomain: "Domain4", Bandwidth: units.Mbps})
+			res, err := u.ReserveE2E(spec)
+			if err != nil || !res.Granted {
+				b.Fatalf("reserve failed: %v %+v", err, res)
+			}
+		}
+	})
+	b.Run("tunnel-subflow/domains=5", func(b *testing.B) {
+		w, u, _ := benchWorld(b, 5, false)
+		spec := u.NewSpec(experiment.SpecOptions{
+			DestDomain: "Domain4",
+			Bandwidth:  units.Bandwidth(100) * units.Gbps,
+			Tunnel:     true,
+		})
+		res, err := u.ReserveE2E(spec)
+		if err != nil || !res.Granted {
+			b.Fatalf("tunnel establishment failed: %v %+v", err, res)
+		}
+		src := w.BBs[w.SourceDomain()]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := src.AllocateTunnelFlow(spec.RARID, fmt.Sprintf("sub-%d", i), units.Mbps, u.DN()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationEnvelopeCrypto isolates the cost the nested
+// signatures add per hop: seal+open one layer versus plain JSON
+// encode/decode of the same body.
+func BenchmarkAblationEnvelopeCrypto(b *testing.B) {
+	key, err := identity.GenerateKeyPair(identity.NewDN("Grid", "A", "bb"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := envelope.Body{Request: []byte(`{"bw":"10Mb/s","dst":"DomainC"}`), NextHopDN: key.DN}
+	b.Run("signed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			env, err := envelope.Seal(key, body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := env.Open(key.Public()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unsigned-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			env, err := envelope.Seal(key, body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := env.PeekBody(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCapabilityDelegation measures one §6.5 delegation
+// step (issue a new capability certificate to the next broker).
+func BenchmarkAblationCapabilityDelegation(b *testing.B) {
+	w, err := experiment.BuildProtocolWorld(2, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred := w.User.Credential
+	next, err := identity.GenerateKeyPair(identity.NewDN("Grid", "X", "bb"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pki.Delegate(cred.Certificate, w.User.Key.DN, cred.Proxy.Private,
+			next.DN, next.Public(), []string{"valid-for-rar:bench"}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAdmissionControl measures the advance-reservation
+// sweep as the table fills.
+func BenchmarkAblationAdmissionControl(b *testing.B) {
+	for _, preload := range []int{0, 100, 1000} {
+		b.Run(fmt.Sprintf("existing=%d", preload), func(b *testing.B) {
+			table, err := resv.NewTable("bench", units.Bandwidth(1<<40))
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := time.Now()
+			for i := 0; i < preload; i++ {
+				if _, err := table.Admit(resv.AdmitRequest{
+					Bandwidth: units.Mbps,
+					Window:    units.NewWindow(base.Add(time.Duration(i)*time.Minute), time.Hour),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			win := units.NewWindow(base, time.Hour)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := table.Admit(resv.AdmitRequest{Bandwidth: units.Mbps, Window: win})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				_ = table.Cancel(r.Handle)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkCoreRARConstruction measures RAR_U construction by the user
+// agent (spec signing plus the first capability delegation).
+func BenchmarkCoreRARConstruction(b *testing.B) {
+	w, err := experiment.BuildProtocolWorld(2, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := w.NewSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.User.BuildRAR(spec, w.Certs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"e2eqos/internal/core"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/transport"
+	"e2eqos/internal/units"
+)
+
+// freePorts reserves n distinct loopback TCP ports.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	var listeners []net.Listener
+	var ports []int
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+// deployment is a running three-domain TLS testbed.
+type deployment struct {
+	dir      string
+	caPath   string
+	addrs    []string
+	userKey  *identity.KeyPair
+	userCert *pki.Certificate
+	roots    [][]byte
+}
+
+func deploy(t *testing.T) *deployment {
+	t.Helper()
+	dir := t.TempDir()
+	ca, err := pki.NewCA(identity.NewDN("Grid", "", "RootCA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caPath := filepath.Join(dir, "ca.cert.pem")
+	if err := pki.SaveCertFile(caPath, ca.CertificateDER()); err != nil {
+		t.Fatal(err)
+	}
+
+	ports := freePorts(t, 3)
+	domains := []string{"DomainA", "DomainB", "DomainC"}
+	var addrs []string
+	var bbDNs []identity.DN
+	for i, dom := range domains {
+		addrs = append(addrs, fmt.Sprintf("127.0.0.1:%d", ports[i]))
+		bbDNs = append(bbDNs, identity.NewDN("Grid", dom, "bb"))
+	}
+
+	// Broker identities.
+	for i, dom := range domains {
+		key, err := identity.GenerateKeyPair(bbDNs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := ca.IssueIdentity(key.DN, key.Public(), 0, "bb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pki.SaveCertFile(filepath.Join(dir, dom+".cert.pem"), cert.DER); err != nil {
+			t.Fatal(err)
+		}
+		if err := pki.SaveKeyFile(filepath.Join(dir, dom+".key.pem"), key.Private); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// User identity.
+	userKey, err := identity.GenerateKeyPair(identity.NewDN("Grid", "DomainA", "Alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	userCert, err := ca.IssueIdentity(userKey.DN, userKey.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared topology snippet.
+	domCfgs := make([]DomainConfig, len(domains))
+	for i, dom := range domains {
+		domCfgs[i] = DomainConfig{Name: dom, BBDN: string(bbDNs[i]), Prefixes: []string{"host" + dom + "."}}
+	}
+	links := []LinkConfig{{A: "DomainA", B: "DomainB"}, {A: "DomainB", B: "DomainC"}}
+
+	// Per-domain configs; each peers with its topology neighbours.
+	neighbours := map[string][]int{"DomainA": {1}, "DomainB": {0, 2}, "DomainC": {1}}
+	for i, dom := range domains {
+		var peers []PeerConfig
+		for _, j := range neighbours[dom] {
+			peers = append(peers, PeerConfig{
+				Domain:   domains[j],
+				Addr:     addrs[j],
+				CertFile: filepath.Join(dir, domains[j]+".cert.pem"),
+			})
+		}
+		cfg := &FileConfig{
+			Domain:    dom,
+			Listen:    addrs[i],
+			KeyFile:   filepath.Join(dir, dom+".key.pem"),
+			CertFile:  filepath.Join(dir, dom+".cert.pem"),
+			RootFiles: []string{caPath},
+			Capacity:  "100Mb/s",
+			Domains:   domCfgs,
+			Links:     links,
+			Peers:     peers,
+		}
+		broker, ln, err := cfg.Build()
+		if err != nil {
+			t.Fatalf("building %s: %v", dom, err)
+		}
+		t.Cleanup(func() { ln.Close(); broker.Close() })
+		go signalling.Serve(ln, broker)
+	}
+	return &deployment{
+		dir:      dir,
+		caPath:   caPath,
+		addrs:    addrs,
+		userKey:  userKey,
+		userCert: userCert,
+		roots:    [][]byte{ca.CertificateDER()},
+	}
+}
+
+func (d *deployment) dialSource(t *testing.T) *signalling.Client {
+	t.Helper()
+	dialer := transport.NewTLSDialer(&transport.TLSConfig{
+		CertDER:  d.userCert.DER,
+		Key:      d.userKey.Private,
+		RootDERs: d.roots,
+	})
+	var client *signalling.Client
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		client, err = signalling.Dial(dialer, d.addrs[0])
+		if err == nil {
+			return client
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("dialing source broker: %v", err)
+	return nil
+}
+
+func TestDaemonEndToEndReservationOverTLS(t *testing.T) {
+	d := deploy(t)
+	client := d.dialSource(t)
+	defer client.Close()
+
+	agent, err := core.NewUserAgent(d.userKey, d.userCert, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbCert, err := pki.ParseCertificate(client.PeerCertDER())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &core.Spec{
+		RARID:        core.NewRARID(),
+		User:         d.userKey.DN,
+		SrcHost:      "hostDomainA.example",
+		DstHost:      "hostDomainC.example",
+		SourceDomain: "DomainA",
+		DestDomain:   "DomainC",
+		Bandwidth:    10 * units.Mbps,
+		Window:       units.NewWindow(time.Now().Add(time.Minute), time.Hour),
+	}
+	rar, err := agent.BuildRAR(spec, bbCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := signalling.NewReserveMessage(signalling.ModeEndToEnd, rar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Call(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil || !resp.Result.Granted {
+		t.Fatalf("reservation failed: %+v", resp.Result)
+	}
+	if len(resp.Result.Approvals) != 3 {
+		t.Fatalf("approvals = %d, want 3 (one per domain over real TLS)", len(resp.Result.Approvals))
+	}
+
+	// Status then cancel via the daemon.
+	statusResp, err := client.Call(&signalling.Message{Type: signalling.MsgStatus, Status: &signalling.StatusPayload{RARID: spec.RARID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statusResp.Result == nil || !statusResp.Result.Granted {
+		t.Fatalf("status failed: %+v", statusResp.Result)
+	}
+	cancelResp, err := client.Call(&signalling.Message{Type: signalling.MsgCancel, Cancel: &signalling.CancelPayload{RARID: spec.RARID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelResp.Result == nil || !cancelResp.Result.Granted {
+		t.Fatalf("cancel failed: %+v", cancelResp.Result)
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"domain":"A"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("incomplete config accepted")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

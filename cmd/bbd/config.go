@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"e2eqos/internal/bb"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/policy"
+	"e2eqos/internal/policysrv"
+	"e2eqos/internal/sla"
+	"e2eqos/internal/topology"
+	"e2eqos/internal/transport"
+	"e2eqos/internal/units"
+)
+
+// FileConfig is the JSON configuration of one bandwidth broker daemon.
+type FileConfig struct {
+	// Domain is the administrative domain this broker controls.
+	Domain string `json:"domain"`
+	// Listen is the TLS listen address, e.g. "127.0.0.1:7001".
+	Listen string `json:"listen"`
+	// KeyFile / CertFile are the broker's PEM identity.
+	KeyFile  string `json:"key_file"`
+	CertFile string `json:"cert_file"`
+	// RootFiles are trusted CA certificates (the home CA at minimum,
+	// so local users authenticate; peers are pinned, not CA-verified).
+	RootFiles []string `json:"root_files"`
+	// Capacity is the premium aggregate, e.g. "100Mb/s".
+	Capacity string `json:"capacity"`
+	// PolicyFile holds the domain policy in the internal/policy DSL;
+	// PolicyText inlines it instead.
+	PolicyFile string `json:"policy_file,omitempty"`
+	PolicyText string `json:"policy_text,omitempty"`
+	// IntroducerDepth bounds accepted trust chains (default 16).
+	IntroducerDepth int `json:"introducer_depth,omitempty"`
+	// Domains and Links describe the inter-domain topology.
+	Domains []DomainConfig `json:"domains"`
+	Links   []LinkConfig   `json:"links"`
+	// Peers lists the SLA-peered brokers.
+	Peers []PeerConfig `json:"peers"`
+	// CPUs, when positive, co-manages a CPU pool of that size.
+	CPUs int `json:"cpus,omitempty"`
+}
+
+// DomainConfig mirrors topology.Domain.
+type DomainConfig struct {
+	Name     string   `json:"name"`
+	BBDN     string   `json:"bb_dn"`
+	Prefixes []string `json:"prefixes,omitempty"`
+}
+
+// LinkConfig is one peering link.
+type LinkConfig struct {
+	A        string `json:"a"`
+	B        string `json:"b"`
+	Capacity string `json:"capacity,omitempty"`
+	Cost     int    `json:"cost,omitempty"`
+}
+
+// PeerConfig is one SLA-peered broker.
+type PeerConfig struct {
+	Domain   string `json:"domain"`
+	Addr     string `json:"addr"`
+	CertFile string `json:"cert_file"`
+	// SLARate is the contracted aggregate entering from / leaving to
+	// this peer (default: the broker capacity).
+	SLARate string `json:"sla_rate,omitempty"`
+}
+
+// LoadConfig reads and validates a config file.
+func LoadConfig(path string) (*FileConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bbd: %w", err)
+	}
+	var cfg FileConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("bbd: parsing %s: %w", path, err)
+	}
+	if cfg.Domain == "" || cfg.Listen == "" || cfg.KeyFile == "" || cfg.CertFile == "" {
+		return nil, fmt.Errorf("bbd: config must set domain, listen, key_file, cert_file")
+	}
+	if cfg.Capacity == "" {
+		cfg.Capacity = "100Mb/s"
+	}
+	return &cfg, nil
+}
+
+// Build assembles the broker, its TLS listener, and the dialer used
+// for downstream propagation.
+func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
+	cert, err := pki.LoadCertFile(cfg.CertFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	key, err := pki.LoadKeyFile(cfg.KeyFile, cert.SubjectDN())
+	if err != nil {
+		return nil, nil, err
+	}
+	capacity, err := units.ParseBandwidth(cfg.Capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	depth := cfg.IntroducerDepth
+	if depth <= 0 {
+		depth = 16
+	}
+	trust := pki.NewTrustStore(depth)
+	var rootDERs [][]byte
+	for _, path := range cfg.RootFiles {
+		root, err := pki.LoadCertFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := trust.AddRoot(root); err != nil {
+			return nil, nil, err
+		}
+		rootDERs = append(rootDERs, root.DER)
+	}
+
+	topo := topology.New()
+	for _, d := range cfg.Domains {
+		if err := topo.AddDomain(topology.Domain{
+			Name:     d.Name,
+			BBDN:     identity.DN(d.BBDN),
+			Prefixes: d.Prefixes,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, l := range cfg.Links {
+		capac := capacity
+		if l.Capacity != "" {
+			if capac, err = units.ParseBandwidth(l.Capacity); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := topo.AddLink(topology.Link{A: l.A, B: l.B, Capacity: capac, Cost: l.Cost}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	policyText := cfg.PolicyText
+	if cfg.PolicyFile != "" {
+		data, err := os.ReadFile(cfg.PolicyFile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bbd: %w", err)
+		}
+		policyText = string(data)
+	}
+	if policyText == "" {
+		policyText = "allow if bw <= avail\ndeny"
+	}
+	pol, err := policy.Parse(cfg.Domain, policyText)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := policysrv.New(cfg.Domain, pol)
+
+	inbound := make(map[string]*sla.SLA)
+	peerCerts := make(map[identity.DN]*pki.Certificate)
+	peerAddrs := make(map[identity.DN]string)
+	for _, p := range cfg.Peers {
+		peerCert, err := pki.LoadCertFile(p.CertFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		pub := peerCert.PublicKey()
+		if pub == nil {
+			return nil, nil, fmt.Errorf("bbd: peer %s has non-ECDSA key", p.Domain)
+		}
+		trust.PinPeer(peerCert.SubjectDN(), pub)
+		peerCerts[peerCert.SubjectDN()] = peerCert
+		peerAddrs[peerCert.SubjectDN()] = p.Addr
+		rate := capacity
+		if p.SLARate != "" {
+			if rate, err = units.ParseBandwidth(p.SLARate); err != nil {
+				return nil, nil, err
+			}
+		}
+		inbound[p.Domain] = &sla.SLA{
+			Upstream:   p.Domain,
+			Downstream: cfg.Domain,
+			Service: sla.SLS{
+				Profile:     sla.TrafficProfile{Rate: rate, BucketBytes: 64_000},
+				Excess:      sla.Drop,
+				MaxLatency:  5 * time.Millisecond,
+				Reliability: 0.999,
+			},
+			DownstreamBBDN: cert.SubjectDN(),
+			UpstreamBBDN:   peerCert.SubjectDN(),
+		}
+	}
+
+	tlsCfg := &transport.TLSConfig{CertDER: cert.DER, Key: key.Private, RootDERs: rootDERs}
+	dialer := transport.NewTLSDialer(tlsCfg)
+
+	bbCfg := bb.Config{
+		Domain:      cfg.Domain,
+		Key:         key,
+		Cert:        cert,
+		Trust:       trust,
+		Policy:      ps,
+		Capacity:    capacity,
+		Topo:        topo,
+		InboundSLAs: inbound,
+		PeerCerts:   peerCerts,
+		PeerAddrs:   peerAddrs,
+		Dialer:      dialer,
+	}
+	if cfg.CPUs > 0 {
+		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)
+		if err != nil {
+			return nil, nil, err
+		}
+		bbCfg.CPU = cpuMgr
+	}
+	broker, err := bb.New(bbCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := transport.ListenTLS(cfg.Listen, tlsCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return broker, ln, nil
+}

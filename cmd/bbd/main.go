@@ -1,0 +1,55 @@
+// Command bbd is the bandwidth broker daemon: one per administrative
+// domain. It serves the inter-BB signalling protocol over mutually
+// authenticated TLS, enforcing the domain's policy file, SLA
+// contracts and admission control.
+//
+//	bbd -config domain-a.json
+//
+// See cmd/bbd/config.go for the configuration schema and
+// examples/quickstart for a scripted three-domain deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"e2eqos/internal/cpusched"
+	"e2eqos/internal/signalling"
+)
+
+// newCPUManager indirects cpusched construction so config.go stays
+// free of resource-manager imports beyond its own.
+func newCPUManager(domain string, cpus int) (*cpusched.Manager, error) {
+	return cpusched.NewManager(domain, cpus)
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to the broker JSON config (required)")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "bbd: -config is required")
+		os.Exit(2)
+	}
+	cfg, err := LoadConfig(*configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	broker, ln, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bbd: domain %s (%s) listening on %s", cfg.Domain, broker.DN(), ln.Addr())
+
+	go signalling.Serve(ln, broker)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("bbd: shutting down")
+	ln.Close()
+	broker.Close()
+}

@@ -1,0 +1,121 @@
+// Command experiments regenerates every figure of the paper as a
+// measured table. Run it with no arguments for the full suite, or
+// select one experiment with -exp.
+//
+//	go run ./cmd/experiments            # everything
+//	go run ./cmd/experiments -exp fig4  # just the misreservation attack
+//	go run ./cmd/experiments -md        # markdown output (EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"e2eqos/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, keydist, billing, diffserv, all")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
+	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
+	trials := flag.Int("trials", 3, "trials per signalling measurement")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	emit := func(t *experiment.Table) {
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if run("fig1") {
+		emit(experiment.RunFigure1())
+	}
+	if run("fig3") || run("fig5") {
+		t, err := experiment.RunSignallingComparison(nil, *hopLatency, *trials)
+		if err != nil {
+			fail("fig3+fig5", err)
+		}
+		emit(t)
+	}
+	if run("fig4") {
+		_, t, err := experiment.RunFigure4(*duration)
+		if err != nil {
+			fail("fig4", err)
+		}
+		emit(t)
+		sweep, err := experiment.RunFigure4Sweep(nil, *duration)
+		if err != nil {
+			fail("fig4-sweep", err)
+		}
+		emit(sweep)
+	}
+	if run("fig5") {
+		t, err := experiment.RunCoReservation()
+		if err != nil {
+			fail("fig5-coreservation", err)
+		}
+		emit(t)
+	}
+	if run("fig6") {
+		t, err := experiment.RunFigure6()
+		if err != nil {
+			fail("fig6", err)
+		}
+		emit(t)
+	}
+	if run("fig7") {
+		t, err := experiment.RunFigure7(4)
+		if err != nil {
+			fail("fig7", err)
+		}
+		emit(t)
+	}
+	if run("trust") {
+		t, err := experiment.RunTrustChain(8)
+		if err != nil {
+			fail("trust", err)
+		}
+		emit(t)
+	}
+	if run("trust-scaling") {
+		emit(experiment.RunTrustScaling(nil, nil))
+	}
+	if run("tunnel") {
+		t, err := experiment.RunTunnelScaling(nil, 5, *hopLatency)
+		if err != nil {
+			fail("tunnel", err)
+		}
+		emit(t)
+	}
+	if run("keydist") {
+		t, err := experiment.RunKeyDistribution(8)
+		if err != nil {
+			fail("keydist", err)
+		}
+		emit(t)
+	}
+	if run("diffserv") {
+		t, err := experiment.RunDiffServChain(5, *duration)
+		if err != nil {
+			fail("diffserv", err)
+		}
+		emit(t)
+	}
+	if run("billing") {
+		t, err := experiment.RunBilling(time.Second)
+		if err != nil {
+			fail("billing", err)
+		}
+		emit(t)
+	}
+}

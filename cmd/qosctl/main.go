@@ -1,0 +1,232 @@
+// Command qosctl is the user-side client: it builds a signed RAR from
+// the user's credentials and submits it to the source domain's
+// bandwidth broker over mutually authenticated TLS.
+//
+//	qosctl -bb 127.0.0.1:7001 -key alice.key.pem -cert alice.cert.pem \
+//	       -roots pki/ca.cert.pem reserve \
+//	       -src hostA.example -dst hostC.example \
+//	       -src-domain DomainA -dst-domain DomainC -bw 10Mb/s -duration 1h
+//
+//	qosctl ... cancel -rar RAR-abcdef
+//	qosctl ... status -rar RAR-abcdef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"e2eqos/internal/core"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/transport"
+	"e2eqos/internal/units"
+)
+
+func die(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "qosctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	bbAddr := flag.String("bb", "127.0.0.1:7001", "source-domain broker address")
+	keyFile := flag.String("key", "", "user key PEM (required)")
+	certFile := flag.String("cert", "", "user certificate PEM (required)")
+	roots := flag.String("roots", "", "comma-separated trusted CA certificate PEMs (required)")
+	flag.Parse()
+	if *keyFile == "" || *certFile == "" || *roots == "" {
+		die("-key, -cert and -roots are required")
+	}
+	if flag.NArg() < 1 {
+		die("usage: qosctl [flags] reserve|cancel|status [command flags]")
+	}
+
+	cert, err := pki.LoadCertFile(*certFile)
+	if err != nil {
+		die("%v", err)
+	}
+	key, err := pki.LoadKeyFile(*keyFile, cert.SubjectDN())
+	if err != nil {
+		die("%v", err)
+	}
+	var rootDERs [][]byte
+	for _, p := range strings.Split(*roots, ",") {
+		root, err := pki.LoadCertFile(strings.TrimSpace(p))
+		if err != nil {
+			die("%v", err)
+		}
+		rootDERs = append(rootDERs, root.DER)
+	}
+	dialer := transport.NewTLSDialer(&transport.TLSConfig{CertDER: cert.DER, Key: key.Private, RootDERs: rootDERs})
+	client, err := signalling.Dial(dialer, *bbAddr)
+	if err != nil {
+		die("dialing broker: %v", err)
+	}
+	defer client.Close()
+
+	switch flag.Arg(0) {
+	case "reserve":
+		runReserve(client, key, cert, flag.Args()[1:])
+	case "cancel":
+		runSimple(client, signalling.MsgCancel, flag.Args()[1:])
+	case "status":
+		runSimple(client, signalling.MsgStatus, flag.Args()[1:])
+	case "tunnel-alloc":
+		runTunnelAlloc(client, key, flag.Args()[1:])
+	case "tunnel-release":
+		runTunnelRelease(client, flag.Args()[1:])
+	default:
+		die("unknown command %q", flag.Arg(0))
+	}
+}
+
+// runTunnelAlloc allocates a sub-flow inside an established tunnel.
+// The command talks to the broker terminating the tunnel at the
+// user's side; that broker coordinates with the far end over the
+// direct channel.
+func runTunnelAlloc(client *signalling.Client, key *identity.KeyPair, args []string) {
+	fs := flag.NewFlagSet("tunnel-alloc", flag.ExitOnError)
+	rar := fs.String("rar", "", "tunnel RAR id (required)")
+	sub := fs.String("sub", "", "sub-flow id (required)")
+	bwStr := fs.String("bw", "1Mb/s", "sub-flow bandwidth")
+	_ = fs.Parse(args)
+	if *rar == "" || *sub == "" {
+		die("tunnel-alloc: -rar and -sub are required")
+	}
+	bw, err := units.ParseBandwidth(*bwStr)
+	if err != nil {
+		die("%v", err)
+	}
+	resp, err := client.Call(&signalling.Message{
+		Type: signalling.MsgTunnelAlloc,
+		TunnelAlloc: &signalling.TunnelAllocPayload{
+			TunnelRARID: *rar,
+			SubFlowID:   *sub,
+			User:        key.DN,
+			Bandwidth:   int64(bw),
+		},
+	})
+	if err != nil {
+		die("%v", err)
+	}
+	printResult(*rar+"/"+*sub, resp)
+}
+
+// runTunnelRelease frees a sub-flow.
+func runTunnelRelease(client *signalling.Client, args []string) {
+	fs := flag.NewFlagSet("tunnel-release", flag.ExitOnError)
+	rar := fs.String("rar", "", "tunnel RAR id (required)")
+	sub := fs.String("sub", "", "sub-flow id (required)")
+	_ = fs.Parse(args)
+	if *rar == "" || *sub == "" {
+		die("tunnel-release: -rar and -sub are required")
+	}
+	resp, err := client.Call(&signalling.Message{
+		Type:          signalling.MsgTunnelRelease,
+		TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: *rar, SubFlowID: *sub},
+	})
+	if err != nil {
+		die("%v", err)
+	}
+	printResult(*rar+"/"+*sub, resp)
+}
+
+func runReserve(client *signalling.Client, key *identity.KeyPair, cert *pki.Certificate, args []string) {
+	fs := flag.NewFlagSet("reserve", flag.ExitOnError)
+	src := fs.String("src", "", "source host (required)")
+	dst := fs.String("dst", "", "destination host (required)")
+	srcDomain := fs.String("src-domain", "", "source domain (required)")
+	dstDomain := fs.String("dst-domain", "", "destination domain (required)")
+	bwStr := fs.String("bw", "10Mb/s", "bandwidth")
+	startIn := fs.Duration("start-in", time.Minute, "reservation start offset from now")
+	duration := fs.Duration("duration", time.Hour, "reservation duration")
+	tunnelFlag := fs.Bool("tunnel", false, "request an aggregate tunnel reservation")
+	cpuHandle := fs.String("cpu-handle", "", "linked CPU reservation handle at the destination")
+	_ = fs.Parse(args)
+	if *src == "" || *dst == "" || *srcDomain == "" || *dstDomain == "" {
+		die("reserve: -src, -dst, -src-domain and -dst-domain are required")
+	}
+	bw, err := units.ParseBandwidth(*bwStr)
+	if err != nil {
+		die("%v", err)
+	}
+	agent, err := core.NewUserAgent(key, cert, nil)
+	if err != nil {
+		die("%v", err)
+	}
+	spec := &core.Spec{
+		RARID:        core.NewRARID(),
+		User:         key.DN,
+		SrcHost:      *src,
+		DstHost:      *dst,
+		SourceDomain: *srcDomain,
+		DestDomain:   *dstDomain,
+		Bandwidth:    bw,
+		Window:       units.NewWindow(time.Now().Add(*startIn), *duration),
+		Tunnel:       *tunnelFlag,
+	}
+	if *cpuHandle != "" {
+		spec.LinkedHandles = map[string]string{"cpu": *cpuHandle}
+	}
+	// The TLS handshake already gave us the broker's certificate: the
+	// RAR is addressed (and the capability delegated) to it.
+	bbCert, err := pki.ParseCertificate(client.PeerCertDER())
+	if err != nil {
+		die("broker certificate: %v", err)
+	}
+	rar, err := agent.BuildRAR(spec, bbCert)
+	if err != nil {
+		die("%v", err)
+	}
+	msg, err := signalling.NewReserveMessage(signalling.ModeEndToEnd, rar)
+	if err != nil {
+		die("%v", err)
+	}
+	resp, err := client.Call(msg)
+	if err != nil {
+		die("%v", err)
+	}
+	printResult(spec.RARID, resp)
+}
+
+func runSimple(client *signalling.Client, typ signalling.MsgType, args []string) {
+	fs := flag.NewFlagSet(string(typ), flag.ExitOnError)
+	rar := fs.String("rar", "", "RAR id (required)")
+	_ = fs.Parse(args)
+	if *rar == "" {
+		die("%s: -rar is required", typ)
+	}
+	msg := &signalling.Message{Type: typ}
+	switch typ {
+	case signalling.MsgCancel:
+		msg.Cancel = &signalling.CancelPayload{RARID: *rar}
+	case signalling.MsgStatus:
+		msg.Status = &signalling.StatusPayload{RARID: *rar}
+	}
+	resp, err := client.Call(msg)
+	if err != nil {
+		die("%v", err)
+	}
+	printResult(*rar, resp)
+}
+
+func printResult(rarID string, resp *signalling.Message) {
+	if resp.Result == nil {
+		die("broker sent no result")
+	}
+	r := resp.Result
+	if !r.Granted {
+		fmt.Printf("DENIED %s: %s\n", rarID, r.Reason)
+		os.Exit(1)
+	}
+	fmt.Printf("GRANTED %s handle=%s\n", rarID, r.Handle)
+	for _, a := range r.Approvals {
+		fmt.Printf("  approval: domain=%s bb=%s handle=%s granted=%t\n", a.Domain, a.BBDN, a.Handle, a.Granted)
+	}
+	for k, v := range r.PolicyInfo {
+		fmt.Printf("  info: %s=%s\n", k, v)
+	}
+}

@@ -1,0 +1,3 @@
+module e2eqos
+
+go 1.22

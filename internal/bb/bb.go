@@ -1,0 +1,257 @@
+// Package bb implements the bandwidth broker: the per-domain control
+// plane entity that "provides admission control and configures the
+// edge routers of a single administrative network domain". It ties
+// together the core signalling protocol, the policy server, the
+// advance-reservation table, the SLA contracts with peered domains,
+// the tunnel registry, and the DiffServ data plane configuration.
+package bb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"e2eqos/internal/core"
+	"e2eqos/internal/cpusched"
+	"e2eqos/internal/disksched"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/netsim"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/policysrv"
+	"e2eqos/internal/resv"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/sla"
+	"e2eqos/internal/topology"
+	"e2eqos/internal/transport"
+	"e2eqos/internal/units"
+)
+
+// DataPlane is the broker's hook into the domain's DiffServ devices:
+// the per-flow edge marker at the first hop (source domains) and the
+// per-aggregate ingress policer. Either may be nil when the broker
+// runs control-plane-only (daemons, signalling benchmarks).
+type DataPlane struct {
+	Edge    *netsim.EdgeMarker
+	Policer *netsim.Policer
+	// BucketBytes is the burst allowance configured with every profile
+	// (default 30 kB).
+	BucketBytes int64
+}
+
+func (d *DataPlane) bucket() int64 {
+	if d == nil || d.BucketBytes <= 0 {
+		return 30_000
+	}
+	return d.BucketBytes
+}
+
+// Config assembles a broker.
+type Config struct {
+	// Domain is the administrative domain this broker controls.
+	Domain string
+	// Key / Cert are the broker's identity.
+	Key  *identity.KeyPair
+	Cert *pki.Certificate
+	// Trust is the broker's trust store (SLA peers pinned, home CA
+	// rooted, introducer-depth policy set).
+	Trust *pki.TrustStore
+	// Policy is the domain's policy decision point.
+	Policy *policysrv.Server
+	// Capacity is the premium aggregate this domain admits.
+	Capacity units.Bandwidth
+	// Topo is the inter-domain topology used for next-hop selection.
+	Topo *topology.Topology
+	// InboundSLAs maps an upstream neighbour domain to the SLA
+	// regulating premium traffic entering from it.
+	InboundSLAs map[string]*sla.SLA
+	// PeerCerts maps a peered broker DN to its certificate (exchanged
+	// when the SLA was set up); needed to delegate capabilities to it.
+	PeerCerts map[identity.DN]*pki.Certificate
+	// PeerAddrs maps a broker DN to its transport address.
+	PeerAddrs map[identity.DN]string
+	// Dialer opens signalling channels.
+	Dialer transport.Dialer
+	// CPU / Disk are the co-managed local resource managers (optional).
+	CPU  *cpusched.Manager
+	Disk *disksched.Manager
+	// Plane is the data plane hook (optional).
+	Plane *DataPlane
+	// Clock is injectable for tests; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// rarState remembers what a reserve created locally, for cancellation
+// and tunnel management.
+type rarState struct {
+	handle   string
+	next     identity.DN // downstream broker the RAR was forwarded to
+	tunnel   bool
+	sourceBB identity.DN // authenticated source-domain broker (or user)
+	spec     *core.Spec
+}
+
+// BB is a bandwidth broker.
+type BB struct {
+	cfg   Config
+	proto *core.Broker
+	table *resv.Table
+
+	mu      sync.Mutex
+	clients map[identity.DN]*signalling.Client
+	routes  map[string]*rarState
+
+	tunnels *tunnelRegistry
+}
+
+// New assembles a broker from the config.
+func New(cfg Config) (*BB, error) {
+	if cfg.Domain == "" {
+		return nil, fmt.Errorf("bb: missing domain")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("bb: missing policy server")
+	}
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("bb: missing topology")
+	}
+	proto, err := core.NewBroker(cfg.Key, cfg.Cert, cfg.Trust)
+	if err != nil {
+		return nil, err
+	}
+	table, err := resv.NewTable("net-"+cfg.Domain, cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &BB{
+		cfg:     cfg,
+		proto:   proto,
+		table:   table,
+		clients: make(map[identity.DN]*signalling.Client),
+		routes:  make(map[string]*rarState),
+		tunnels: newTunnelRegistry(),
+	}, nil
+}
+
+// DN returns the broker's identity.
+func (b *BB) DN() identity.DN { return b.cfg.Key.DN }
+
+// Domain returns the administrative domain.
+func (b *BB) Domain() string { return b.cfg.Domain }
+
+// Table exposes the reservation table (read-mostly: experiments and
+// status tooling).
+func (b *BB) Table() *resv.Table { return b.table }
+
+// Cert returns the broker certificate.
+func (b *BB) Cert() *pki.Certificate { return b.cfg.Cert }
+
+// domainOfBB resolves a broker DN to its domain via the topology.
+func (b *BB) domainOfBB(dn identity.DN) (string, bool) {
+	for _, name := range b.cfg.Topo.Domains() {
+		d, ok := b.cfg.Topo.Domain(name)
+		if ok && d.BBDN == dn {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// clientFor returns (establishing if needed) a signalling client to
+// the given peer broker.
+func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
+	b.mu.Lock()
+	if c, ok := b.clients[dn]; ok {
+		b.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := b.cfg.PeerAddrs[dn]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("bb %s: no address for peer %s", b.cfg.Domain, dn)
+	}
+	if b.cfg.Dialer == nil {
+		return nil, fmt.Errorf("bb %s: no dialer configured", b.cfg.Domain)
+	}
+	c, err := signalling.Dial(b.cfg.Dialer, addr)
+	if err != nil {
+		return nil, fmt.Errorf("bb %s: dialing %s: %w", b.cfg.Domain, dn, err)
+	}
+	if c.PeerDN() != dn {
+		c.Close()
+		return nil, fmt.Errorf("bb %s: dialed %s but authenticated peer is %s", b.cfg.Domain, dn, c.PeerDN())
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if existing, ok := b.clients[dn]; ok {
+		c.Close()
+		return existing, nil
+	}
+	b.clients[dn] = c
+	return c, nil
+}
+
+// Close tears down all outbound clients.
+func (b *BB) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, c := range b.clients {
+		c.Close()
+	}
+	b.clients = make(map[identity.DN]*signalling.Client)
+}
+
+// syncDataPlane pushes the currently committed aggregate into the
+// domain's ingress policer.
+func (b *BB) syncDataPlane() {
+	p := b.cfg.Plane
+	if p == nil || p.Policer == nil {
+		return
+	}
+	rate := b.table.CommittedAt(b.cfg.Clock())
+	if rate <= 0 {
+		// A closed policer: nothing admitted, no premium passes.
+		rate = 1 // 1 b/s effectively blocks premium traffic
+	}
+	p.Policer.SetAggregateRate(rate, p.bucket())
+}
+
+// installEdgeFlow programs the source-domain edge marker for a granted
+// flow.
+func (b *BB) installEdgeFlow(spec *core.Spec) {
+	p := b.cfg.Plane
+	if p == nil || p.Edge == nil {
+		return
+	}
+	p.Edge.InstallReservation(netsim.FlowID(spec.RARID), sla.TrafficProfile{
+		Rate:        spec.Bandwidth,
+		BucketBytes: p.bucket(),
+	})
+}
+
+// removeEdgeFlow deprograms a cancelled flow.
+func (b *BB) removeEdgeFlow(rarID string) {
+	p := b.cfg.Plane
+	if p == nil || p.Edge == nil {
+		return
+	}
+	p.Edge.RemoveReservation(netsim.FlowID(rarID))
+}
+
+// signApproval builds this domain's signed approval record.
+func (b *BB) signApproval(rarID, handle string, granted bool, reason string) (signalling.DomainApproval, error) {
+	a := signalling.DomainApproval{
+		Domain:  b.cfg.Domain,
+		BBDN:    b.cfg.Key.DN,
+		RARID:   rarID,
+		Handle:  handle,
+		Granted: granted,
+		Reason:  reason,
+	}
+	if err := signalling.SignApproval(&a, b.cfg.Key); err != nil {
+		return signalling.DomainApproval{}, err
+	}
+	return a, nil
+}

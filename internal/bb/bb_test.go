@@ -1,0 +1,431 @@
+package bb_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"e2eqos/internal/dsim"
+	"e2eqos/internal/envelope"
+	"e2eqos/internal/experiment"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/netsim"
+	"e2eqos/internal/policy"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/sla"
+	"e2eqos/internal/units"
+)
+
+// testWorld builds a small world and returns it with a trusted user.
+func testWorld(t *testing.T, domains int) (*experiment.World, *experiment.User) {
+	t.Helper()
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains:            domains,
+		Capacity:              100 * units.Mbps,
+		TrustUserCAEverywhere: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	return w, u
+}
+
+// rawPeer fabricates a signalling.Peer for direct Handle calls.
+func rawPeer(u *experiment.User) signalling.Peer {
+	return signalling.Peer{DN: u.DN(), CertDER: u.Agent.Cert.DER}
+}
+
+func TestHandleRejectsMalformedMessages(t *testing.T) {
+	w, u := testWorld(t, 2)
+	broker := w.BBs[w.SourceDomain()]
+	peer := rawPeer(u)
+
+	cases := []*signalling.Message{
+		{Type: signalling.MsgReserve},           // missing payload
+		{Type: signalling.MsgCancel},            // missing payload
+		{Type: signalling.MsgTunnelAlloc},       // missing payload
+		{Type: signalling.MsgTunnelRelease},     // missing payload
+		{Type: signalling.MsgStatus},            // missing payload
+		{Type: signalling.MsgType("wire-fuzz")}, // unknown type
+		{Type: signalling.MsgResult},            // results are not requests
+	}
+	for _, msg := range cases {
+		resp := broker.Handle(peer, msg)
+		if resp == nil || resp.Result == nil || resp.Result.Granted {
+			t.Errorf("message %q: expected error result, got %+v", msg.Type, resp)
+		}
+	}
+}
+
+func TestHandleReserveGarbageEnvelope(t *testing.T) {
+	w, u := testWorld(t, 2)
+	broker := w.BBs[w.SourceDomain()]
+	resp := broker.Handle(rawPeer(u), &signalling.Message{
+		Type:    signalling.MsgReserve,
+		Reserve: &signalling.ReservePayload{Mode: signalling.ModeLocal, EnvelopeData: json.RawMessage(`"not an envelope"`)},
+	})
+	if resp.Result.Granted {
+		t.Fatal("garbage envelope accepted")
+	}
+}
+
+func TestHandleReserveForgedSigner(t *testing.T) {
+	// A request signed by the user but presented over a channel
+	// claiming a different peer must be refused.
+	w, u := testWorld(t, 2)
+	broker := w.BBs[w.SourceDomain()]
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	rar, err := u.Agent.BuildRAR(spec, w.BBCerts[w.SourceDomain()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := signalling.NewReserveMessage(signalling.ModeLocal, rar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := signalling.Peer{DN: identity.NewDN("Grid", "X", "mallory"), CertDER: u.Agent.Cert.DER}
+	resp := broker.Handle(forged, msg)
+	if resp.Result.Granted {
+		t.Fatal("envelope accepted from mismatched channel peer")
+	}
+}
+
+func TestHandleReserveDuplicateRARID(t *testing.T) {
+	w, u := testWorld(t, 2)
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	res, err := u.ReserveE2E(spec)
+	if err != nil || !res.Granted {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	// Same RAR id again.
+	res2, err := u.ReserveE2E(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Granted {
+		t.Fatal("duplicate RAR id accepted")
+	}
+	if !strings.Contains(res2.Reason, "duplicate") {
+		t.Errorf("reason = %q", res2.Reason)
+	}
+}
+
+func TestHandleReserveReplayedEnvelopeAtWrongBroker(t *testing.T) {
+	// A RAR addressed to the source broker replayed at the
+	// destination broker must fail the path-naming check.
+	w, u := testWorld(t, 3)
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	rar, err := u.Agent.BuildRAR(spec, w.BBCerts[w.SourceDomain()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := signalling.NewReserveMessage(signalling.ModeLocal, rar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := w.BBs[w.DestDomain()]
+	resp := dest.Handle(rawPeer(u), msg)
+	if resp.Result.Granted {
+		t.Fatal("misaddressed RAR accepted by wrong broker")
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	w, u := testWorld(t, 2)
+	broker := w.BBs[w.SourceDomain()]
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 2 * units.Mbps})
+	res, err := u.ReserveE2E(spec)
+	if err != nil || !res.Granted {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	resp := broker.Handle(rawPeer(u), &signalling.Message{
+		Type:   signalling.MsgStatus,
+		Status: &signalling.StatusPayload{RARID: spec.RARID},
+	})
+	if !resp.Result.Granted {
+		t.Fatalf("status failed: %+v", resp.Result)
+	}
+	if resp.Result.PolicyInfo["status"] != "granted" {
+		t.Errorf("status info = %v", resp.Result.PolicyInfo)
+	}
+	if resp.Result.PolicyInfo["bandwidth"] != "2Mb/s" {
+		t.Errorf("bandwidth info = %v", resp.Result.PolicyInfo)
+	}
+	// Unknown RAR.
+	resp = broker.Handle(rawPeer(u), &signalling.Message{
+		Type:   signalling.MsgStatus,
+		Status: &signalling.StatusPayload{RARID: "RAR-nope"},
+	})
+	if resp.Result.Granted {
+		t.Fatal("status of unknown RAR granted")
+	}
+}
+
+func TestDenialCarriesSignedRefusals(t *testing.T) {
+	w, u := testWorld(t, 3)
+	// Exhaust the destination.
+	fill := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 100 * units.Mbps})
+	if res, err := u.ReserveLocalAt(w.DestDomain(), fill); err != nil || !res.Granted {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 10 * units.Mbps})
+	spec.Window = fill.Window
+	res, err := u.ReserveE2E(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Granted {
+		t.Fatal("grant into exhausted destination")
+	}
+	// The denial response carries approvals from the denying domain
+	// and the upstream domains that rolled back.
+	if len(res.Approvals) == 0 {
+		t.Fatal("denial carries no signed refusals")
+	}
+	foundDenier := false
+	for _, a := range res.Approvals {
+		if a.Domain == w.DestDomain() && !a.Granted {
+			foundDenier = true
+			if err := signalling.VerifyApproval(&a, w.BBCerts[a.Domain].PublicKey()); err != nil {
+				t.Errorf("refusal signature: %v", err)
+			}
+		}
+	}
+	if !foundDenier {
+		t.Errorf("no signed refusal from the denying domain: %+v", res.Approvals)
+	}
+}
+
+func TestTunnelAllocViaUnknownTunnel(t *testing.T) {
+	w, u := testWorld(t, 2)
+	broker := w.BBs[w.SourceDomain()]
+	resp := broker.Handle(rawPeer(u), &signalling.Message{
+		Type:        signalling.MsgTunnelAlloc,
+		TunnelAlloc: &signalling.TunnelAllocPayload{TunnelRARID: "RAR-ghost", SubFlowID: "s", Bandwidth: 1},
+	})
+	if resp.Result.Granted {
+		t.Fatal("allocation on unknown tunnel granted")
+	}
+	resp = broker.Handle(rawPeer(u), &signalling.Message{
+		Type:          signalling.MsgTunnelRelease,
+		TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: "RAR-ghost", SubFlowID: "s"},
+	})
+	if resp.Result.Granted {
+		t.Fatal("release on unknown tunnel granted")
+	}
+}
+
+func TestTunnelOwnerMayAllocateDirectly(t *testing.T) {
+	// The tunnel owner (the user) may drive allocations at the source
+	// broker herself.
+	w, u := testWorld(t, 3)
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 50 * units.Mbps, Tunnel: true})
+	res, err := u.ReserveE2E(spec)
+	if err != nil || !res.Granted {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	broker := w.BBs[w.SourceDomain()]
+	resp := broker.Handle(rawPeer(u), &signalling.Message{
+		Type: signalling.MsgTunnelAlloc,
+		TunnelAlloc: &signalling.TunnelAllocPayload{
+			TunnelRARID: spec.RARID,
+			SubFlowID:   "owner-flow",
+			User:        u.DN(),
+			Bandwidth:   int64(10 * units.Mbps),
+		},
+	})
+	if !resp.Result.Granted {
+		t.Fatalf("owner allocation refused: %+v", resp.Result)
+	}
+}
+
+func TestCancelUnknownAndForeignRAR(t *testing.T) {
+	w, u := testWorld(t, 2)
+	broker := w.BBs[w.SourceDomain()]
+	resp := broker.Handle(rawPeer(u), &signalling.Message{
+		Type:   signalling.MsgCancel,
+		Cancel: &signalling.CancelPayload{RARID: "RAR-ghost"},
+	})
+	if resp.Result.Granted {
+		t.Fatal("cancel of unknown RAR granted")
+	}
+}
+
+func TestReserveExpiredWindowRejected(t *testing.T) {
+	w, u := testWorld(t, 2)
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	spec.Window = units.Window{} // invalid
+	if _, err := u.ReserveE2E(spec); err == nil {
+		t.Fatal("invalid window not rejected client-side")
+	}
+	// Hand-build an envelope with a zero window to bypass client
+	// validation — the spec must fail broker-side validation too.
+	badSpec := *spec
+	raw, err := json.Marshal(&badSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := envelope.Seal(u.Agent.Key, envelope.Body{
+		Request:   raw,
+		NextHopDN: w.BBs[w.SourceDomain()].DN(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := signalling.NewReserveMessage(signalling.ModeLocal, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := w.BBs[w.SourceDomain()].Handle(rawPeer(u), msg)
+	if resp.Result.Granted {
+		t.Fatal("broker accepted spec with invalid window")
+	}
+}
+
+func TestClockSkewedCertificateRejected(t *testing.T) {
+	// Verification at a time outside the user certificate's validity
+	// must fail: brokers pass their clock into core.Verify.
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains: 2,
+		Capacity:   100 * units.Mbps,
+		Clock:      func() time.Time { return time.Now().Add(3 * 365 * 24 * time.Hour) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	res, err := u.ReserveE2E(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Granted {
+		t.Fatal("reservation granted with expired user certificate")
+	}
+}
+
+func TestTunnelFlowLifecycleDirectAPI(t *testing.T) {
+	w, u := testWorld(t, 3)
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 30 * units.Mbps, Tunnel: true})
+	res, err := u.ReserveE2E(spec)
+	if err != nil || !res.Granted {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	src := w.BBs[w.SourceDomain()]
+	if err := src.AllocateTunnelFlow(spec.RARID, "f1", 10*units.Mbps, u.DN()); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := src.Tunnel(spec.RARID)
+	if !ok || ep.Used() != 10*units.Mbps {
+		t.Fatalf("endpoint used = %v ok=%v", ep.Used(), ok)
+	}
+	if err := src.AllocateTunnelFlow("RAR-ghost", "f2", units.Mbps, u.DN()); err == nil {
+		t.Error("allocation on unknown tunnel succeeded")
+	}
+	if err := src.ReleaseTunnelFlow(spec.RARID, "f1"); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Used() != 0 {
+		t.Errorf("used after release = %v", ep.Used())
+	}
+	if err := src.ReleaseTunnelFlow(spec.RARID, "f1"); err == nil {
+		t.Error("double release succeeded")
+	}
+	if err := src.ReleaseTunnelFlow("RAR-ghost", "f1"); err == nil {
+		t.Error("release on unknown tunnel succeeded")
+	}
+}
+
+func TestDiskLinkedReservationPolicy(t *testing.T) {
+	// Destination policy requires a disk co-reservation.
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains: 2,
+		Capacity:   100 * units.Mbps,
+		Policies: map[string]*policy.Policy{
+			"Domain1": policy.MustParse("d1", "allow if has disk-reservation\ndeny"),
+		},
+		Disks: map[string]units.Bandwidth{"Domain1": 400 * units.Mbps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+
+	// Without the disk link: denied.
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: "Domain1", Bandwidth: 10 * units.Mbps})
+	res, err := u.ReserveE2E(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Granted {
+		t.Fatal("granted without disk co-reservation")
+	}
+	// With it: granted.
+	handle, err := w.Disk["Domain1"].Reserve(u.DN(), 50*units.Mbps, spec.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := u.NewSpec(experiment.SpecOptions{
+		DestDomain: "Domain1",
+		Bandwidth:  10 * units.Mbps,
+		Window:     spec.Window,
+		Linked:     map[string]string{"disk": handle},
+	})
+	res, err = u.ReserveE2E(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Granted {
+		t.Fatalf("denied with valid disk link: %s", res.Reason)
+	}
+}
+
+func TestDataPlaneSyncOnGrantAndCancel(t *testing.T) {
+	w, u := testWorld(t, 2)
+	// Attach a data plane to the source domain.
+	sim := dsim.New()
+	sink := netsim.NewSink(sim)
+	policer := netsim.NewPolicer(sim, sla.TrafficProfile{Rate: 1, BucketBytes: 1}, sla.Drop, sink)
+	marker := netsim.NewEdgeMarker(sim, policer)
+	w.Planes[w.SourceDomain()].Edge = marker
+	w.Planes[w.SourceDomain()].Policer = policer
+
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 10 * units.Mbps})
+	spec.Window.Start = time.Now().Add(-time.Minute) // active now
+	res, err := u.ReserveE2E(spec)
+	if err != nil || !res.Granted {
+		t.Fatalf("setup: %v %+v", err, res)
+	}
+	// The edge marker must now mark the flow premium.
+	marker.Receive(&netsim.Packet{Flow: netsim.FlowID(spec.RARID), Size: 100})
+	st := sink.Stats(netsim.FlowID(spec.RARID))
+	if st == nil || st.RxBytesByCls[netsim.Premium] == 0 {
+		t.Fatal("granted flow not marked premium by the configured edge")
+	}
+	// After cancel the same packet rides best effort.
+	if err := u.Cancel(w.SourceDomain(), spec.RARID); err != nil {
+		t.Fatal(err)
+	}
+	marker.Receive(&netsim.Packet{Flow: netsim.FlowID(spec.RARID), Size: 100})
+	st = sink.Stats(netsim.FlowID(spec.RARID))
+	if st.RxBytesByCls[netsim.BestEffort] == 0 {
+		t.Fatal("cancelled flow still marked premium")
+	}
+}

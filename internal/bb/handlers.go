@@ -1,0 +1,462 @@
+package bb
+
+import (
+	"fmt"
+
+	"e2eqos/internal/core"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/policysrv"
+	"e2eqos/internal/resv"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/tunnel"
+	"e2eqos/internal/units"
+)
+
+// tunnelRegistry wraps the tunnel package registry.
+type tunnelRegistry struct {
+	reg *tunnel.Registry
+}
+
+func newTunnelRegistry() *tunnelRegistry {
+	return &tunnelRegistry{reg: tunnel.NewRegistry()}
+}
+
+// Handle implements signalling.Handler: the broker's message dispatch.
+func (b *BB) Handle(peer signalling.Peer, msg *signalling.Message) *signalling.Message {
+	switch msg.Type {
+	case signalling.MsgReserve:
+		if msg.Reserve == nil {
+			return signalling.ErrorResult("reserve message without payload")
+		}
+		return b.handleReserve(peer, msg.Reserve)
+	case signalling.MsgCancel:
+		if msg.Cancel == nil {
+			return signalling.ErrorResult("cancel message without payload")
+		}
+		return b.handleCancel(peer, msg.Cancel)
+	case signalling.MsgTunnelAlloc:
+		if msg.TunnelAlloc == nil {
+			return signalling.ErrorResult("tunnel-alloc message without payload")
+		}
+		return b.handleTunnelAlloc(peer, msg.TunnelAlloc)
+	case signalling.MsgTunnelRelease:
+		if msg.TunnelRelease == nil {
+			return signalling.ErrorResult("tunnel-release message without payload")
+		}
+		return b.handleTunnelRelease(peer, msg.TunnelRelease)
+	case signalling.MsgStatus:
+		if msg.Status == nil {
+			return signalling.ErrorResult("status message without payload")
+		}
+		return b.handleStatus(msg.Status)
+	default:
+		return signalling.ErrorResult(fmt.Sprintf("unsupported message type %q", msg.Type))
+	}
+}
+
+// deny builds a denied result carrying this domain's signed refusal,
+// implementing "Whenever a request is denied by one domain, the event
+// is propagated upstream to inform the user of the reason for the
+// denial."
+func (b *BB) deny(rarID, reason string) *signalling.Message {
+	resp := signalling.ErrorResult(reason)
+	if a, err := b.signApproval(rarID, "", false, reason); err == nil {
+		resp.Result.Approvals = []signalling.DomainApproval{a}
+	}
+	return resp
+}
+
+func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayload) *signalling.Message {
+	env, err := payload.Envelope()
+	if err != nil {
+		return signalling.ErrorResult(fmt.Sprintf("malformed envelope: %v", err))
+	}
+	now := b.cfg.Clock()
+	verified, err := b.proto.Verify(env, peer.DN, peer.CertDER, now)
+	if err != nil {
+		return signalling.ErrorResult(fmt.Sprintf("verification failed: %v", err))
+	}
+	spec := verified.Spec
+
+	// Duplicate RAR ids would corrupt cancellation state.
+	b.mu.Lock()
+	_, dup := b.routes[spec.RARID]
+	b.mu.Unlock()
+	if dup {
+		return b.deny(spec.RARID, fmt.Sprintf("%s: duplicate RAR id %s", b.cfg.Domain, spec.RARID))
+	}
+
+	// Identify the upstream entity. A single-layer chain came from the
+	// user directly; otherwise the outermost signer is the upstream BB.
+	fromUser := len(verified.Path) == 1
+	if !fromUser {
+		upBB := verified.Path[len(verified.Path)-1]
+		upDomain, ok := b.domainOfBB(upBB)
+		if !ok {
+			return b.deny(spec.RARID, fmt.Sprintf("%s: unknown upstream broker %s", b.cfg.Domain, upBB))
+		}
+		// SLA conformance: the premium aggregate entering from the
+		// upstream peer must stay inside the contracted profile.
+		contract := b.cfg.InboundSLAs[upDomain]
+		if contract == nil {
+			return b.deny(spec.RARID, fmt.Sprintf("%s: no SLA with upstream domain %s", b.cfg.Domain, upDomain))
+		}
+		if !contract.Valid(now) {
+			return b.deny(spec.RARID, fmt.Sprintf("%s: SLA with %s not valid", b.cfg.Domain, upDomain))
+		}
+		committed := b.cfg.Capacity - b.table.Available(spec.Window)
+		if err := contract.Conforms(committed, spec.Bandwidth); err != nil {
+			return b.deny(spec.RARID, fmt.Sprintf("%s: %v", b.cfg.Domain, err))
+		}
+	}
+
+	// Consult the policy server (§5): validated assertions,
+	// capability-chain verification and local policy.
+	q := &policysrv.Query{
+		User:               spec.User,
+		Bandwidth:          spec.Bandwidth,
+		Window:             spec.Window,
+		Available:          b.table.Available(spec.Window),
+		SourceDomain:       spec.SourceDomain,
+		DestDomain:         spec.DestDomain,
+		Assertions:         spec.Assertions,
+		CapabilityChain:    verified.Capabilities,
+		RequireRestriction: spec.RestrictionFor(),
+		LinkedReservations: b.validateLinkedHandles(spec),
+	}
+	res, err := b.cfg.Policy.Decide(q)
+	if err != nil {
+		return b.deny(spec.RARID, fmt.Sprintf("%s: policy server: %v", b.cfg.Domain, err))
+	}
+	if !res.Decision.Granted() {
+		return b.deny(spec.RARID, fmt.Sprintf("%s: policy denied: %s", b.cfg.Domain, res.Decision.Reason))
+	}
+
+	// Admission control against the local reservation table.
+	r, err := b.table.Admit(resv.AdmitRequest{
+		User:      spec.User,
+		SrcHost:   spec.SrcHost,
+		DstHost:   spec.DstHost,
+		Bandwidth: spec.Bandwidth,
+		Window:    spec.Window,
+		Tunnel:    spec.Tunnel,
+	})
+	if err != nil {
+		return b.deny(spec.RARID, fmt.Sprintf("%s: admission: %v", b.cfg.Domain, err))
+	}
+
+	isDest := spec.DestDomain == b.cfg.Domain
+	local := payload.Mode == signalling.ModeLocal
+
+	if isDest || local {
+		return b.finishGrant(peer, verified, r, fromUser, isDest && !local)
+	}
+
+	// Forward downstream (hop-by-hop).
+	nextDomain, err := b.cfg.Topo.NextHop(b.cfg.Domain, spec.DestDomain)
+	if err != nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: routing: %v", b.cfg.Domain, err))
+	}
+	nd, _ := b.cfg.Topo.Domain(nextDomain)
+	nextCert := b.cfg.PeerCerts[nd.BBDN]
+	if nextCert == nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: no certificate for next hop %s", b.cfg.Domain, nd.BBDN))
+	}
+	extended, err := b.proto.Extend(env, peer.CertDER, verified, nextCert, res.Additions)
+	if err != nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: extend: %v", b.cfg.Domain, err))
+	}
+	fwd, err := signalling.NewReserveMessage(signalling.ModeEndToEnd, extended)
+	if err != nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: encode: %v", b.cfg.Domain, err))
+	}
+	client, err := b.clientFor(nd.BBDN)
+	if err != nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: %v", b.cfg.Domain, err))
+	}
+	downstream, err := client.Call(fwd)
+	if err != nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream call: %v", b.cfg.Domain, err))
+	}
+	if downstream.Result == nil {
+		_ = b.table.Cancel(r.Handle)
+		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream sent no result", b.cfg.Domain))
+	}
+	if !downstream.Result.Granted {
+		// Roll back the optimistic local admission and propagate the
+		// denial (with the downstream approvals/reasons) upstream.
+		_ = b.table.Cancel(r.Handle)
+		resp := signalling.ErrorResult(downstream.Result.Reason)
+		resp.Result.Approvals = downstream.Result.Approvals
+		if a, err := b.signApproval(spec.RARID, "", false, "upstream of denial"); err == nil {
+			resp.Result.Approvals = append(resp.Result.Approvals, a)
+		}
+		return resp
+	}
+
+	// Grant: record state, configure the data plane, stack our signed
+	// approval on top of the downstream ones.
+	b.recordRoute(spec, r.Handle, nd.BBDN, fromUser, peer)
+	if fromUser {
+		// Source domain: program the per-flow edge marker.
+		b.installEdgeFlow(spec)
+		if spec.Tunnel {
+			b.registerTunnelSource(spec, downstream.Result)
+		}
+	}
+	b.syncDataPlane()
+	resp := &signalling.Message{Type: signalling.MsgResult, Result: &signalling.ResultPayload{
+		Granted:    true,
+		Handle:     r.Handle,
+		Approvals:  downstream.Result.Approvals,
+		PolicyInfo: downstream.Result.PolicyInfo,
+	}}
+	if a, err := b.signApproval(spec.RARID, r.Handle, true, ""); err == nil {
+		resp.Result.Approvals = append(resp.Result.Approvals, a)
+	}
+	return resp
+}
+
+// finishGrant completes a grant at the destination domain (or a
+// local-mode reservation).
+func (b *BB) finishGrant(peer signalling.Peer, verified *core.VerifiedRequest, r *resv.Reservation, fromUser, isDest bool) *signalling.Message {
+	spec := verified.Spec
+	b.recordRoute(spec, r.Handle, "", fromUser, peer)
+	if fromUser {
+		b.installEdgeFlow(spec)
+	}
+	if isDest && spec.Tunnel {
+		b.registerTunnelDest(verified, peer)
+	}
+	b.syncDataPlane()
+	resp := signalling.OKResult(r.Handle)
+	if a, err := b.signApproval(spec.RARID, r.Handle, true, ""); err == nil {
+		resp.Result.Approvals = []signalling.DomainApproval{a}
+	}
+	return resp
+}
+
+// recordRoute remembers the RAR for cancellation and tunnel use.
+func (b *BB) recordRoute(spec *core.Spec, handle string, next identity.DN, fromUser bool, peer signalling.Peer) {
+	src := peer.DN
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.routes[spec.RARID] = &rarState{
+		handle:   handle,
+		next:     next,
+		tunnel:   spec.Tunnel,
+		sourceBB: src,
+		spec:     spec,
+	}
+	_ = fromUser
+}
+
+// validateLinkedHandles checks the co-reservation references against
+// the local resource managers (destination-domain semantics of
+// Figure 6: HasValidCPUResv(RAR)).
+func (b *BB) validateLinkedHandles(spec *core.Spec) map[string]bool {
+	out := make(map[string]bool)
+	for resource, handle := range spec.LinkedHandles {
+		switch resource {
+		case "cpu":
+			if b.cfg.CPU != nil && b.cfg.CPU.ValidDuring(handle, spec.Window) {
+				out["cpu"] = true
+			}
+		case "disk":
+			if b.cfg.Disk != nil && b.cfg.Disk.Valid(handle, spec.Window.Start) {
+				out["disk"] = true
+			}
+		}
+	}
+	return out
+}
+
+func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayload) *signalling.Message {
+	b.mu.Lock()
+	st, ok := b.routes[payload.RARID]
+	if ok {
+		delete(b.routes, payload.RARID)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return signalling.ErrorResult(fmt.Sprintf("%s: unknown RAR %s", b.cfg.Domain, payload.RARID))
+	}
+	if err := b.table.Cancel(st.handle); err != nil {
+		return signalling.ErrorResult(fmt.Sprintf("%s: %v", b.cfg.Domain, err))
+	}
+	b.removeEdgeFlow(payload.RARID)
+	b.tunnels.reg.Remove(payload.RARID)
+	b.syncDataPlane()
+	// Propagate downstream along the recorded path.
+	if st.next != "" {
+		if client, err := b.clientFor(st.next); err == nil {
+			_, _ = client.Call(&signalling.Message{
+				Type:   signalling.MsgCancel,
+				Cancel: &signalling.CancelPayload{RARID: payload.RARID},
+			})
+		}
+	}
+	return signalling.OKResult(st.handle)
+}
+
+func (b *BB) handleStatus(payload *signalling.StatusPayload) *signalling.Message {
+	b.mu.Lock()
+	st, ok := b.routes[payload.RARID]
+	b.mu.Unlock()
+	if !ok {
+		return signalling.ErrorResult(fmt.Sprintf("%s: unknown RAR %s", b.cfg.Domain, payload.RARID))
+	}
+	r, ok := b.table.Lookup(st.handle)
+	if !ok {
+		return signalling.ErrorResult(fmt.Sprintf("%s: handle %s vanished", b.cfg.Domain, st.handle))
+	}
+	resp := signalling.OKResult(st.handle)
+	resp.Result.PolicyInfo = map[string]string{
+		"status":    r.Status.String(),
+		"bandwidth": r.Bandwidth.String(),
+		"window":    r.Window.String(),
+	}
+	return resp
+}
+
+// registerTunnelDest records the tunnel endpoint at the destination
+// domain; the authenticated source broker (the first BB on the path)
+// is the only entity allowed to drive sub-flow allocations over the
+// direct channel.
+func (b *BB) registerTunnelDest(verified *core.VerifiedRequest, peer signalling.Peer) {
+	spec := verified.Spec
+	sourceBB := peer.DN
+	if len(verified.Path) > 1 {
+		sourceBB = verified.Path[1] // [user, BB_src, ...]
+	}
+	ep, err := tunnel.NewEndpoint(spec.RARID, spec.Bandwidth, spec.Window, sourceBB, spec.User)
+	if err != nil {
+		return
+	}
+	_ = b.tunnels.reg.Add(ep)
+}
+
+// registerTunnelSource records the tunnel endpoint at the source
+// domain, remembering the destination broker from the signed
+// approvals so sub-flow requests can go directly to it.
+func (b *BB) registerTunnelSource(spec *core.Spec, result *signalling.ResultPayload) {
+	var destBB identity.DN
+	for _, a := range result.Approvals {
+		if a.Domain == spec.DestDomain && a.Granted {
+			destBB = a.BBDN
+			break
+		}
+	}
+	ep, err := tunnel.NewEndpoint(spec.RARID, spec.Bandwidth, spec.Window, destBB, spec.User)
+	if err != nil {
+		return
+	}
+	_ = b.tunnels.reg.Add(ep)
+}
+
+func (b *BB) handleTunnelAlloc(peer signalling.Peer, payload *signalling.TunnelAllocPayload) *signalling.Message {
+	ep, ok := b.tunnels.reg.Get(payload.TunnelRARID)
+	if !ok {
+		return signalling.ErrorResult(fmt.Sprintf("%s: no tunnel %s", b.cfg.Domain, payload.TunnelRARID))
+	}
+	// Only the peer broker authenticated during tunnel establishment
+	// (or the tunnel owner, for the source side) may allocate.
+	if peer.DN != ep.PeerBB && peer.DN != ep.Owner {
+		return signalling.ErrorResult(fmt.Sprintf("%s: %s is not authorized on tunnel %s",
+			b.cfg.Domain, peer.DN, payload.TunnelRARID))
+	}
+	if err := ep.Allocate(payload.SubFlowID, units.Bandwidth(payload.Bandwidth)); err != nil {
+		return signalling.ErrorResult(err.Error())
+	}
+	return signalling.OKResult(payload.SubFlowID)
+}
+
+func (b *BB) handleTunnelRelease(peer signalling.Peer, payload *signalling.TunnelReleasePayload) *signalling.Message {
+	ep, ok := b.tunnels.reg.Get(payload.TunnelRARID)
+	if !ok {
+		return signalling.ErrorResult(fmt.Sprintf("%s: no tunnel %s", b.cfg.Domain, payload.TunnelRARID))
+	}
+	if peer.DN != ep.PeerBB && peer.DN != ep.Owner {
+		return signalling.ErrorResult(fmt.Sprintf("%s: %s is not authorized on tunnel %s",
+			b.cfg.Domain, peer.DN, payload.TunnelRARID))
+	}
+	if err := ep.Release(payload.SubFlowID); err != nil {
+		return signalling.ErrorResult(err.Error())
+	}
+	return signalling.OKResult(payload.SubFlowID)
+}
+
+// AllocateTunnelFlow is the source-side API: allocate a sub-flow
+// locally and at the destination over the direct channel. Intermediate
+// domains are not contacted.
+func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidth, user identity.DN) error {
+	ep, ok := b.tunnels.reg.Get(tunnelRARID)
+	if !ok {
+		return fmt.Errorf("bb %s: no tunnel %s", b.cfg.Domain, tunnelRARID)
+	}
+	if err := ep.Allocate(subFlowID, bw); err != nil {
+		return err
+	}
+	client, err := b.clientFor(ep.PeerBB)
+	if err != nil {
+		_ = ep.Release(subFlowID)
+		return err
+	}
+	resp, err := client.Call(&signalling.Message{
+		Type: signalling.MsgTunnelAlloc,
+		TunnelAlloc: &signalling.TunnelAllocPayload{
+			TunnelRARID: tunnelRARID,
+			SubFlowID:   subFlowID,
+			User:        user,
+			Bandwidth:   int64(bw),
+		},
+	})
+	if err != nil {
+		_ = ep.Release(subFlowID)
+		return fmt.Errorf("bb %s: tunnel alloc at destination: %w", b.cfg.Domain, err)
+	}
+	if resp.Result == nil || !resp.Result.Granted {
+		_ = ep.Release(subFlowID)
+		reason := "no result"
+		if resp.Result != nil {
+			reason = resp.Result.Reason
+		}
+		return fmt.Errorf("bb %s: destination refused sub-flow: %s", b.cfg.Domain, reason)
+	}
+	return nil
+}
+
+// ReleaseTunnelFlow frees a sub-flow at both ends.
+func (b *BB) ReleaseTunnelFlow(tunnelRARID, subFlowID string) error {
+	ep, ok := b.tunnels.reg.Get(tunnelRARID)
+	if !ok {
+		return fmt.Errorf("bb %s: no tunnel %s", b.cfg.Domain, tunnelRARID)
+	}
+	if err := ep.Release(subFlowID); err != nil {
+		return err
+	}
+	client, err := b.clientFor(ep.PeerBB)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Call(&signalling.Message{
+		Type:          signalling.MsgTunnelRelease,
+		TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: tunnelRARID, SubFlowID: subFlowID},
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Result == nil || !resp.Result.Granted {
+		return fmt.Errorf("bb %s: destination refused release", b.cfg.Domain)
+	}
+	return nil
+}
+
+// Tunnel exposes a tunnel endpoint for inspection.
+func (b *BB) Tunnel(rarID string) (*tunnel.Endpoint, bool) { return b.tunnels.reg.Get(rarID) }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"time"
+
+	"e2eqos/internal/envelope"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+)
+
+// KeyDirectory resolves a signer's public key out of band — the
+// paper's §6.4 alternative to inline certificate distribution:
+// "Maintain a certificate repository accessible through secure LDAP."
+// internal/certrepo provides the reference implementation.
+type KeyDirectory interface {
+	LookupKey(dn identity.DN) (*ecdsa.PublicKey, error)
+}
+
+// Broker is the protocol half of a bandwidth broker: it verifies
+// inbound RARs through the transitive trust model and extends granted
+// requests toward the next hop.
+type Broker struct {
+	Key  *identity.KeyPair
+	Cert *pki.Certificate
+	// Trust holds the broker's local trust decisions: pinned SLA peers,
+	// trusted CAs, and the introducer-depth policy.
+	Trust *pki.TrustStore
+	// Directory, when set, resolves keys for layers that arrive
+	// without an introducing certificate (out-of-band distribution).
+	Directory KeyDirectory
+	// OmitIntroducerCerts makes Extend leave the upstream certificate
+	// out of the wrapped layer: downstream verifiers must then use a
+	// Directory. This is the ablation knob for the §6.4 comparison of
+	// inline vs repository key distribution.
+	OmitIntroducerCerts bool
+	// MaxRequestAge bounds how old the innermost (user-signed) layer
+	// may be at verification time, limiting the replay window of a
+	// captured RAR. Zero disables the check.
+	MaxRequestAge time.Duration
+}
+
+// NewBroker assembles a protocol broker.
+func NewBroker(key *identity.KeyPair, cert *pki.Certificate, trust *pki.TrustStore) (*Broker, error) {
+	if key == nil || trust == nil {
+		return nil, fmt.Errorf("core: broker needs key and trust store")
+	}
+	if cert != nil && cert.SubjectDN() != key.DN {
+		return nil, fmt.Errorf("core: broker certificate subject %s does not match key %s", cert.SubjectDN(), key.DN)
+	}
+	return &Broker{Key: key, Cert: cert, Trust: trust}, nil
+}
+
+// DN returns the broker identity.
+func (b *Broker) DN() identity.DN { return b.Key.DN }
+
+// VerifiedRequest is the result of successfully unwrapping and
+// checking an inbound RAR.
+type VerifiedRequest struct {
+	// Spec is the user's original, signature-protected request.
+	Spec *Spec
+	// Chain holds every verified layer, outermost first.
+	Chain *envelope.Chain
+	// Path is the signalling path from the user outward
+	// ([user, BB_A, BB_B, ...]); the paper's path tracing.
+	Path []identity.DN
+	// PolicyInfo merges the policy attributes added along the path.
+	PolicyInfo map[string]string
+	// Capabilities is the accumulated delegation chain, ready for
+	// policy-engine verification.
+	Capabilities pki.CapabilityChain
+	// IntroducerDepth is the number of hops whose keys were accepted
+	// via introduction rather than direct trust (0 when the sender was
+	// the user itself).
+	IntroducerDepth int
+}
+
+// Verify unwraps an inbound envelope received over a mutually
+// authenticated channel from channelPeer (with certificate
+// channelPeerCert, as captured by the handshake). The outermost layer
+// must be signed by the channel peer; every inner layer's key is
+// accepted through the introduction semantics — the already-verified
+// wrapping layer embeds the signer's certificate — bounded by the
+// trust store's introducer-depth policy.
+func (b *Broker) Verify(env *envelope.Envelope, channelPeer identity.DN, channelPeerCert []byte, at time.Time) (*VerifiedRequest, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: nil envelope")
+	}
+	if env.SignerDN != channelPeer {
+		return nil, fmt.Errorf("core: outer layer signed by %s but channel peer is %s", env.SignerDN, channelPeer)
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	depth := -1 // layer counter: outermost layer is depth 0
+	maxDepth := b.Trust.MaxIntroducerDepth()
+	resolve := func(dn identity.DN, certHint []byte) (*ecdsa.PublicKey, error) {
+		depth++
+		if depth == 0 {
+			// The channel handshake authenticated this key.
+			if pinned, ok := b.Trust.PeerKey(dn); ok {
+				return pinned, nil
+			}
+			if channelPeerCert != nil {
+				cert, err := pki.ParseCertificate(channelPeerCert)
+				if err != nil {
+					return nil, err
+				}
+				if cert.SubjectDN() != dn {
+					return nil, fmt.Errorf("core: channel certificate subject %s does not match signer %s", cert.SubjectDN(), dn)
+				}
+				return b.Trust.DirectlyTrusted(cert, at)
+			}
+			return nil, fmt.Errorf("core: no trust path to channel peer %s", dn)
+		}
+		// Inner layers: the verified wrapping layer introduced this
+		// signer by embedding its certificate.
+		if depth > maxDepth {
+			return nil, fmt.Errorf("core: introduction depth %d exceeds local policy limit %d", depth, maxDepth)
+		}
+		if certHint == nil {
+			if b.Directory != nil {
+				pub, err := b.Directory.LookupKey(dn)
+				if err != nil {
+					return nil, fmt.Errorf("core: directory lookup for %s: %w", dn, err)
+				}
+				return pub, nil
+			}
+			return nil, fmt.Errorf("core: layer %d (%s) has no introducing certificate", depth, dn)
+		}
+		cert, err := pki.ParseCertificate(certHint)
+		if err != nil {
+			return nil, fmt.Errorf("core: introduced certificate for %s: %w", dn, err)
+		}
+		if cert.SubjectDN() != dn {
+			return nil, fmt.Errorf("core: introduced certificate names %s, layer signed by %s", cert.SubjectDN(), dn)
+		}
+		if !cert.ValidAt(at) {
+			return nil, fmt.Errorf("core: introduced certificate for %s not valid at %s", dn, at)
+		}
+		pub := cert.PublicKey()
+		if pub == nil {
+			return nil, fmt.Errorf("core: introduced certificate for %s has non-ECDSA key", dn)
+		}
+		return pub, nil
+	}
+	chain, err := envelope.Unwrap(env, resolve)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.checkPathNaming(chain); err != nil {
+		return nil, err
+	}
+	if b.MaxRequestAge > 0 {
+		stamped := chain.Layers[len(chain.Layers)-1].Body.Timestamp
+		if stamped.IsZero() {
+			return nil, fmt.Errorf("core: innermost layer carries no timestamp")
+		}
+		if age := at.Sub(stamped); age > b.MaxRequestAge {
+			return nil, fmt.Errorf("core: request is %s old, limit %s (replay window)", age, b.MaxRequestAge)
+		}
+	}
+	spec, err := DecodeSpec(chain.Request)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: inbound spec: %w", err)
+	}
+	// The innermost layer must be signed by the user the spec names:
+	// the signature over res_spec is the user's.
+	if inner := chain.Layers[len(chain.Layers)-1].SignerDN; inner != spec.User {
+		return nil, fmt.Errorf("core: spec names user %s but innermost signature is by %s", spec.User, inner)
+	}
+	caps, err := chain.Capabilities()
+	if err != nil {
+		return nil, fmt.Errorf("core: capability chain: %w", err)
+	}
+	return &VerifiedRequest{
+		Spec:            spec,
+		Chain:           chain,
+		Path:            chain.PathDNs(),
+		PolicyInfo:      chain.PolicyInfo(),
+		Capabilities:    caps,
+		IntroducerDepth: depth,
+	}, nil
+}
+
+// checkPathNaming enforces the signed next-hop pointers: each layer
+// must have been addressed to the entity that actually signed the
+// next outer layer, and the outermost layer must be addressed to this
+// broker. This is what lets a downstream domain confirm that its
+// upstream peer approved the SLA path ("BB_A ... did approve the SLA
+// with domain B by listing the DN of BB_B in its request").
+func (b *Broker) checkPathNaming(chain *envelope.Chain) error {
+	for i := len(chain.Layers) - 1; i >= 0; i-- {
+		layer := chain.Layers[i]
+		want := b.Key.DN
+		if i > 0 {
+			want = chain.Layers[i-1].SignerDN
+		}
+		if layer.Body.NextHopDN != want {
+			return fmt.Errorf("core: layer signed by %s is addressed to %s, but next signer is %s",
+				layer.SignerDN, layer.Body.NextHopDN, want)
+		}
+	}
+	return nil
+}
+
+// Extend wraps a verified inbound request for the next hop: it embeds
+// the upstream peer's certificate (introducing its key downstream),
+// names the next hop, re-delegates the capability chain to the next
+// broker and appends this domain's policy additions, then signs the
+// whole layer (RAR_{N+1} of §6.4).
+func (b *Broker) Extend(inbound *envelope.Envelope, upstreamCert []byte, verified *VerifiedRequest, nextHop *pki.Certificate, additions map[string]string) (*envelope.Envelope, error) {
+	if inbound == nil || verified == nil {
+		return nil, fmt.Errorf("core: Extend needs the inbound envelope and its verification")
+	}
+	if nextHop == nil {
+		return nil, fmt.Errorf("core: Extend needs the next hop certificate")
+	}
+	if b.OmitIntroducerCerts {
+		upstreamCert = nil
+	}
+	body := envelope.Body{
+		Inner:           inbound,
+		UpstreamCertDER: upstreamCert,
+		NextHopDN:       nextHop.SubjectDN(),
+		PolicyInfo:      additions,
+	}
+	if len(verified.Capabilities) > 0 {
+		hopPub := nextHop.PublicKey()
+		if hopPub == nil {
+			return nil, fmt.Errorf("core: next hop certificate has non-ECDSA key")
+		}
+		last := verified.Capabilities[len(verified.Capabilities)-1]
+		if last.SubjectDN() != b.Key.DN {
+			return nil, fmt.Errorf("core: capability chain ends at %s, cannot delegate as %s", last.SubjectDN(), b.Key.DN)
+		}
+		delegated, err := pki.Delegate(last, b.Key.DN, b.Key.Private, nextHop.SubjectDN(), hopPub, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: delegating capability to %s: %w", nextHop.SubjectDN(), err)
+		}
+		body.CapabilityDERs = [][]byte{delegated.DER}
+	}
+	return envelope.Seal(b.Key, body)
+}

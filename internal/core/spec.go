@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the
+// transitive-trust signalling of policy information between bandwidth
+// brokers (§6). It combines the nested signed envelopes of
+// internal/envelope, the capability delegation of internal/pki and a
+// per-broker trust store into the concrete message flow
+//
+//	RAR_U     = sign_U({res_spec, DN_BBA, CapCert'_CAS, CapCert'_U})
+//	RAR_A     = sign_BBA({RAR_U, cert_U, DN_BBB, CapCert'_A})
+//	RAR_{N+1} = sign_BB{N+1}({RAR_N, cert_N, DN_BB{N+2}, CapCert'_{N+1}})
+//
+// with, at every hop, verification of the full chain through the
+// web-of-trust introduction semantics: a verified outer layer
+// introduces the signer of the layer it wraps by embedding that
+// signer's certificate.
+package core
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+// Spec is the res_spec of the paper: everything the user asks for.
+type Spec struct {
+	// RARID uniquely names this resource allocation request; capability
+	// delegations are scoped to it ("valid for RAR").
+	RARID string `json:"rar_id"`
+	// User is the requesting principal.
+	User identity.DN `json:"user"`
+	// SrcHost / DstHost are the flow endpoints.
+	SrcHost string `json:"src_host"`
+	DstHost string `json:"dst_host"`
+	// SourceDomain / DestDomain are resolved by the first broker (or
+	// the user agent) from the hosts.
+	SourceDomain string `json:"source_domain"`
+	DestDomain   string `json:"dest_domain"`
+	// Bandwidth is the requested rate; Window the reservation interval.
+	Bandwidth units.Bandwidth `json:"bandwidth"`
+	Window    units.Window    `json:"window"`
+	// Tunnel requests an aggregate reservation usable for sub-flow
+	// allocation via the direct source/end-domain channel.
+	Tunnel bool `json:"tunnel,omitempty"`
+	// CostLimit is the maximum cost the user accepts (opaque).
+	CostLimit string `json:"cost_limit,omitempty"`
+	// Assertions are the user's unvalidated group claims
+	// ("I am a physicist").
+	Assertions []string `json:"assertions,omitempty"`
+	// LinkedHandles reference co-reservations by resource type, e.g.
+	// {"cpu": "cpu-domainc-17"} (Figure 6's CPU_Reservation_ID).
+	LinkedHandles map[string]string `json:"linked_handles,omitempty"`
+}
+
+// Validate checks the user-controlled fields.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("core: nil spec")
+	}
+	if s.RARID == "" {
+		return fmt.Errorf("core: spec missing RAR id")
+	}
+	if !s.User.Valid() {
+		return fmt.Errorf("core: invalid user DN %q", s.User)
+	}
+	if s.Bandwidth <= 0 {
+		return fmt.Errorf("core: non-positive bandwidth %v", s.Bandwidth)
+	}
+	if !s.Window.Valid() {
+		return fmt.Errorf("core: invalid window %v", s.Window)
+	}
+	if s.SrcHost == "" || s.DstHost == "" {
+		return fmt.Errorf("core: spec missing src/dst host")
+	}
+	return nil
+}
+
+// RestrictionFor returns the delegation restriction string scoping a
+// capability to this RAR.
+func (s *Spec) RestrictionFor() string { return "valid-for-rar:" + s.RARID }
+
+// NewRARID mints a unique request identifier.
+func NewRARID() string {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failure is unrecoverable for protocol purposes.
+		panic(fmt.Sprintf("core: rand: %v", err))
+	}
+	return "RAR-" + hex.EncodeToString(buf[:])
+}
+
+// encodeSpec marshals the spec for embedding in the innermost layer.
+func encodeSpec(s *Spec) (json.RawMessage, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal spec: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSpec unmarshals a spec from a verified chain's request.
+func DecodeSpec(raw json.RawMessage) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("core: decode spec: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,84 @@
+// Package cpusched is the CPU resource manager substrate: slot-based
+// advance reservations for compute nodes, the "CPU" resource GARA
+// manages alongside networks and disks. Figure 5/6 of the paper couple
+// a multi-domain network reservation with a CPU reservation in the
+// destination domain; the destination BB validates the referenced
+// handle against this manager.
+package cpusched
+
+import (
+	"fmt"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/resv"
+	"e2eqos/internal/units"
+)
+
+// Manager reserves CPUs out of a fixed pool over time windows.
+type Manager struct {
+	domain string
+	table  *resv.Table
+}
+
+// NewManager creates a manager for a pool of cpus processors.
+func NewManager(domain string, cpus int) (*Manager, error) {
+	if cpus <= 0 {
+		return nil, fmt.Errorf("cpusched: non-positive CPU count %d", cpus)
+	}
+	// One "bandwidth unit" per CPU keeps the admission mechanics
+	// identical to the network table.
+	table, err := resv.NewTable("cpu-"+domain, units.Bandwidth(cpus))
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{domain: domain, table: table}, nil
+}
+
+// Domain returns the owning domain.
+func (m *Manager) Domain() string { return m.domain }
+
+// Capacity returns the pool size.
+func (m *Manager) Capacity() int { return int(m.table.Capacity()) }
+
+// Reserve admits an advance reservation of cpus processors during w.
+func (m *Manager) Reserve(user identity.DN, cpus int, w units.Window) (string, error) {
+	if cpus <= 0 {
+		return "", fmt.Errorf("cpusched: non-positive CPU count %d", cpus)
+	}
+	r, err := m.table.Admit(resv.AdmitRequest{
+		User:      user,
+		Bandwidth: units.Bandwidth(cpus),
+		Window:    w,
+	})
+	if err != nil {
+		return "", fmt.Errorf("cpusched: %w", err)
+	}
+	return r.Handle, nil
+}
+
+// Cancel withdraws a reservation.
+func (m *Manager) Cancel(handle string) error { return m.table.Cancel(handle) }
+
+// Valid reports whether handle names a granted CPU reservation active
+// at the given instant — the HasValidCPUResv(RAR) predicate of
+// Figure 6.
+func (m *Manager) Valid(handle string, at time.Time) bool {
+	return m.table.Valid(handle, at)
+}
+
+// ValidDuring reports whether handle is granted and covers the whole
+// window (network reservations reference CPU reservations for their
+// full duration).
+func (m *Manager) ValidDuring(handle string, w units.Window) bool {
+	r, ok := m.table.Lookup(handle)
+	if !ok || r.Status != resv.Granted {
+		return false
+	}
+	return !w.Start.Before(r.Window.Start) && !w.End.After(r.Window.End)
+}
+
+// Available returns how many CPUs remain free throughout w.
+func (m *Manager) Available(w units.Window) int {
+	return int(m.table.Available(w))
+}

@@ -1,0 +1,99 @@
+package cpusched
+
+import (
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+var (
+	t0      = time.Date(2001, 8, 7, 9, 0, 0, 0, time.UTC)
+	charlie = identity.NewDN("Grid", "DomainC", "Charlie")
+)
+
+func win(startMin, durMin int) units.Window {
+	return units.NewWindow(t0.Add(time.Duration(startMin)*time.Minute), time.Duration(durMin)*time.Minute)
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager("C", 0); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+	m, err := NewManager("C", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity() != 16 || m.Domain() != "C" {
+		t.Errorf("capacity=%d domain=%s", m.Capacity(), m.Domain())
+	}
+}
+
+func TestReserveAndValidate(t *testing.T) {
+	m, err := NewManager("C", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Reserve(charlie, 4, win(0, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Valid(h, t0.Add(30*time.Minute)) {
+		t.Error("active reservation invalid")
+	}
+	if m.Valid(h, t0.Add(2*time.Hour)) {
+		t.Error("expired reservation valid")
+	}
+	if m.Valid("bogus", t0) {
+		t.Error("unknown handle valid")
+	}
+	if !m.ValidDuring(h, win(10, 20)) {
+		t.Error("covered window invalid")
+	}
+	if m.ValidDuring(h, win(30, 60)) {
+		t.Error("partially covered window valid")
+	}
+}
+
+func TestCPUAdmissionControl(t *testing.T) {
+	m, err := NewManager("C", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve(charlie, 8, win(0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve(charlie, 1, win(30, 60)); err == nil {
+		t.Error("over-committed CPU pool")
+	}
+	if _, err := m.Reserve(charlie, 8, win(60, 60)); err != nil {
+		t.Errorf("disjoint window rejected: %v", err)
+	}
+	if got := m.Available(win(0, 60)); got != 0 {
+		t.Errorf("available = %d", got)
+	}
+	if _, err := m.Reserve(charlie, 0, win(0, 10)); err == nil {
+		t.Error("zero CPUs accepted")
+	}
+}
+
+func TestCancelFreesCPUs(t *testing.T) {
+	m, err := NewManager("C", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Reserve(charlie, 4, win(0, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(h); err != nil {
+		t.Fatal(err)
+	}
+	if m.Valid(h, t0.Add(time.Minute)) {
+		t.Error("cancelled handle still valid")
+	}
+	if _, err := m.Reserve(charlie, 4, win(0, 60)); err != nil {
+		t.Errorf("capacity not freed: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+// Package disksched is the disk-bandwidth resource manager substrate:
+// GARA "provides advance reservations and end-to-end management for
+// quality of service on different types of resources, including
+// networks, CPUs, and disks". It admits advance reservations of
+// storage throughput against a device's aggregate rate.
+package disksched
+
+import (
+	"fmt"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/resv"
+	"e2eqos/internal/units"
+)
+
+// Manager reserves disk bandwidth on one storage system.
+type Manager struct {
+	domain string
+	table  *resv.Table
+}
+
+// NewManager creates a manager for a device sustaining rate.
+func NewManager(domain string, rate units.Bandwidth) (*Manager, error) {
+	table, err := resv.NewTable("disk-"+domain, rate)
+	if err != nil {
+		return nil, fmt.Errorf("disksched: %w", err)
+	}
+	return &Manager{domain: domain, table: table}, nil
+}
+
+// Domain returns the owning domain.
+func (m *Manager) Domain() string { return m.domain }
+
+// Capacity returns the device throughput.
+func (m *Manager) Capacity() units.Bandwidth { return m.table.Capacity() }
+
+// Reserve admits an advance reservation of rate during w.
+func (m *Manager) Reserve(user identity.DN, rate units.Bandwidth, w units.Window) (string, error) {
+	r, err := m.table.Admit(resv.AdmitRequest{User: user, Bandwidth: rate, Window: w})
+	if err != nil {
+		return "", fmt.Errorf("disksched: %w", err)
+	}
+	return r.Handle, nil
+}
+
+// Cancel withdraws a reservation.
+func (m *Manager) Cancel(handle string) error { return m.table.Cancel(handle) }
+
+// Valid reports whether handle is granted and active at the instant.
+func (m *Manager) Valid(handle string, at time.Time) bool { return m.table.Valid(handle, at) }
+
+// Available returns the free throughput during w.
+func (m *Manager) Available(w units.Window) units.Bandwidth { return m.table.Available(w) }

@@ -1,0 +1,53 @@
+package disksched
+
+import (
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+var (
+	t0   = time.Date(2001, 8, 7, 9, 0, 0, 0, time.UTC)
+	user = identity.NewDN("Grid", "DomainC", "Charlie")
+)
+
+func win(startMin, durMin int) units.Window {
+	return units.NewWindow(t0.Add(time.Duration(startMin)*time.Minute), time.Duration(durMin)*time.Minute)
+}
+
+func TestReserveCancelCycle(t *testing.T) {
+	m, err := NewManager("C", 400*units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Capacity() != 400*units.Mbps || m.Domain() != "C" {
+		t.Errorf("capacity=%v domain=%s", m.Capacity(), m.Domain())
+	}
+	h, err := m.Reserve(user, 300*units.Mbps, win(0, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Valid(h, t0.Add(10*time.Minute)) {
+		t.Error("active reservation invalid")
+	}
+	if _, err := m.Reserve(user, 200*units.Mbps, win(0, 30)); err == nil {
+		t.Error("overbooked disk")
+	}
+	if got := m.Available(win(0, 30)); got != 100*units.Mbps {
+		t.Errorf("available = %v", got)
+	}
+	if err := m.Cancel(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve(user, 400*units.Mbps, win(0, 30)); err != nil {
+		t.Errorf("capacity not freed: %v", err)
+	}
+}
+
+func TestNewManagerRejectsBadRate(t *testing.T) {
+	if _, err := NewManager("C", 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

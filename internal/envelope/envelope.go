@@ -1,0 +1,244 @@
+// Package envelope implements the nested signed message structure at
+// the heart of the paper's inter-BB signalling protocol (§6.4):
+//
+//	RAR_U     = sign_U({res_spec, DN_BBA, Capability_Cert'_CAS, Capability_Cert'_U})
+//	RAR_A     = sign_BBA({RAR_U, cert_U, DN_BBB, Capability_Cert'_A})
+//	RAR_{N+1} = sign_BB{N+1}({RAR_N, cert_N, DN_BB{N+2}, Capability_Cert'_{N+1}})
+//
+// Each hop wraps the message it received inside a new envelope, adds
+// the upstream entity's certificate (learned from the mutually
+// authenticated channel), names the next hop, attaches any additional
+// policy information, and signs the result. The destination can unwrap
+// the onion, verifying every layer, and recover the full signalling
+// path ("The signatures both assert the authenticity of the information
+// and allows for the tracking the path taken by a request as it moves
+// from BB to BB").
+package envelope
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+)
+
+// Envelope is one layer of the nested structure. Payload is the JSON
+// encoding of the layer body; Signature is the signer's ECDSA signature
+// over Payload.
+type Envelope struct {
+	// SignerDN names the entity that signed this layer.
+	SignerDN identity.DN `json:"signer_dn"`
+	// Payload is the canonical (JSON) encoding of the Body. It is kept
+	// as raw JSON rather than base64 bytes so that wrapping a message
+	// in another envelope grows it additively, not multiplicatively.
+	Payload json.RawMessage `json:"payload"`
+	// Signature is SignerDN's signature over Payload.
+	Signature []byte `json:"signature"`
+}
+
+// Body is the content of one envelope layer. Exactly one of Inner or
+// Request is set: the innermost layer carries the raw request, every
+// outer layer carries the wrapped inner envelope.
+type Body struct {
+	// Inner is the envelope received from upstream, absent in the
+	// innermost (user) layer.
+	Inner *Envelope `json:"inner,omitempty"`
+	// Request is the application payload of the innermost layer.
+	Request json.RawMessage `json:"request,omitempty"`
+	// UpstreamCertDER carries the certificate of the entity that
+	// produced Inner (cert_U, cert_A, ... in the paper), as learned
+	// from the TLS handshake with the upstream hop.
+	UpstreamCertDER []byte `json:"upstream_cert,omitempty"`
+	// NextHopDN is the DN of the downstream BB this layer is addressed
+	// to (DN_BBB, DN_BBC, ...). Naming the next hop in the signed body
+	// is what lets the destination audit the intended path and lets a
+	// downstream domain confirm that its upstream peer approved the SLA
+	// ("BB_A ... did approve the SLA with domain B by listing the DN of
+	// BB_B in its request").
+	NextHopDN identity.DN `json:"next_hop_dn,omitempty"`
+	// CapabilityDERs are the capability certificates this hop adds
+	// (Capability_Cert'_N): normally the single delegation of the
+	// received capability to the next hop; the user layer carries two
+	// (the CAS-issued certificate plus the delegation to the first
+	// broker). Optional ("Note that the delegation is only performed
+	// when capabilities are transported").
+	CapabilityDERs [][]byte `json:"capabilities,omitempty"`
+	// PolicyInfo carries additional signed policy attributes the hop
+	// appends (constraints from a policy server, SLS parameters for
+	// downstream domains, cost offers, ...). The protocol is
+	// deliberately syntax-agnostic, so this is opaque key/value data.
+	PolicyInfo map[string]string `json:"policy_info,omitempty"`
+	// Timestamp records when the layer was created.
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// Seal signs body with the given key and returns the envelope layer.
+func Seal(signer *identity.KeyPair, body Body) (*Envelope, error) {
+	if body.Timestamp.IsZero() {
+		body.Timestamp = time.Now()
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: marshal body: %w", err)
+	}
+	sig, err := signer.Sign(payload)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: sign: %w", err)
+	}
+	return &Envelope{SignerDN: signer.DN, Payload: payload, Signature: sig}, nil
+}
+
+// Open verifies the signature with pub and decodes the body. It does
+// NOT resolve trust in pub; callers combine this with a pki.TrustStore.
+func (e *Envelope) Open(pub *ecdsa.PublicKey) (*Body, error) {
+	if e == nil {
+		return nil, fmt.Errorf("envelope: nil envelope")
+	}
+	if err := identity.Verify(pub, e.Payload, e.Signature); err != nil {
+		return nil, fmt.Errorf("envelope: layer signed by %s: %w", e.SignerDN, err)
+	}
+	var body Body
+	if err := json.Unmarshal(e.Payload, &body); err != nil {
+		return nil, fmt.Errorf("envelope: decode body signed by %s: %w", e.SignerDN, err)
+	}
+	return &body, nil
+}
+
+// PeekBody decodes the body WITHOUT verifying the signature. It is used
+// to discover which certificates the message carries before trust in
+// the corresponding keys has been established.
+func (e *Envelope) PeekBody() (*Body, error) {
+	if e == nil {
+		return nil, fmt.Errorf("envelope: nil envelope")
+	}
+	var body Body
+	if err := json.Unmarshal(e.Payload, &body); err != nil {
+		return nil, fmt.Errorf("envelope: decode body signed by %s: %w", e.SignerDN, err)
+	}
+	return &body, nil
+}
+
+// Layer is one verified stratum of an unwrapped envelope chain, ordered
+// outermost (most recent hop) first.
+type Layer struct {
+	SignerDN identity.DN
+	Body     *Body
+}
+
+// Chain is the fully verified onion: Layers[0] is the outermost
+// (signed by the last BB before the verifier), Layers[len-1] the
+// innermost (signed by the user). Request is the innermost payload.
+type Chain struct {
+	Layers  []Layer
+	Request json.RawMessage
+}
+
+// PathDNs returns the signer DNs from the user outward:
+// [user, BB_A, BB_B, ...]. This is the signalling-path trace the
+// signatures provide.
+func (c *Chain) PathDNs() []identity.DN {
+	out := make([]identity.DN, 0, len(c.Layers))
+	for i := len(c.Layers) - 1; i >= 0; i-- {
+		out = append(out, c.Layers[i].SignerDN)
+	}
+	return out
+}
+
+// Capabilities returns the capability certificate chain accumulated
+// along the path, ordered from the user's CAS certificate outward —
+// ready for pki.CapabilityChain verification.
+func (c *Chain) Capabilities() (pki.CapabilityChain, error) {
+	var ders [][]byte
+	for i := len(c.Layers) - 1; i >= 0; i-- {
+		ders = append(ders, c.Layers[i].Body.CapabilityDERs...)
+	}
+	return pki.DecodeCapabilityChain(ders)
+}
+
+// PolicyInfo merges the policy attributes of all layers; inner layers
+// are applied first so that later (downstream-added) values win on key
+// collision, matching "the BB ... may add additional information".
+func (c *Chain) PolicyInfo() map[string]string {
+	merged := make(map[string]string)
+	for i := len(c.Layers) - 1; i >= 0; i-- {
+		for k, v := range c.Layers[i].Body.PolicyInfo {
+			merged[k] = v
+		}
+	}
+	return merged
+}
+
+// KeyResolver resolves the public key to verify a layer signed by dn.
+// The certDER hint is the certificate the NEXT outer layer attached for
+// this signer (cert_N in the paper); it may be nil for the outermost
+// layer, whose key the verifier knows from the TLS handshake.
+type KeyResolver func(dn identity.DN, certDER []byte) (*ecdsa.PublicKey, error)
+
+// Unwrap peels and verifies every layer of the onion. resolve is called
+// once per layer. The outermost layer's certificate hint is nil (its
+// key comes from the channel); every inner layer's hint is the
+// UpstreamCertDER its wrapping layer attached.
+func Unwrap(outer *Envelope, resolve KeyResolver) (*Chain, error) {
+	chain := &Chain{}
+	env := outer
+	var certHint []byte
+	for depth := 0; env != nil; depth++ {
+		if depth > maxDepth {
+			return nil, fmt.Errorf("envelope: chain deeper than %d layers", maxDepth)
+		}
+		pub, err := resolve(env.SignerDN, certHint)
+		if err != nil {
+			return nil, fmt.Errorf("envelope: resolving key for layer %d (%s): %w", depth, env.SignerDN, err)
+		}
+		body, err := env.Open(pub)
+		if err != nil {
+			return nil, fmt.Errorf("envelope: layer %d: %w", depth, err)
+		}
+		chain.Layers = append(chain.Layers, Layer{SignerDN: env.SignerDN, Body: body})
+		if body.Inner == nil {
+			if body.Request == nil {
+				return nil, fmt.Errorf("envelope: innermost layer (%s) carries no request", env.SignerDN)
+			}
+			chain.Request = body.Request
+			return chain, nil
+		}
+		certHint = body.UpstreamCertDER
+		env = body.Inner
+	}
+	return nil, fmt.Errorf("envelope: empty chain")
+}
+
+// maxDepth bounds the number of nested layers Unwrap accepts,
+// protecting against maliciously deep onions.
+const maxDepth = 64
+
+// Encode serialises the envelope for the wire.
+func (e *Envelope) Encode() ([]byte, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: encode: %w", err)
+	}
+	return data, nil
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("envelope: decode: %w", err)
+	}
+	return &e, nil
+}
+
+// WireSize returns the encoded size in bytes, used by the Figure 7 /
+// §6.4 message-growth experiments.
+func (e *Envelope) WireSize() int {
+	data, err := e.Encode()
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}

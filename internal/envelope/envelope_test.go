@@ -1,0 +1,270 @@
+package envelope
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+)
+
+type testRequest struct {
+	Source string `json:"source"`
+	Dest   string `json:"dest"`
+	Mbps   int    `json:"mbps"`
+}
+
+func mustKey(t *testing.T, name string) *identity.KeyPair {
+	t.Helper()
+	kp, err := identity.GenerateKeyPair(identity.NewDN("Grid", "", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+// buildOnion builds the paper's RAR_U -> RAR_A -> RAR_B chain:
+// user signs the request; each BB wraps the previous envelope.
+func buildOnion(t *testing.T, hops int) (keys []*identity.KeyPair, outer *Envelope) {
+	t.Helper()
+	user := mustKey(t, "alice")
+	keys = append(keys, user)
+	req, err := json.Marshal(testRequest{Source: "A", Dest: "C", Mbps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Seal(user, Body{Request: req, NextHopDN: identity.NewDN("Grid", "", "bb-0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hops; i++ {
+		bb := mustKey(t, fmt.Sprintf("bb-%d", i))
+		keys = append(keys, bb)
+		env, err = Seal(bb, Body{
+			Inner:      env,
+			NextHopDN:  identity.NewDN("Grid", "", fmt.Sprintf("bb-%d", i+1)),
+			PolicyInfo: map[string]string{fmt.Sprintf("hop-%d", i): "ok", "last": fmt.Sprintf("bb-%d", i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys, env
+}
+
+func resolverFor(keys []*identity.KeyPair) KeyResolver {
+	byDN := make(map[identity.DN]*ecdsa.PublicKey)
+	for _, k := range keys {
+		byDN[k.DN] = k.Public()
+	}
+	return func(dn identity.DN, _ []byte) (*ecdsa.PublicKey, error) {
+		pub, ok := byDN[dn]
+		if !ok {
+			return nil, fmt.Errorf("unknown signer %s", dn)
+		}
+		return pub, nil
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	user := mustKey(t, "alice")
+	req, _ := json.Marshal(testRequest{Source: "A", Dest: "C", Mbps: 10})
+	env, err := Seal(user, Body{Request: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := env.Open(user.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got testRequest
+	if err := json.Unmarshal(body.Request, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Mbps != 10 || got.Dest != "C" {
+		t.Errorf("request round trip mismatch: %+v", got)
+	}
+	if body.Timestamp.IsZero() {
+		t.Error("Seal must stamp a timestamp")
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	user := mustKey(t, "alice")
+	mallory := mustKey(t, "mallory")
+	env, err := Seal(user, Body{Request: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Open(mallory.Public()); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestOpenRejectsTamperedPayload(t *testing.T) {
+	user := mustKey(t, "alice")
+	env, err := Seal(user, Body{Request: json.RawMessage(`{"mbps":10}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Payload[len(env.Payload)-3] ^= 0x01
+	if _, err := env.Open(user.Public()); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+}
+
+func TestUnwrapThreeHops(t *testing.T) {
+	keys, outer := buildOnion(t, 3)
+	chain, err := Unwrap(outer, resolverFor(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.Layers) != 4 { // user + 3 BBs
+		t.Fatalf("layers = %d, want 4", len(chain.Layers))
+	}
+	var got testRequest
+	if err := json.Unmarshal(chain.Request, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Mbps != 10 {
+		t.Errorf("request = %+v", got)
+	}
+	path := chain.PathDNs()
+	if len(path) != 4 || path[0] != keys[0].DN || path[3] != keys[3].DN {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestUnwrapDetectsInnerTampering(t *testing.T) {
+	keys, outer := buildOnion(t, 2)
+	// Tamper with the innermost layer through the outer payload bytes:
+	// flip a byte inside the encoded inner envelope's payload.
+	var body Body
+	if err := json.Unmarshal(outer.Payload, &body); err != nil {
+		t.Fatal(err)
+	}
+	body.Inner.Payload[10] ^= 0xff
+	// Re-marshal; the outer signature is now stale, so re-sign outer to
+	// simulate a malicious LAST hop modifying an inner layer.
+	payload, _ := json.Marshal(body)
+	sig, _ := keys[len(keys)-1].Sign(payload)
+	outer = &Envelope{SignerDN: keys[len(keys)-1].DN, Payload: payload, Signature: sig}
+	if _, err := Unwrap(outer, resolverFor(keys)); err == nil {
+		t.Fatal("inner tampering went undetected")
+	}
+}
+
+func TestUnwrapRejectsUnknownSigner(t *testing.T) {
+	keys, outer := buildOnion(t, 2)
+	if _, err := Unwrap(outer, resolverFor(keys[:2])); err == nil {
+		t.Fatal("unknown signer accepted")
+	}
+}
+
+func TestUnwrapRejectsEmptyInnermost(t *testing.T) {
+	user := mustKey(t, "alice")
+	env, err := Seal(user, Body{}) // neither Inner nor Request
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unwrap(env, resolverFor([]*identity.KeyPair{user})); err == nil {
+		t.Fatal("empty innermost layer accepted")
+	}
+}
+
+func TestUnwrapDepthBound(t *testing.T) {
+	user := mustKey(t, "deep")
+	env, err := Seal(user, Body{Request: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxDepth+2; i++ {
+		env, err = Seal(user, Body{Inner: env})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Unwrap(env, resolverFor([]*identity.KeyPair{user})); err == nil {
+		t.Fatal("over-deep onion accepted")
+	}
+}
+
+func TestPolicyInfoMergeDownstreamWins(t *testing.T) {
+	keys, outer := buildOnion(t, 3)
+	chain, err := Unwrap(outer, resolverFor(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := chain.PolicyInfo()
+	for i := 0; i < 3; i++ {
+		if info[fmt.Sprintf("hop-%d", i)] != "ok" {
+			t.Errorf("missing policy info from hop %d", i)
+		}
+	}
+	// "last" is written by every hop; the outermost (latest) must win.
+	if info["last"] != "bb-2" {
+		t.Errorf(`info["last"] = %q, want "bb-2"`, info["last"])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	keys, outer := buildOnion(t, 2)
+	data, err := outer.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unwrap(decoded, resolverFor(keys)); err != nil {
+		t.Fatalf("decoded onion fails verification: %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestWireSizeGrowsWithHops(t *testing.T) {
+	_, e1 := buildOnion(t, 1)
+	_, e4 := buildOnion(t, 4)
+	if e4.WireSize() <= e1.WireSize() {
+		t.Errorf("wire size must grow with hops: 1 hop = %d, 4 hops = %d", e1.WireSize(), e4.WireSize())
+	}
+}
+
+func TestPeekBody(t *testing.T) {
+	user := mustKey(t, "alice")
+	env, err := Seal(user, Body{Request: json.RawMessage(`{}`), NextHopDN: "/CN=bb-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := env.PeekBody()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.NextHopDN != "/CN=bb-a" {
+		t.Errorf("NextHopDN = %s", body.NextHopDN)
+	}
+}
+
+func TestSealPreservesExplicitTimestamp(t *testing.T) {
+	user := mustKey(t, "alice")
+	ts := time.Date(2001, 8, 7, 12, 0, 0, 0, time.UTC)
+	env, err := Seal(user, Body{Request: json.RawMessage(`{}`), Timestamp: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := env.Open(user.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !body.Timestamp.Equal(ts) {
+		t.Errorf("timestamp = %v, want %v", body.Timestamp, ts)
+	}
+}

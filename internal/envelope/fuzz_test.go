@@ -1,0 +1,51 @@
+package envelope
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"e2eqos/internal/identity"
+)
+
+// FuzzDecode ensures arbitrary bytes never panic the envelope decoder
+// or the unwrapping machinery.
+func FuzzDecode(f *testing.F) {
+	key, err := identity.GenerateKeyPair("/CN=seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine, err := Seal(key, Body{Request: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := genuine.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"signer_dn":"/CN=x","payload":{},"signature":"AA=="}`))
+	f.Add([]byte(`{"signer_dn":"/CN=x","payload":{"inner":{"signer_dn":"/CN=y","payload":{},"signature":""}},"signature":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`garbage`))
+
+	resolve := func(dn identity.DN, _ []byte) (*ecdsa.PublicKey, error) {
+		if dn == key.DN {
+			return key.Public(), nil
+		}
+		return nil, fmt.Errorf("unknown %s", dn)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Unwrap may fail (bad signature, unknown signer) but must not
+		// panic.
+		_, _ = Unwrap(env, resolve)
+		_, _ = env.PeekBody()
+		_ = env.WireSize()
+	})
+}

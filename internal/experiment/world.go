@@ -1,0 +1,300 @@
+// Package experiment builds complete multi-domain testbeds: per-domain
+// CAs, brokers, policy servers and reservation tables wired over an
+// in-memory network with configurable signalling latency, plus the
+// shared CAS and group servers. Every figure experiment, the bb/gara
+// test suites and the benchmark harness build on it.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"e2eqos/internal/bb"
+	"e2eqos/internal/cas"
+	"e2eqos/internal/cpusched"
+	"e2eqos/internal/disksched"
+	"e2eqos/internal/group"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/policy"
+	"e2eqos/internal/policysrv"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/sla"
+	"e2eqos/internal/topology"
+	"e2eqos/internal/transport"
+	"e2eqos/internal/units"
+)
+
+// WorldConfig parameterises a testbed.
+type WorldConfig struct {
+	// NumDomains builds a linear chain when Topo is nil.
+	NumDomains int
+	// Labels optionally names the domains (default Domain0..N-1).
+	Labels []string
+	// Topo overrides the linear default.
+	Topo *topology.Topology
+	// Capacity is each domain's premium aggregate (default 100 Mb/s).
+	Capacity units.Bandwidth
+	// Capacities overrides Capacity for specific domains.
+	Capacities map[string]units.Bandwidth
+	// SLARate is the contracted peering rate (default Capacity).
+	SLARate units.Bandwidth
+	// Latency is the one-way signalling latency (default 0).
+	Latency time.Duration
+	// Policies maps domain name -> policy; missing domains get
+	// "allow if bw <= avail; deny".
+	Policies map[string]*policy.Policy
+	// IntroducerDepth is each broker's trust-chain limit (default 16).
+	IntroducerDepth int
+	// TrustUserCAEverywhere makes every broker root the user CA — the
+	// requirement of the source-domain baseline ("each BB must know
+	// about (and be able to authenticate) Alice").
+	TrustUserCAEverywhere bool
+	// TrustedGroups lists group names every policy server delegates to
+	// the shared group server.
+	TrustedGroups []string
+	// CPUs gives a domain a CPU manager of that many processors.
+	CPUs map[string]int
+	// Disks gives a domain a disk-bandwidth manager of that rate.
+	Disks map[string]units.Bandwidth
+	// Clock is the shared time source (default time.Now).
+	Clock func() time.Time
+}
+
+// World is a running testbed.
+type World struct {
+	Net     *transport.Network
+	Topo    *topology.Topology
+	Domains []string
+	BBs     map[string]*bb.BB
+	BBCerts map[string]*pki.Certificate
+	// UserCA issues end-user certificates (it is domain 0's CA).
+	UserCA *pki.CA
+	CAS    *cas.Server
+	Groups *group.Server
+	Policy map[string]*policysrv.Server
+	CPU    map[string]*cpusched.Manager
+	Disk   map[string]*disksched.Manager
+	Planes map[string]*bb.DataPlane
+
+	listeners []transport.Listener
+	addrs     map[identity.DN]string
+	clock     func() time.Time
+}
+
+// addrOf is the in-memory address convention for a broker.
+func addrOf(domain string) string { return "bb." + domain }
+
+// BuildWorld assembles and starts a testbed.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 100 * units.Mbps
+	}
+	if cfg.SLARate <= 0 {
+		cfg.SLARate = cfg.Capacity
+	}
+	if cfg.IntroducerDepth <= 0 {
+		cfg.IntroducerDepth = 16
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	topo := cfg.Topo
+	if topo == nil {
+		if cfg.NumDomains < 1 {
+			return nil, fmt.Errorf("experiment: need at least one domain")
+		}
+		var err error
+		topo, err = topology.Linear(cfg.NumDomains, cfg.Capacity, cfg.Labels...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w := &World{
+		Net:     transport.NewNetwork(cfg.Latency),
+		Topo:    topo,
+		Domains: topo.Domains(),
+		BBs:     make(map[string]*bb.BB),
+		BBCerts: make(map[string]*pki.Certificate),
+		Policy:  make(map[string]*policysrv.Server),
+		CPU:     make(map[string]*cpusched.Manager),
+		Disk:    make(map[string]*disksched.Manager),
+		Planes:  make(map[string]*bb.DataPlane),
+		addrs:   make(map[identity.DN]string),
+		clock:   cfg.Clock,
+	}
+
+	// Shared authorization infrastructure.
+	casKey, err := identity.GenerateKeyPair(identity.NewDN("ESnet", "", "CAS"))
+	if err != nil {
+		return nil, err
+	}
+	w.CAS = cas.NewServer(casKey, "ESnet", 12*time.Hour)
+	gsKey, err := identity.GenerateKeyPair(identity.NewDN("CERN", "", "vo-server"))
+	if err != nil {
+		return nil, err
+	}
+	w.Groups = group.NewServer(gsKey, time.Hour)
+
+	// Per-domain material.
+	type domainMaterial struct {
+		ca    *pki.CA
+		key   *identity.KeyPair
+		cert  *pki.Certificate
+		trust *pki.TrustStore
+	}
+	mat := make(map[string]*domainMaterial, len(w.Domains))
+	for i, name := range w.Domains {
+		ca, err := pki.NewCA(identity.NewDN("Grid", name, "CA"))
+		if err != nil {
+			return nil, err
+		}
+		d, _ := topo.Domain(name)
+		key, err := identity.GenerateKeyPair(d.BBDN)
+		if err != nil {
+			return nil, err
+		}
+		cert, err := ca.IssueIdentity(key.DN, key.Public(), 0, "bb")
+		if err != nil {
+			return nil, err
+		}
+		trust := pki.NewTrustStore(cfg.IntroducerDepth)
+		mat[name] = &domainMaterial{ca: ca, key: key, cert: cert, trust: trust}
+		w.BBCerts[name] = cert
+		w.addrs[key.DN] = addrOf(name)
+		if i == 0 {
+			w.UserCA = ca
+		}
+	}
+
+	// Trust wiring: each broker roots its own CA (local users), pins
+	// its peers, and — in baseline mode — roots the user CA.
+	for name, m := range mat {
+		own := &pki.Certificate{Cert: m.ca.Certificate(), DER: m.ca.CertificateDER()}
+		if err := m.trust.AddRoot(own); err != nil {
+			return nil, err
+		}
+		if cfg.TrustUserCAEverywhere && w.UserCA != nil {
+			userRoot := &pki.Certificate{Cert: w.UserCA.Certificate(), DER: w.UserCA.CertificateDER()}
+			if err := m.trust.AddRoot(userRoot); err != nil {
+				return nil, err
+			}
+		}
+		for _, neighbor := range topo.Neighbors(name) {
+			nm := mat[neighbor]
+			m.trust.PinPeer(nm.key.DN, nm.key.Public())
+		}
+	}
+
+	// Brokers.
+	for _, name := range w.Domains {
+		m := mat[name]
+		pol := cfg.Policies[name]
+		if pol == nil {
+			pol = policy.MustParse("default-"+name, "allow if bw <= avail\ndeny")
+		}
+		ps := policysrv.New(name, pol)
+		ps.SetClock(cfg.Clock)
+		ps.TrustCAS(w.CAS.Community(), w.CAS.Key().Public())
+		for _, g := range cfg.TrustedGroups {
+			ps.TrustGroupServer(g, w.Groups)
+		}
+		w.Policy[name] = ps
+
+		inbound := make(map[string]*sla.SLA)
+		peerCerts := make(map[identity.DN]*pki.Certificate)
+		for _, neighbor := range topo.Neighbors(name) {
+			nm := mat[neighbor]
+			inbound[neighbor] = &sla.SLA{
+				Upstream:   neighbor,
+				Downstream: name,
+				Service: sla.SLS{
+					Profile:     sla.TrafficProfile{Rate: cfg.SLARate, BucketBytes: 64_000},
+					Excess:      sla.Drop,
+					MaxLatency:  5 * time.Millisecond,
+					Reliability: 0.999,
+				},
+				UpstreamBBDN:        nm.key.DN,
+				DownstreamBBDN:      m.key.DN,
+				UpstreamBBCertDER:   nm.cert.DER,
+				DownstreamBBCertDER: m.cert.DER,
+			}
+			peerCerts[nm.key.DN] = nm.cert
+		}
+
+		var cpuMgr *cpusched.Manager
+		if n := cfg.CPUs[name]; n > 0 {
+			cpuMgr, err = cpusched.NewManager(name, n)
+			if err != nil {
+				return nil, err
+			}
+			w.CPU[name] = cpuMgr
+		}
+		var diskMgr *disksched.Manager
+		if rate := cfg.Disks[name]; rate > 0 {
+			diskMgr, err = disksched.NewManager(name, rate)
+			if err != nil {
+				return nil, err
+			}
+			w.Disk[name] = diskMgr
+		}
+
+		endpoint := w.Net.NewEndpoint(m.key.DN, m.cert.DER)
+		plane := &bb.DataPlane{}
+		w.Planes[name] = plane
+		capacity := cfg.Capacity
+		if c, ok := cfg.Capacities[name]; ok {
+			capacity = c
+		}
+		broker, err := bb.New(bb.Config{
+			Domain:      name,
+			Key:         m.key,
+			Cert:        m.cert,
+			Trust:       m.trust,
+			Policy:      ps,
+			Capacity:    capacity,
+			Topo:        topo,
+			InboundSLAs: inbound,
+			PeerCerts:   peerCerts,
+			PeerAddrs:   w.addrs,
+			Dialer:      endpoint,
+			CPU:         cpuMgr,
+			Disk:        diskMgr,
+			Plane:       plane,
+			Clock:       cfg.Clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.BBs[name] = broker
+		ln, err := endpoint.Listen(addrOf(name))
+		if err != nil {
+			return nil, err
+		}
+		w.listeners = append(w.listeners, ln)
+		go signalling.Serve(ln, broker)
+	}
+	return w, nil
+}
+
+// Close stops all listeners and brokers.
+func (w *World) Close() {
+	for _, ln := range w.listeners {
+		ln.Close()
+	}
+	for _, broker := range w.BBs {
+		broker.Close()
+	}
+}
+
+// SourceDomain returns the first domain (where users live by default).
+func (w *World) SourceDomain() string { return w.Domains[0] }
+
+// DestDomain returns the last domain.
+func (w *World) DestDomain() string { return w.Domains[len(w.Domains)-1] }
+
+// BBAddr returns the signalling address of a domain's broker.
+func (w *World) BBAddr(domain string) string { return addrOf(domain) }
+
+// Clock returns the shared time source.
+func (w *World) Clock() func() time.Time { return w.clock }

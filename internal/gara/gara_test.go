@@ -1,0 +1,226 @@
+package gara_test
+
+import (
+	"testing"
+	"time"
+
+	"e2eqos/internal/experiment"
+	"e2eqos/internal/gara"
+	"e2eqos/internal/units"
+)
+
+func buildWorld(t *testing.T, domains int, universalTrust bool) *experiment.World {
+	t.Helper()
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains:            domains,
+		Capacity:              100 * units.Mbps,
+		TrustUserCAEverywhere: universalTrust,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func newUser(t *testing.T, w *experiment.World, name string) *experiment.User {
+	t.Helper()
+	u, err := w.NewUser(name, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	return u
+}
+
+func TestStrategiesGrantAndCommit(t *testing.T) {
+	for _, strat := range []gara.Strategy{gara.Sequential, gara.Concurrent, gara.HopByHop} {
+		t.Run(strat.String(), func(t *testing.T) {
+			w := buildWorld(t, 4, true)
+			u := newUser(t, w, "alice")
+			api := gara.NewNetworkAPI(w.Topo)
+			spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 10 * units.Mbps})
+			res, err := api.Reserve(u, spec, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Granted {
+				t.Fatalf("denied: %s", res.Reason)
+			}
+			at := spec.Window.Start.Add(time.Minute)
+			for _, dom := range w.Domains {
+				if got := w.BBs[dom].Table().CommittedAt(at); got != 10*units.Mbps {
+					t.Errorf("%s committed = %v", dom, got)
+				}
+			}
+			if err := api.Cancel(u, spec, strat); err != nil {
+				t.Fatalf("cancel: %v", err)
+			}
+			for _, dom := range w.Domains {
+				if got := w.BBs[dom].Table().CommittedAt(at); got != 0 {
+					t.Errorf("%s committed after cancel = %v", dom, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSourceDomainRollbackOnFailure(t *testing.T) {
+	// Fill the last domain so it denies; sequential and concurrent
+	// must roll the earlier domains back.
+	for _, strat := range []gara.Strategy{gara.Sequential, gara.Concurrent} {
+		t.Run(strat.String(), func(t *testing.T) {
+			w := buildWorld(t, 3, true)
+			u := newUser(t, w, "alice")
+			api := gara.NewNetworkAPI(w.Topo)
+			// Exhaust the destination domain.
+			filler := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 100 * units.Mbps})
+			if res, err := u.ReserveLocalAt(w.DestDomain(), filler); err != nil || !res.Granted {
+				t.Fatalf("filler failed: %v %+v", err, res)
+			}
+			spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 10 * units.Mbps})
+			spec.Window = filler.Window
+			res, err := api.Reserve(u, spec, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Granted {
+				t.Fatal("grant despite exhausted destination")
+			}
+			at := spec.Window.Start.Add(time.Minute)
+			for _, dom := range w.Domains[:len(w.Domains)-1] {
+				if got := w.BBs[dom].Table().CommittedAt(at); got != 0 {
+					t.Errorf("%s not rolled back: %v", dom, got)
+				}
+			}
+		})
+	}
+}
+
+func TestMisreservationPossibleWithSourceDomainSignalling(t *testing.T) {
+	// The Figure 4 attack: David "modifies the implementation to skip
+	// a domain": he reserves locally in all domains EXCEPT the
+	// destination. Source-domain signalling cannot prevent this.
+	w := buildWorld(t, 3, true)
+	david := newUser(t, w, "david")
+	spec := david.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 50 * units.Mbps})
+	for _, dom := range w.Domains[:len(w.Domains)-1] {
+		res, err := david.ReserveLocalAt(dom, spec)
+		if err != nil || !res.Granted {
+			t.Fatalf("local reservation at %s failed: %v %+v", dom, err, res)
+		}
+	}
+	at := spec.Window.Start.Add(time.Minute)
+	if got := w.BBs[w.Domains[1]].Table().CommittedAt(at); got != 50*units.Mbps {
+		t.Errorf("intermediate commitment = %v, want 50Mb/s (the attack state)", got)
+	}
+	if got := w.BBs[w.DestDomain()].Table().CommittedAt(at); got != 0 {
+		t.Errorf("destination commitment = %v, want 0 (skipped)", got)
+	}
+}
+
+func TestCoordinatorBaseline(t *testing.T) {
+	// Only the RC's CA needs universal trust; end users stay unknown
+	// to remote domains. We model this with the RC as a trusted user.
+	w := buildWorld(t, 3, true)
+	rc := newUser(t, w, "reservation-coordinator")
+	endUser := newUser(t, w, "alice")
+	api := gara.NewNetworkAPI(w.Topo)
+	coord := gara.NewCoordinator(api, rc)
+
+	spec := endUser.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 10 * units.Mbps})
+	rcSpec, res, err := coord.ReserveFor(spec, gara.Concurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Granted {
+		t.Fatalf("RC reservation denied: %s", res.Reason)
+	}
+	if rcSpec.User != rc.DN() {
+		t.Errorf("RC spec user = %s", rcSpec.User)
+	}
+	if _, _, err := coord.ReserveFor(spec, gara.HopByHop); err == nil {
+		t.Error("coordinator accepted hop-by-hop strategy")
+	}
+}
+
+func TestCoReservationNetworkPlusCPU(t *testing.T) {
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains: 3,
+		Capacity:   100 * units.Mbps,
+		CPUs:       map[string]int{"Domain2": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u := newUser(t, w, "alice")
+	api := gara.NewNetworkAPI(w.Topo)
+	co := &gara.CoReserver{API: api, CPU: w.CPU["Domain2"]}
+
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: "Domain2", Bandwidth: 10 * units.Mbps})
+	handles, res, err := co.Reserve(u, gara.CoRequest{Spec: spec, CPUs: 4}, gara.HopByHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Granted {
+		t.Fatalf("co-reservation denied: %s", res.Reason)
+	}
+	if len(handles) != 2 {
+		t.Fatalf("handles = %v", handles)
+	}
+	if handles[0].Type != gara.CPU || handles[1].Type != gara.Network {
+		t.Errorf("handle types = %v", handles)
+	}
+	if spec.LinkedHandles["cpu"] == "" {
+		t.Error("CPU handle not linked into the network spec")
+	}
+	if w.CPU["Domain2"].Available(spec.Window) != 4 {
+		t.Errorf("CPU pool = %d free, want 4", w.CPU["Domain2"].Available(spec.Window))
+	}
+}
+
+func TestCoReservationRollsBackCPUOnNetworkFailure(t *testing.T) {
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains: 3,
+		Capacity:   20 * units.Mbps,
+		CPUs:       map[string]int{"Domain2": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u := newUser(t, w, "alice")
+	api := gara.NewNetworkAPI(w.Topo)
+	co := &gara.CoReserver{API: api, CPU: w.CPU["Domain2"]}
+
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: "Domain2", Bandwidth: 50 * units.Mbps}) // beyond capacity
+	_, res, err := co.Reserve(u, gara.CoRequest{Spec: spec, CPUs: 4}, gara.HopByHop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Granted {
+		t.Fatal("over-capacity network reservation granted")
+	}
+	if got := w.CPU["Domain2"].Available(spec.Window); got != 8 {
+		t.Errorf("CPU pool = %d free after rollback, want 8", got)
+	}
+}
+
+func TestCoReservationMissingManager(t *testing.T) {
+	w := buildWorld(t, 2, false)
+	u := newUser(t, w, "alice")
+	api := gara.NewNetworkAPI(w.Topo)
+	co := &gara.CoReserver{API: api} // no CPU manager
+	spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+	if _, _, err := co.Reserve(u, gara.CoRequest{Spec: spec, CPUs: 2}, gara.HopByHop); err == nil {
+		t.Fatal("co-reservation without CPU manager succeeded")
+	}
+}
+
+func TestHandleString(t *testing.T) {
+	h := gara.Handle{Type: gara.Network, Domain: "", ID: "RAR-1"}
+	if h.String() != "network::RAR-1" {
+		t.Errorf("String = %q", h.String())
+	}
+}

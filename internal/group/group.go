@@ -1,0 +1,138 @@
+// Package group implements the third-party group membership servers
+// the paper's trust model delegates to: "domain B agrees to provide
+// resources to anyone whom a third party accredits as a 'physicist'".
+//
+// A bandwidth broker receiving the assertion "I am a physicist"
+// verifies it by asking the group server named in its policy; the
+// server answers with a signed attestation that the broker (and
+// downstream brokers) can check offline and cache.
+package group
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"e2eqos/internal/identity"
+)
+
+// Attestation is a signed statement that User belongs to Group until
+// Expires.
+type Attestation struct {
+	ServerDN identity.DN `json:"server_dn"`
+	User     identity.DN `json:"user"`
+	Group    string      `json:"group"`
+	Expires  time.Time   `json:"expires"`
+	// Signature is the server's signature over the canonical payload.
+	Signature []byte `json:"signature"`
+}
+
+func attestationPayload(server, user identity.DN, group string, expires time.Time) []byte {
+	return []byte(fmt.Sprintf("group-attestation|%s|%s|%s|%d", server, user, group, expires.UnixNano()))
+}
+
+// Server validates group membership assertions. It is safe for
+// concurrent use.
+type Server struct {
+	key *identity.KeyPair
+	ttl time.Duration
+
+	mu      sync.RWMutex
+	members map[string]map[identity.DN]bool
+}
+
+// NewServer creates a group server signing with key; attestations are
+// valid for ttl (default 1 hour).
+func NewServer(key *identity.KeyPair, ttl time.Duration) *Server {
+	if ttl <= 0 {
+		ttl = time.Hour
+	}
+	return &Server{key: key, ttl: ttl, members: make(map[string]map[identity.DN]bool)}
+}
+
+// DN returns the server identity.
+func (s *Server) DN() identity.DN { return s.key.DN }
+
+// Key returns the server key pair (its public half is what verifiers
+// pin).
+func (s *Server) Key() *identity.KeyPair { return s.key }
+
+// AddMember enrols user in group.
+func (s *Server) AddMember(group string, user identity.DN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.members[group] == nil {
+		s.members[group] = make(map[identity.DN]bool)
+	}
+	s.members[group][user] = true
+}
+
+// RemoveMember withdraws a membership.
+func (s *Server) RemoveMember(group string, user identity.DN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.members[group], user)
+}
+
+// IsMember reports current membership.
+func (s *Server) IsMember(group string, user identity.DN) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.members[group][user]
+}
+
+// Validate checks the membership assertion and, when valid, returns a
+// signed attestation.
+func (s *Server) Validate(user identity.DN, group string) (*Attestation, error) {
+	if !s.IsMember(group, user) {
+		return nil, fmt.Errorf("group: %s is not a member of %q", user, group)
+	}
+	expires := time.Now().Add(s.ttl)
+	payload := attestationPayload(s.key.DN, user, group, expires)
+	sig, err := s.key.Sign(payload)
+	if err != nil {
+		return nil, fmt.Errorf("group: signing attestation: %w", err)
+	}
+	return &Attestation{
+		ServerDN:  s.key.DN,
+		User:      user,
+		Group:     group,
+		Expires:   expires,
+		Signature: sig,
+	}, nil
+}
+
+// VerifyAttestation checks an attestation against the issuing server's
+// public key and the clock.
+func VerifyAttestation(a *Attestation, serverKey *identity.KeyPair, at time.Time) error {
+	return verifyAttestation(a, serverKey, at)
+}
+
+func verifyAttestation(a *Attestation, serverKey *identity.KeyPair, at time.Time) error {
+	if a == nil {
+		return fmt.Errorf("group: nil attestation")
+	}
+	if at.After(a.Expires) {
+		return fmt.Errorf("group: attestation for %s in %q expired at %s", a.User, a.Group, a.Expires)
+	}
+	payload := attestationPayload(a.ServerDN, a.User, a.Group, a.Expires)
+	if err := identity.Verify(serverKey.Public(), payload, a.Signature); err != nil {
+		return fmt.Errorf("group: attestation signature: %w", err)
+	}
+	return nil
+}
+
+// Encode serialises the attestation for transport inside policy info.
+func (a *Attestation) Encode() ([]byte, error) {
+	return json.Marshal(a)
+}
+
+// DecodeAttestation reverses Encode.
+func DecodeAttestation(data []byte) (*Attestation, error) {
+	var a Attestation
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("group: decode attestation: %w", err)
+	}
+	return &a, nil
+}

@@ -1,0 +1,224 @@
+// Package identity provides the naming and signing primitives shared by
+// every entity in the architecture: users, bandwidth brokers, policy
+// servers, community authorization servers and certificate authorities.
+//
+// Entities are identified by an X.500-style distinguished name (DN) such
+// as "/O=Grid/OU=DomainA/CN=bb-a". Each entity owns an ECDSA P-256 key
+// pair used both for TLS channel authentication and for the detached
+// message signatures that implement the paper's nested RAR envelopes.
+package identity
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DN is an X.500-style distinguished name. The canonical form is a
+// "/"-joined sequence of attribute=value pairs, e.g.
+// "/O=Grid/OU=DomainA/CN=Alice".
+type DN string
+
+// NewDN assembles a DN from organization, organizational unit and common
+// name; empty components are omitted.
+func NewDN(org, unit, common string) DN {
+	var b strings.Builder
+	if org != "" {
+		fmt.Fprintf(&b, "/O=%s", org)
+	}
+	if unit != "" {
+		fmt.Fprintf(&b, "/OU=%s", unit)
+	}
+	if common != "" {
+		fmt.Fprintf(&b, "/CN=%s", common)
+	}
+	return DN(b.String())
+}
+
+// CommonName extracts the CN component, or "" when absent.
+func (d DN) CommonName() string {
+	for _, part := range strings.Split(string(d), "/") {
+		if strings.HasPrefix(part, "CN=") {
+			return strings.TrimPrefix(part, "CN=")
+		}
+	}
+	return ""
+}
+
+// Org extracts the O component, or "" when absent.
+func (d DN) Org() string {
+	for _, part := range strings.Split(string(d), "/") {
+		if strings.HasPrefix(part, "O=") {
+			return strings.TrimPrefix(part, "O=")
+		}
+	}
+	return ""
+}
+
+// Unit extracts the OU component, or "" when absent.
+func (d DN) Unit() string {
+	for _, part := range strings.Split(string(d), "/") {
+		if strings.HasPrefix(part, "OU=") {
+			return strings.TrimPrefix(part, "OU=")
+		}
+	}
+	return ""
+}
+
+// Valid reports whether the DN has at least one non-empty component in
+// canonical form.
+func (d DN) Valid() bool {
+	if d == "" || !strings.HasPrefix(string(d), "/") {
+		return false
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(string(d), "/"), "/") {
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 || eq == len(part)-1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (d DN) String() string { return string(d) }
+
+// KeyPair is an ECDSA P-256 key pair bound to a DN.
+type KeyPair struct {
+	DN      DN
+	Private *ecdsa.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh P-256 key pair for the given DN.
+func GenerateKeyPair(dn DN) (*KeyPair, error) {
+	if !dn.Valid() {
+		return nil, fmt.Errorf("identity: invalid DN %q", dn)
+	}
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("identity: generating key for %s: %w", dn, err)
+	}
+	return &KeyPair{DN: dn, Private: priv}, nil
+}
+
+// Public returns the public half of the pair.
+func (k *KeyPair) Public() *ecdsa.PublicKey { return &k.Private.PublicKey }
+
+// Sign produces an ASN.1 DER ECDSA signature over SHA-256(msg).
+func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
+	if k == nil || k.Private == nil {
+		return nil, errors.New("identity: nil key pair")
+	}
+	sum := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, k.Private, sum[:])
+	if err != nil {
+		return nil, fmt.Errorf("identity: signing as %s: %w", k.DN, err)
+	}
+	return sig, nil
+}
+
+// Verify checks an ASN.1 DER ECDSA signature over SHA-256(msg) against
+// the given public key.
+func Verify(pub *ecdsa.PublicKey, msg, sig []byte) error {
+	if pub == nil {
+		return errors.New("identity: nil public key")
+	}
+	sum := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(pub, sum[:], sig) {
+		return errors.New("identity: signature verification failed")
+	}
+	return nil
+}
+
+// MarshalPublicKey encodes a public key in PKIX DER form.
+func MarshalPublicKey(pub *ecdsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("identity: marshal public key: %w", err)
+	}
+	return der, nil
+}
+
+// ParsePublicKey decodes a PKIX DER public key and requires it to be
+// ECDSA.
+func ParsePublicKey(der []byte) (*ecdsa.PublicKey, error) {
+	pub, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("identity: parse public key: %w", err)
+	}
+	ec, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("identity: public key is %T, want *ecdsa.PublicKey", pub)
+	}
+	return ec, nil
+}
+
+// KeyFingerprint returns a short, stable identifier for a public key:
+// base64 (raw URL alphabet) of the first 12 bytes of SHA-256 over the
+// PKIX encoding.
+func KeyFingerprint(pub *ecdsa.PublicKey) string {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return "invalid-key"
+	}
+	sum := sha256.Sum256(der)
+	return base64.RawURLEncoding.EncodeToString(sum[:12])
+}
+
+// Attributes is a set of attribute-value assertions about a principal,
+// e.g. group memberships ("group" -> "ATLAS"). Values of the same key
+// accumulate.
+type Attributes map[string][]string
+
+// Add appends a value under key, skipping duplicates.
+func (a Attributes) Add(key, value string) {
+	for _, v := range a[key] {
+		if v == value {
+			return
+		}
+	}
+	a[key] = append(a[key], value)
+}
+
+// Has reports whether key carries value.
+func (a Attributes) Has(key, value string) bool {
+	for _, v := range a[key] {
+		if v == value {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the attribute set.
+func (a Attributes) Clone() Attributes {
+	out := make(Attributes, len(a))
+	for k, vs := range a {
+		out[k] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// Canonical renders the attributes deterministically, for signing.
+func (a Attributes) Canonical() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		vs := append([]string(nil), a[k]...)
+		sort.Strings(vs)
+		for _, v := range vs {
+			fmt.Fprintf(&b, "%s=%s;", k, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDNAndComponents(t *testing.T) {
+	dn := NewDN("Grid", "DomainA", "Alice")
+	if got, want := string(dn), "/O=Grid/OU=DomainA/CN=Alice"; got != want {
+		t.Fatalf("NewDN = %q, want %q", got, want)
+	}
+	if dn.CommonName() != "Alice" {
+		t.Errorf("CommonName = %q", dn.CommonName())
+	}
+	if dn.Org() != "Grid" {
+		t.Errorf("Org = %q", dn.Org())
+	}
+	if dn.Unit() != "DomainA" {
+		t.Errorf("Unit = %q", dn.Unit())
+	}
+}
+
+func TestNewDNOmitsEmpty(t *testing.T) {
+	dn := NewDN("", "", "bb-a")
+	if string(dn) != "/CN=bb-a" {
+		t.Errorf("NewDN with only CN = %q", dn)
+	}
+	if dn.Org() != "" || dn.Unit() != "" {
+		t.Error("missing components must be empty strings")
+	}
+}
+
+func TestDNValid(t *testing.T) {
+	valid := []DN{"/CN=x", "/O=Grid/CN=a", NewDN("a", "b", "c")}
+	for _, d := range valid {
+		if !d.Valid() {
+			t.Errorf("DN %q should be valid", d)
+		}
+	}
+	invalid := []DN{"", "CN=x", "/CN=", "/=x", "/CN"}
+	for _, d := range invalid {
+		if d.Valid() {
+			t.Errorf("DN %q should be invalid", d)
+		}
+	}
+}
+
+func TestGenerateKeyPairRejectsInvalidDN(t *testing.T) {
+	if _, err := GenerateKeyPair("not-a-dn"); err == nil {
+		t.Fatal("expected error for invalid DN")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kp, err := GenerateKeyPair(NewDN("Grid", "A", "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("reservation request: 10Mb/s A->C")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(kp.Public(), msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := Verify(kp.Public(), append(msg, 'x'), sig); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	other, _ := GenerateKeyPair(NewDN("Grid", "B", "bob"))
+	if err := Verify(other.Public(), msg, sig); err == nil {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestSignNilKey(t *testing.T) {
+	var kp *KeyPair
+	if _, err := kp.Sign([]byte("x")); err == nil {
+		t.Fatal("nil key pair should fail to sign")
+	}
+	if err := Verify(nil, []byte("x"), []byte("y")); err == nil {
+		t.Fatal("nil public key should fail to verify")
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	kp, err := GenerateKeyPair(NewDN("Grid", "A", "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := MarshalPublicKey(kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParsePublicKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(kp.Public()) {
+		t.Fatal("public key round trip mismatch")
+	}
+	if KeyFingerprint(pub) != KeyFingerprint(kp.Public()) {
+		t.Fatal("fingerprints differ after round trip")
+	}
+}
+
+func TestParsePublicKeyErrors(t *testing.T) {
+	if _, err := ParsePublicKey([]byte("garbage")); err == nil {
+		t.Fatal("garbage DER should not parse")
+	}
+}
+
+func TestKeyFingerprintDistinct(t *testing.T) {
+	a, _ := GenerateKeyPair(NewDN("Grid", "A", "a"))
+	b, _ := GenerateKeyPair(NewDN("Grid", "B", "b"))
+	if KeyFingerprint(a.Public()) == KeyFingerprint(b.Public()) {
+		t.Fatal("distinct keys produced identical fingerprints")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	a := Attributes{}
+	a.Add("group", "ATLAS")
+	a.Add("group", "ATLAS") // duplicate ignored
+	a.Add("group", "CMS")
+	a.Add("role", "physicist")
+	if !a.Has("group", "ATLAS") || !a.Has("group", "CMS") || !a.Has("role", "physicist") {
+		t.Fatal("expected attributes missing")
+	}
+	if a.Has("group", "LHCb") {
+		t.Fatal("unexpected attribute present")
+	}
+	if len(a["group"]) != 2 {
+		t.Fatalf("duplicate add not ignored: %v", a["group"])
+	}
+}
+
+func TestAttributesClone(t *testing.T) {
+	a := Attributes{}
+	a.Add("group", "ATLAS")
+	b := a.Clone()
+	b.Add("group", "CMS")
+	if a.Has("group", "CMS") {
+		t.Fatal("clone is not independent")
+	}
+}
+
+func TestAttributesCanonicalDeterministic(t *testing.T) {
+	a := Attributes{}
+	a.Add("z", "1")
+	a.Add("a", "2")
+	a.Add("a", "1")
+	b := Attributes{}
+	b.Add("a", "1")
+	b.Add("a", "2")
+	b.Add("z", "1")
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical forms differ: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	if !strings.HasPrefix(a.Canonical(), "a=1;") {
+		t.Fatalf("canonical not sorted: %q", a.Canonical())
+	}
+}
+
+func TestAttributesCanonicalProperty(t *testing.T) {
+	// Canonical form must be insensitive to insertion order.
+	f := func(keys, vals []string) bool {
+		a := Attributes{}
+		b := Attributes{}
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			a.Add(keys[i], vals[i])
+		}
+		for i := n - 1; i >= 0; i-- {
+			b.Add(keys[i], vals[i])
+		}
+		return a.Canonical() == b.Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"time"
+
+	"e2eqos/internal/dsim"
+	"e2eqos/internal/units"
+)
+
+// OnOffSource is a bursty traffic generator: it alternates ON periods
+// (emitting at PeakRate) and OFF periods (silent). Bursty sources are
+// what token-bucket profiles are negotiated for — the bucket absorbs
+// bursts whose size stays under the SLS burst allowance while the
+// long-term average stays at rate·duty.
+type OnOffSource struct {
+	sim      *dsim.Sim
+	Flow     FlowID
+	PeakRate units.Bandwidth
+	Size     int
+	Class    Class
+	Next     Receiver
+	// OnTime / OffTime are the mean period lengths; each actual period
+	// is drawn uniformly from [0.5, 1.5) of the mean with a
+	// deterministic per-flow PRNG.
+	OnTime  time.Duration
+	OffTime time.Duration
+
+	stop    time.Duration
+	on      bool
+	emitted int64
+	rng     uint64
+}
+
+// NewOnOffSource creates a bursty source; call Install to start.
+func NewOnOffSource(sim *dsim.Sim, flow FlowID, peak units.Bandwidth, pktSize int, class Class, onTime, offTime time.Duration, next Receiver) *OnOffSource {
+	return &OnOffSource{
+		sim:      sim,
+		Flow:     flow,
+		PeakRate: peak,
+		Size:     pktSize,
+		Class:    class,
+		Next:     next,
+		OnTime:   onTime,
+		OffTime:  offTime,
+	}
+}
+
+// MeanRate returns the long-term average rate implied by the duty
+// cycle.
+func (s *OnOffSource) MeanRate() units.Bandwidth {
+	total := s.OnTime + s.OffTime
+	if total <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(s.PeakRate) * float64(s.OnTime) / float64(total))
+}
+
+// Emitted returns the number of packets generated so far.
+func (s *OnOffSource) Emitted() int64 { return s.emitted }
+
+// Install schedules the first ON period. Stop of zero runs until the
+// simulation horizon.
+func (s *OnOffSource) Install(start, stop time.Duration) error {
+	s.stop = stop
+	_, err := s.sim.Schedule(start, s.beginOn)
+	return err
+}
+
+func (s *OnOffSource) nextRand() float64 {
+	if s.rng == 0 {
+		s.rng = 0xA076_1D64_78BD_642F
+		for _, b := range []byte(s.Flow) {
+			s.rng = (s.rng ^ uint64(b)) * 0x100000001B3
+		}
+		if s.rng == 0 {
+			s.rng = 1
+		}
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return float64(s.rng>>11) / float64(1<<53)
+}
+
+// period draws a uniform [0.5, 1.5) multiple of the mean.
+func (s *OnOffSource) period(mean time.Duration) time.Duration {
+	return time.Duration(float64(mean) * (0.5 + s.nextRand()))
+}
+
+func (s *OnOffSource) done() bool {
+	return s.stop > 0 && s.sim.Now() >= s.stop
+}
+
+func (s *OnOffSource) beginOn() {
+	if s.done() {
+		return
+	}
+	s.on = true
+	end := s.sim.Now() + s.period(s.OnTime)
+	if _, err := s.sim.Schedule(end, s.beginOff); err != nil {
+		return
+	}
+	s.emit(end)
+}
+
+func (s *OnOffSource) beginOff() {
+	s.on = false
+	if s.done() {
+		return
+	}
+	_, _ = s.sim.After(s.period(s.OffTime), s.beginOn)
+}
+
+// interval is the inter-packet gap while ON.
+func (s *OnOffSource) interval() time.Duration {
+	if s.PeakRate <= 0 {
+		return time.Hour
+	}
+	secs := float64(s.Size*8) / float64(s.PeakRate)
+	return time.Duration(secs * float64(time.Second))
+}
+
+func (s *OnOffSource) emit(onEnd time.Duration) {
+	if !s.on || s.done() || s.sim.Now() >= onEnd {
+		return
+	}
+	s.emitted++
+	s.Next.Receive(newPacket(s.Flow, s.Size, s.Class, s.sim.Now()))
+	_, _ = s.sim.After(s.interval(), func() { s.emit(onEnd) })
+}

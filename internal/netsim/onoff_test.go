@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"e2eqos/internal/dsim"
+	"e2eqos/internal/sla"
+	"e2eqos/internal/units"
+)
+
+func TestOnOffMeanRate(t *testing.T) {
+	s := &OnOffSource{PeakRate: 20 * units.Mbps, OnTime: 10 * time.Millisecond, OffTime: 10 * time.Millisecond}
+	if got := s.MeanRate(); got != 10*units.Mbps {
+		t.Errorf("mean rate = %v, want 10Mb/s", got)
+	}
+	s.OffTime = 30 * time.Millisecond
+	if got := s.MeanRate(); got != 5*units.Mbps {
+		t.Errorf("mean rate = %v, want 5Mb/s", got)
+	}
+	s.OnTime, s.OffTime = 0, 0
+	if s.MeanRate() != 0 {
+		t.Error("degenerate duty cycle must yield zero")
+	}
+}
+
+func TestOnOffDeliversApproximateMeanRate(t *testing.T) {
+	sim := dsim.New()
+	sink := NewSink(sim)
+	src := NewOnOffSource(sim, "bursty", 20*units.Mbps, 1250, BestEffort,
+		10*time.Millisecond, 10*time.Millisecond, sink)
+	if err := src.Install(0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(3 * time.Second)
+	st := sink.Stats("bursty")
+	if st == nil {
+		t.Fatal("no packets delivered")
+	}
+	gp := st.Goodput(0, 2*time.Second)
+	// Mean is 10 Mb/s; the random duty cycle wanders, allow ±30%.
+	if gp < 7e6 || gp > 13e6 {
+		t.Errorf("goodput = %.2f Mb/s, want ~10", gp/1e6)
+	}
+}
+
+func TestOnOffBurstsAbsorbedByMatchingBucket(t *testing.T) {
+	// A bursty flow whose burst volume fits the negotiated bucket must
+	// stay entirely premium through the edge marker.
+	sim := dsim.New()
+	sink := NewSink(sim)
+	marker := NewEdgeMarker(sim, sink)
+	// 20 Mb/s peak for up to 15 ms = max 37.5 kB burst; profile rate
+	// equals the mean (10 Mb/s) with a 40 kB bucket.
+	marker.InstallReservation("bursty", sla.TrafficProfile{Rate: 10 * units.Mbps, BucketBytes: 40_000})
+	src := NewOnOffSource(sim, "bursty", 20*units.Mbps, 1250, BestEffort,
+		10*time.Millisecond, 10*time.Millisecond, sink)
+	src.Next = marker
+	if err := src.Install(0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(3 * time.Second)
+	st := sink.Stats("bursty")
+	if st == nil {
+		t.Fatal("no packets delivered")
+	}
+	be := st.RxBytesByCls[BestEffort]
+	prem := st.RxBytesByCls[Premium]
+	if prem == 0 {
+		t.Fatal("nothing marked premium")
+	}
+	if float64(be) > 0.05*float64(prem+be) {
+		t.Errorf("%.1f%% of a conforming bursty flow was demoted", 100*float64(be)/float64(prem+be))
+	}
+}
+
+func TestOnOffBurstsClippedByTightBucket(t *testing.T) {
+	// The same flow against a tiny bucket: bursts must overflow and be
+	// demoted, even though the mean rate matches.
+	sim := dsim.New()
+	sink := NewSink(sim)
+	marker := NewEdgeMarker(sim, sink)
+	marker.InstallReservation("bursty", sla.TrafficProfile{Rate: 10 * units.Mbps, BucketBytes: 2_500})
+	src := NewOnOffSource(sim, "bursty", 20*units.Mbps, 1250, BestEffort,
+		10*time.Millisecond, 10*time.Millisecond, marker)
+	if err := src.Install(0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(3 * time.Second)
+	if marker.Drops.Remarked == 0 {
+		t.Error("tight bucket never clipped the bursts")
+	}
+}
+
+func TestOnOffRespectsStopTime(t *testing.T) {
+	sim := dsim.New()
+	sink := NewSink(sim)
+	src := NewOnOffSource(sim, "s", 10*units.Mbps, 1250, BestEffort,
+		5*time.Millisecond, 5*time.Millisecond, sink)
+	if err := src.Install(0, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(time.Second)
+	st := sink.Stats("s")
+	if st == nil {
+		t.Fatal("no packets")
+	}
+	if st.LastRx > 60*time.Millisecond {
+		t.Errorf("packet delivered at %v, after stop", st.LastRx)
+	}
+}

@@ -1,0 +1,100 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+
+	"e2eqos/internal/identity"
+)
+
+// PEM block types used by the tooling.
+const (
+	pemCertType = "CERTIFICATE"
+	pemKeyType  = "EC PRIVATE KEY"
+)
+
+// EncodeCertPEM renders a DER certificate as PEM.
+func EncodeCertPEM(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: pemCertType, Bytes: der})
+}
+
+// DecodeCertPEM parses the first certificate block in data.
+func DecodeCertPEM(data []byte) (*Certificate, error) {
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			return nil, fmt.Errorf("pki: no certificate block found")
+		}
+		if block.Type == pemCertType {
+			return ParseCertificate(block.Bytes)
+		}
+	}
+}
+
+// EncodeKeyPEM renders an ECDSA private key as PEM.
+func EncodeKeyPEM(key *ecdsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: marshal key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: pemKeyType, Bytes: der}), nil
+}
+
+// DecodeKeyPEM parses the first EC private key block in data.
+func DecodeKeyPEM(data []byte) (*ecdsa.PrivateKey, error) {
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			return nil, fmt.Errorf("pki: no EC private key block found")
+		}
+		if block.Type == pemKeyType {
+			key, err := x509.ParseECPrivateKey(block.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("pki: parse key: %w", err)
+			}
+			return key, nil
+		}
+	}
+}
+
+// LoadCertFile reads a PEM certificate from disk.
+func LoadCertFile(path string) (*Certificate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pki: %w", err)
+	}
+	return DecodeCertPEM(data)
+}
+
+// LoadKeyFile reads a PEM EC key from disk and binds it to the DN of
+// the accompanying certificate when given; dn may be empty otherwise.
+func LoadKeyFile(path string, dn identity.DN) (*identity.KeyPair, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pki: %w", err)
+	}
+	key, err := DecodeKeyPEM(data)
+	if err != nil {
+		return nil, err
+	}
+	return &identity.KeyPair{DN: dn, Private: key}, nil
+}
+
+// SaveCertFile writes a certificate as PEM with 0644 permissions.
+func SaveCertFile(path string, der []byte) error {
+	return os.WriteFile(path, EncodeCertPEM(der), 0o644)
+}
+
+// SaveKeyFile writes a private key as PEM with 0600 permissions.
+func SaveKeyFile(path string, key *ecdsa.PrivateKey) error {
+	data, err := EncodeKeyPEM(key)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}

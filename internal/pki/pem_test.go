@@ -1,0 +1,143 @@
+package pki
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"e2eqos/internal/identity"
+)
+
+func TestCertPEMRoundTrip(t *testing.T) {
+	ca := mustCA(t, "PEMRoot")
+	kp := mustKey(t, identity.NewDN("Grid", "A", "alice"))
+	cert, err := ca.IssueIdentity(kp.DN, kp.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes := EncodeCertPEM(cert.DER)
+	decoded, err := DecodeCertPEM(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.SubjectDN() != kp.DN {
+		t.Errorf("subject = %s", decoded.SubjectDN())
+	}
+	if _, err := DecodeCertPEM([]byte("not pem")); err == nil {
+		t.Error("junk decoded as certificate")
+	}
+	// A key block is not a certificate.
+	keyPEM, err := EncodeKeyPEM(kp.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCertPEM(keyPEM); err == nil {
+		t.Error("key block decoded as certificate")
+	}
+}
+
+func TestKeyPEMRoundTrip(t *testing.T) {
+	kp := mustKey(t, identity.NewDN("Grid", "A", "alice"))
+	pemBytes, err := EncodeKeyPEM(kp.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := DecodeKeyPEM(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.PublicKey.Equal(kp.Public()) {
+		t.Error("key round trip mismatch")
+	}
+	if _, err := DecodeKeyPEM([]byte("garbage")); err == nil {
+		t.Error("junk decoded as key")
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	ca := mustCA(t, "FileRoot")
+	kp := mustKey(t, identity.NewDN("Grid", "A", "bb-a"))
+	cert, err := ca.IssueIdentity(kp.DN, kp.Public(), 0, "bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certPath := filepath.Join(dir, "bb.cert.pem")
+	keyPath := filepath.Join(dir, "bb.key.pem")
+	if err := SaveCertFile(certPath, cert.DER); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeyFile(keyPath, kp.Private); err != nil {
+		t.Fatal(err)
+	}
+	// Key files must not be world readable.
+	if info, err := os.Stat(keyPath); err != nil || info.Mode().Perm() != 0o600 {
+		t.Errorf("key file mode = %v err=%v", info.Mode(), err)
+	}
+	loadedCert, err := LoadCertFile(certPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedCert.SubjectDN() != kp.DN {
+		t.Errorf("subject = %s", loadedCert.SubjectDN())
+	}
+	loadedKey, err := LoadKeyFile(keyPath, kp.DN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loadedKey.Public().Equal(kp.Public()) {
+		t.Error("loaded key mismatch")
+	}
+	if _, err := LoadCertFile(filepath.Join(dir, "missing.pem")); err == nil {
+		t.Error("missing cert file loaded")
+	}
+	if _, err := LoadKeyFile(filepath.Join(dir, "missing.pem"), kp.DN); err == nil {
+		t.Error("missing key file loaded")
+	}
+}
+
+func TestLoadCA(t *testing.T) {
+	dir := t.TempDir()
+	orig := mustCA(t, "Persisted")
+	certPath := filepath.Join(dir, "ca.cert.pem")
+	keyPath := filepath.Join(dir, "ca.key.pem")
+	if err := SaveCertFile(certPath, orig.CertificateDER()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeyFile(keyPath, orig.Key().Private); err != nil {
+		t.Fatal(err)
+	}
+	caCert, err := LoadCertFile(certPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caKey, err := LoadKeyFile(keyPath, caCert.SubjectDN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := LoadCA(caCert, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.DN() != orig.DN() {
+		t.Errorf("DN = %s", ca.DN())
+	}
+	// The reloaded CA can issue certificates verifiable against the
+	// original root.
+	kp := mustKey(t, identity.NewDN("Grid", "A", "late-joiner"))
+	cert, err := ca.IssueIdentity(kp.DN, kp.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.CheckSignedBy(orig.PublicKey()); err != nil {
+		t.Errorf("issued cert fails against original CA key: %v", err)
+	}
+	// Mismatched key is refused.
+	other := mustKey(t, identity.NewDN("Grid", "", "other"))
+	if _, err := LoadCA(caCert, other); err == nil {
+		t.Error("LoadCA accepted mismatched key")
+	}
+	if _, err := LoadCA(nil, caKey); err == nil {
+		t.Error("LoadCA accepted nil certificate")
+	}
+}

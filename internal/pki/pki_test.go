@@ -1,0 +1,452 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+)
+
+func mustCA(t *testing.T, name string) *CA {
+	t.Helper()
+	ca, err := NewCA(identity.NewDN("Grid", "", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func mustKey(t *testing.T, dn identity.DN) *identity.KeyPair {
+	t.Helper()
+	kp, err := identity.GenerateKeyPair(dn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestCAIssueIdentity(t *testing.T) {
+	ca := mustCA(t, "RootCA")
+	alice := mustKey(t, identity.NewDN("Grid", "DomainA", "Alice"))
+	cert, err := ca.IssueIdentity(alice.DN, alice.Public(), 0, "alice.domain-a.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.SubjectDN() != alice.DN {
+		t.Errorf("subject DN = %s, want %s", cert.SubjectDN(), alice.DN)
+	}
+	if cert.IssuerDN() != ca.DN() {
+		t.Errorf("issuer DN = %s, want %s", cert.IssuerDN(), ca.DN())
+	}
+	if !cert.PublicKey().Equal(alice.Public()) {
+		t.Error("embedded public key mismatch")
+	}
+	if err := cert.CheckSignedBy(ca.PublicKey()); err != nil {
+		t.Errorf("CA signature invalid: %v", err)
+	}
+	other := mustCA(t, "OtherCA")
+	if err := cert.CheckSignedBy(other.PublicKey()); err == nil {
+		t.Error("signature verified under wrong CA key")
+	}
+	if !cert.ValidAt(time.Now()) {
+		t.Error("freshly issued cert should be valid now")
+	}
+	if cert.ValidAt(time.Now().Add(400 * 24 * time.Hour)) {
+		t.Error("cert should have expired after default validity")
+	}
+}
+
+func TestCAIssueIdentityErrors(t *testing.T) {
+	ca := mustCA(t, "RootCA")
+	if _, err := ca.IssueIdentity("bogus", nil, 0); err == nil {
+		t.Fatal("expected error for invalid DN")
+	}
+	alice := mustKey(t, identity.NewDN("Grid", "A", "Alice"))
+	if _, err := ca.IssueIdentity(alice.DN, nil, 0); err == nil {
+		t.Fatal("expected error for nil key")
+	}
+}
+
+func TestCASerialIncrements(t *testing.T) {
+	ca := mustCA(t, "RootCA")
+	a := mustKey(t, identity.NewDN("Grid", "A", "a"))
+	c1, err := ca.IssueIdentity(a.DN, a.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ca.IssueIdentity(a.DN, a.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cert.SerialNumber.Cmp(c2.Cert.SerialNumber) == 0 {
+		t.Fatal("serial numbers must differ")
+	}
+}
+
+func TestParseCertificateRejectsGarbage(t *testing.T) {
+	if _, err := ParseCertificate([]byte{0x30, 0x01, 0x02}); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+}
+
+// buildChain constructs the Figure 7 scenario: CAS issues a capability
+// to the user over a proxy key; the user delegates to BB-A, BB-A to
+// BB-B, BB-B to BB-C.
+func buildChain(t *testing.T) (cas *identity.KeyPair, chain CapabilityChain, bbKeys []*identity.KeyPair) {
+	t.Helper()
+	cas = mustKey(t, identity.NewDN("ESnet", "", "CAS"))
+	user := mustKey(t, identity.NewDN("Grid", "DomainA", "Alice"))
+	proxy, err := NewProxyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := CapabilityAttrs{Community: "ESnet", Capabilities: []string{"network-reservation", "premium"}}
+	root, err := IssueCommunityCapability(cas.DN, cas, user.DN, proxy, attrs, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain = CapabilityChain{root}
+	dns := []identity.DN{
+		identity.NewDN("Grid", "DomainA", "bb-a"),
+		identity.NewDN("Grid", "DomainB", "bb-b"),
+		identity.NewDN("Grid", "DomainC", "bb-c"),
+	}
+	signerDN, signerKey := user.DN, proxy.Private
+	for i, dn := range dns {
+		kp := mustKey(t, dn)
+		bbKeys = append(bbKeys, kp)
+		restr := []string(nil)
+		if i == 0 {
+			restr = []string{"valid-for-rar:RAR-17"}
+		}
+		next, err := Delegate(chain[len(chain)-1], signerDN, signerKey, dn, kp.Public(), restr, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, next)
+		signerDN, signerKey = dn, kp.Private
+	}
+	return cas, chain, bbKeys
+}
+
+func TestCapabilityChainFigure7(t *testing.T) {
+	cas, chain, bbKeys := buildChain(t)
+	// Figure 7: list lengths 1 (user), 2 (A), 3 (B), 4 (C).
+	if len(chain) != 4 {
+		t.Fatalf("chain length = %d, want 4", len(chain))
+	}
+	attrs, err := chain.Verify(VerifyOptions{CASKey: cas.Public()})
+	if err != nil {
+		t.Fatalf("chain verification failed: %v", err)
+	}
+	if !attrs.HasCapability("network-reservation") {
+		t.Error("effective attrs lost capability")
+	}
+	if len(attrs.Restrictions) != 1 || attrs.Restrictions[0] != "valid-for-rar:RAR-17" {
+		t.Errorf("restrictions = %v", attrs.Restrictions)
+	}
+	// Restriction scoping.
+	if _, err := chain.Verify(VerifyOptions{CASKey: cas.Public(), RequireRestriction: "valid-for-rar:RAR-17"}); err != nil {
+		t.Errorf("chain should satisfy its own restriction: %v", err)
+	}
+	if _, err := chain.Verify(VerifyOptions{CASKey: cas.Public(), RequireRestriction: "valid-for-rar:OTHER"}); err == nil {
+		t.Error("chain must not satisfy a different RAR restriction")
+	}
+	// Possession proof by the final broker (BB-C).
+	nonce := []byte("nonce-123")
+	proof, err := ProvePossession(bbKeys[2].Private, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.VerifyPossession(nonce, proof); err != nil {
+		t.Errorf("possession proof rejected: %v", err)
+	}
+	wrong, _ := ProvePossession(bbKeys[0].Private, nonce)
+	if err := chain.VerifyPossession(nonce, wrong); err == nil {
+		t.Error("possession proof by wrong key accepted")
+	}
+}
+
+func TestCapabilityChainRejectsWrongCAS(t *testing.T) {
+	_, chain, _ := buildChain(t)
+	evil := mustKey(t, identity.NewDN("Evil", "", "CAS"))
+	if _, err := chain.Verify(VerifyOptions{CASKey: evil.Public()}); err == nil {
+		t.Fatal("chain anchored at wrong CAS accepted")
+	}
+}
+
+func TestCapabilityChainRejectsTamperedDelegation(t *testing.T) {
+	cas, chain, _ := buildChain(t)
+	// Replace the second delegation with one signed by an unrelated key:
+	// simulates an intermediate domain injecting a delegation it could
+	// not legitimately produce.
+	mallory := mustKey(t, identity.NewDN("Evil", "", "Mallory"))
+	forged, err := Delegate(chain[1], chain[1].SubjectDN(), mallory.Private,
+		chain[2].SubjectDN(), chain[2].PublicKey(), nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(CapabilityChain{}, chain...)
+	bad[2] = forged
+	if _, err := bad.Verify(VerifyOptions{CASKey: cas.Public()}); err == nil {
+		t.Fatal("forged delegation accepted")
+	}
+}
+
+func TestCapabilityChainRejectsExpandedCapabilities(t *testing.T) {
+	cas, chain, bbKeys := buildChain(t)
+	// BB-C attempts to delegate to itself with MORE capabilities.
+	grown := chain[3].Attrs
+	grown.Capabilities = append(append([]string(nil), grown.Capabilities...), "root-access")
+	cert, err := issueCapability(chain[3].SubjectDN(), bbKeys[2].Private,
+		identity.NewDN("Grid", "DomainC", "bb-c2"), bbKeys[2].Public(), grown, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append(CapabilityChain{}, chain...), cert)
+	if _, err := bad.Verify(VerifyOptions{CASKey: cas.Public()}); err == nil {
+		t.Fatal("capability expansion accepted")
+	}
+}
+
+func TestCapabilityChainRejectsDroppedRestrictions(t *testing.T) {
+	cas, chain, bbKeys := buildChain(t)
+	attrs := chain[3].Attrs
+	attrs.Restrictions = nil // drop "valid-for-rar"
+	cert, err := issueCapability(chain[3].SubjectDN(), bbKeys[2].Private,
+		identity.NewDN("Grid", "DomainC", "engine"), bbKeys[2].Public(), attrs, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append(CapabilityChain{}, chain...), cert)
+	if _, err := bad.Verify(VerifyOptions{CASKey: cas.Public()}); err == nil {
+		t.Fatal("restriction laundering accepted")
+	}
+}
+
+func TestCapabilityChainEncodeDecode(t *testing.T) {
+	cas, chain, _ := buildChain(t)
+	decoded, err := DecodeCapabilityChain(chain.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(chain) {
+		t.Fatalf("decoded length %d, want %d", len(decoded), len(chain))
+	}
+	if _, err := decoded.Verify(VerifyOptions{CASKey: cas.Public()}); err != nil {
+		t.Fatalf("decoded chain fails verification: %v", err)
+	}
+}
+
+func TestDecodeChainRejectsNonCapabilityCert(t *testing.T) {
+	ca := mustCA(t, "RootCA")
+	a := mustKey(t, identity.NewDN("Grid", "A", "a"))
+	cert, err := ca.IssueIdentity(a.DN, a.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCapabilityChain([][]byte{cert.DER}); err == nil {
+		t.Fatal("identity cert accepted as capability cert")
+	}
+}
+
+func TestEmptyChainVerify(t *testing.T) {
+	cas := mustKey(t, identity.NewDN("ESnet", "", "CAS"))
+	var chain CapabilityChain
+	if _, err := chain.Verify(VerifyOptions{CASKey: cas.Public()}); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if err := chain.VerifyPossession([]byte("n"), []byte("p")); err == nil {
+		t.Fatal("possession on empty chain accepted")
+	}
+}
+
+func TestTrustStoreDirect(t *testing.T) {
+	ca := mustCA(t, "RootCA")
+	alice := mustKey(t, identity.NewDN("Grid", "A", "Alice"))
+	cert, err := ca.IssueIdentity(alice.DN, alice.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(3)
+	caCert := &Certificate{Cert: ca.Certificate(), DER: ca.CertificateDER()}
+	if _, err := ts.DirectlyTrusted(cert, time.Now()); err == nil {
+		t.Fatal("empty store must not trust anything")
+	}
+	if err := ts.AddRoot(caCert); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ts.DirectlyTrusted(cert, time.Now())
+	if err != nil {
+		t.Fatalf("root-signed cert rejected: %v", err)
+	}
+	if !pub.Equal(alice.Public()) {
+		t.Fatal("wrong key returned")
+	}
+}
+
+func TestTrustStorePinnedPeer(t *testing.T) {
+	ca := mustCA(t, "UnknownCA")
+	peer := mustKey(t, identity.NewDN("Grid", "B", "bb-b"))
+	cert, err := ca.IssueIdentity(peer.DN, peer.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(3)
+	ts.PinPeer(peer.DN, peer.Public())
+	if _, err := ts.DirectlyTrusted(cert, time.Now()); err != nil {
+		t.Fatalf("pinned peer rejected: %v", err)
+	}
+	// Same DN, different key: must be rejected.
+	imposter := mustKey(t, peer.DN)
+	badCert, err := ca.IssueIdentity(peer.DN, imposter.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.DirectlyTrusted(badCert, time.Now()); err == nil {
+		t.Fatal("imposter with pinned DN but wrong key accepted")
+	}
+}
+
+// buildIntroductionChain models the signalling path A -> B -> C where C
+// trusts only its peer B; B introduces A's certificate.
+func buildIntroductionChain(t *testing.T) (ts *TrustStore, target *Certificate, intros []Introduction) {
+	t.Helper()
+	caA := mustCA(t, "CA-A")
+	bbA := mustKey(t, identity.NewDN("Grid", "DomainA", "bb-a"))
+	certA, err := caA.IssueIdentity(bbA.DN, bbA.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbB := mustKey(t, identity.NewDN("Grid", "DomainB", "bb-b"))
+	intro, err := NewIntroduction(bbB, certA.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts = NewTrustStore(2)
+	ts.PinPeer(bbB.DN, bbB.Public())
+	return ts, certA, []Introduction{intro}
+}
+
+func TestTrustStoreResolveViaIntroducer(t *testing.T) {
+	ts, certA, intros := buildIntroductionChain(t)
+	pub, depth, err := ts.ResolveKey(certA, intros, time.Now())
+	if err != nil {
+		t.Fatalf("introduction rejected: %v", err)
+	}
+	if depth != 1 {
+		t.Errorf("depth = %d, want 1", depth)
+	}
+	if !pub.Equal(certA.PublicKey()) {
+		t.Error("wrong key resolved")
+	}
+}
+
+func TestTrustStoreDepthLimit(t *testing.T) {
+	ts, certA, intros := buildIntroductionChain(t)
+	ts.SetMaxIntroducerDepth(0)
+	if _, _, err := ts.ResolveKey(certA, intros, time.Now()); err == nil {
+		t.Fatal("introduction accepted despite depth limit 0")
+	}
+}
+
+func TestTrustStoreRejectsUnknownIntroducer(t *testing.T) {
+	_, certA, intros := buildIntroductionChain(t)
+	ts := NewTrustStore(5) // does not pin bb-b
+	if _, _, err := ts.ResolveKey(certA, intros, time.Now()); err == nil {
+		t.Fatal("introduction by unknown introducer accepted")
+	}
+}
+
+func TestTrustStoreRejectsTamperedIntroduction(t *testing.T) {
+	ts, certA, intros := buildIntroductionChain(t)
+	intros[0].Signature[0] ^= 0xff
+	if _, _, err := ts.ResolveKey(certA, intros, time.Now()); err == nil {
+		t.Fatal("tampered introduction accepted")
+	}
+}
+
+func TestTrustStoreRejectsMismatchedTarget(t *testing.T) {
+	ts, _, intros := buildIntroductionChain(t)
+	otherCA := mustCA(t, "CA-X")
+	kp := mustKey(t, identity.NewDN("Grid", "X", "bb-x"))
+	otherCert, err := otherCA.IssueIdentity(kp.DN, kp.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ts.ResolveKey(otherCert, intros, time.Now()); err == nil {
+		t.Fatal("introduction chain for a different subject accepted")
+	}
+}
+
+func TestTrustStoreTwoHopIntroduction(t *testing.T) {
+	// D trusts only C; C introduces B's cert; B introduces A's cert.
+	caA := mustCA(t, "CA-A")
+	caB := mustCA(t, "CA-B")
+	bbA := mustKey(t, identity.NewDN("Grid", "DomainA", "bb-a"))
+	bbB := mustKey(t, identity.NewDN("Grid", "DomainB", "bb-b"))
+	bbC := mustKey(t, identity.NewDN("Grid", "DomainC", "bb-c"))
+	certA, err := caA.IssueIdentity(bbA.DN, bbA.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certB, err := caB.IssueIdentity(bbB.DN, bbB.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	introB, err := NewIntroduction(bbC, certB.DER) // C vouches for B
+	if err != nil {
+		t.Fatal(err)
+	}
+	introA, err := NewIntroduction(bbB, certA.DER) // B vouches for A
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(2)
+	ts.PinPeer(bbC.DN, bbC.Public())
+	pub, depth, err := ts.ResolveKey(certA, []Introduction{introB, introA}, time.Now())
+	if err != nil {
+		t.Fatalf("two-hop introduction rejected: %v", err)
+	}
+	if depth != 2 {
+		t.Errorf("depth = %d, want 2", depth)
+	}
+	if !pub.Equal(bbA.Public()) {
+		t.Error("wrong key resolved")
+	}
+	// Depth limit 1 must reject the same chain.
+	ts.SetMaxIntroducerDepth(1)
+	if _, _, err := ts.ResolveKey(certA, []Introduction{introB, introA}, time.Now()); err == nil {
+		t.Fatal("two-hop chain accepted at depth limit 1")
+	}
+}
+
+func TestExtractCapabilityAttrsAbsent(t *testing.T) {
+	ca := mustCA(t, "RootCA")
+	kp := mustKey(t, identity.NewDN("Grid", "A", "a"))
+	cert, err := ca.IssueIdentity(kp.DN, kp.Public(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := ExtractCapabilityAttrs(cert.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("identity cert flagged as capability cert")
+	}
+}
+
+func TestProxyKeyDistinctFromUserKey(t *testing.T) {
+	proxy, err := NewProxyKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if proxy.Public().Equal(&user.PublicKey) {
+		t.Fatal("proxy key must be independent")
+	}
+}

@@ -1,0 +1,67 @@
+package policy
+
+import "e2eqos/internal/identity"
+
+// Canonical principals of the paper's running example.
+var (
+	// Alice is the honest user in domain A (Figures 1-7).
+	AliceDN = identity.NewDN("Grid", "DomainA", "Alice")
+	// Bob is the user domain A's policy explicitly rejects (Figure 1).
+	BobDN = identity.NewDN("Grid", "DomainA", "Bob")
+	// David is the malicious user in domain D (Figure 4).
+	DavidDN = identity.NewDN("Grid", "DomainD", "David")
+	// Charlie is the destination-side user in domain C.
+	CharlieDN = identity.NewDN("Grid", "DomainC", "Charlie")
+)
+
+// Figure1PolicyA is domain A's policy file in Figure 1:
+//
+//	If User = Alice:  If Reservation_Type = Network Return GRANT
+//	If User = Bob:    Return DENY
+//
+// (All our requests are network reservations, so the type test is
+// implicit.)
+var Figure1PolicyA = MustParse("fig1-domain-a", `
+allow if user = "`+string(AliceDN)+`"
+deny  if user = "`+string(BobDN)+`"
+deny
+`)
+
+// Figure1PolicyB is domain B's policy file in Figure 1:
+//
+//	If Reservation_Type = Network:
+//	  If Accredited_Physicist(requestor) Return GRANT Else Return DENY
+//
+// The accreditation predicate is a third-party group-server validation,
+// surfaced here as the validated group "physicist".
+var Figure1PolicyB = MustParse("fig1-domain-b", `
+allow if group = "physicist"
+deny
+`)
+
+// Figure6PolicyA is BB-A's policy file in Figure 6: Alice may use up to
+// 10 Mb/s during business hours (8am-5pm) and anything up to the
+// available bandwidth otherwise.
+var Figure6PolicyA = MustParse("fig6-domain-a", `
+allow if user = "`+string(AliceDN)+`" and time within 08:00..17:00 and bw <= 10Mb/s
+allow if user = "`+string(AliceDN)+`" and not time within 08:00..17:00 and bw <= avail
+deny
+`)
+
+// Figure6PolicyB is BB-B's policy file in Figure 6: up to 10 Mb/s for
+// members of group "ATLAS experiment" or holders of an ESnet-issued
+// capability.
+var Figure6PolicyB = MustParse("fig6-domain-b", `
+allow if group = "ATLAS experiment" and bw <= 10Mb/s
+allow if capability from "ESnet" and bw <= 10Mb/s
+deny
+`)
+
+// Figure6PolicyC is BB-C's policy file in Figure 6: reservations of
+// 5 Mb/s or more require an ESnet capability AND a valid CPU
+// reservation in domain C; smaller reservations pass.
+var Figure6PolicyC = MustParse("fig6-domain-c", `
+allow if bw >= 5Mb/s and capability from "ESnet" and has cpu-reservation
+allow if bw < 5Mb/s
+deny
+`)

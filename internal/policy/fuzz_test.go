@@ -1,0 +1,54 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"e2eqos/internal/units"
+)
+
+// FuzzParse ensures the DSL parser never panics and that every policy
+// it accepts survives a String/Parse round trip and evaluates totally.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"allow",
+		"deny",
+		`allow if user = "/CN=Alice" and bw <= 10Mb/s`,
+		`deny if not time within 08:00..17:00`,
+		`allow if capability from "ESnet" and has cpu-reservation`,
+		`allow if group = "ATLAS experiment" and bw <= avail`,
+		`allow if attr "k" = "v" and dest = "DomainC"`,
+		"allow if bw <= 10Mb/s\ndeny if user != \"/CN=Bob\"\nallow",
+		`allow if`,
+		`if allow`,
+		"# only a comment",
+		`allow if bw >= 1.5Gb/s`,
+		`allow if time within 23:59..00:01`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	req := &Request{
+		User:      "/CN=Alice",
+		Bandwidth: 10 * units.Mbps,
+		Available: 50 * units.Mbps,
+		Time:      time.Date(2001, 8, 7, 12, 0, 0, 0, time.UTC),
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		d := p.Evaluate(req)
+		if d.Effect != Grant && d.Effect != Deny {
+			t.Fatalf("indefinite effect for %q", src)
+		}
+		p2, err := Parse("fuzz2", p.String())
+		if err != nil {
+			t.Fatalf("round-trip parse failed for %q: %v\nrendered: %q", src, err, p.String())
+		}
+		if p2.Evaluate(req).Effect != d.Effect {
+			t.Fatalf("round trip changed decision for %q", src)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package policysrv implements the policy server entity of §5: "we
+// introduce an entity called a policy server that encapsulates a BB's
+// admission control procedures. When a request comes in, it is
+// forwarded to the policy server which executes local policy and
+// passes back a result ('yes' or 'no') and a modified request."
+//
+// The server composes three authorization sources, mirroring the
+// paper's list: validated group-membership assertions (via group
+// servers), cryptographically signed capabilities (via capability
+// chain verification against trusted CAS keys), and the local
+// attribute-value policy (internal/policy). On a grant it returns the
+// domain-wide additions §6.1 describes: extra constraints, cost
+// offers, and traffic-engineering parameters for downstream domains.
+package policysrv
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"sync"
+	"time"
+
+	"e2eqos/internal/group"
+	"e2eqos/internal/identity"
+	"e2eqos/internal/pki"
+	"e2eqos/internal/policy"
+	"e2eqos/internal/units"
+)
+
+// Query is the question a bandwidth broker puts to its policy server.
+type Query struct {
+	// User is the authenticated requestor.
+	User identity.DN
+	// Bandwidth / Window describe the reservation.
+	Bandwidth units.Bandwidth
+	Window    units.Window
+	// Available is the uncommitted capacity on the relevant aggregate.
+	Available units.Bandwidth
+	// SourceDomain / DestDomain are the end domains.
+	SourceDomain string
+	DestDomain   string
+	// Assertions are unvalidated group claims carried in the request
+	// ("I am a physicist").
+	Assertions []string
+	// Attestations are pre-validated group attestations propagated from
+	// upstream hops.
+	Attestations []*group.Attestation
+	// CapabilityChain is the (possibly delegated) capability
+	// certificate chain accompanying the request.
+	CapabilityChain pki.CapabilityChain
+	// RequireRestriction scopes capability verification to this RAR.
+	RequireRestriction string
+	// LinkedReservations maps resource type -> verified handle present.
+	LinkedReservations map[string]bool
+}
+
+// Result is the policy server's answer: the decision plus the
+// modifications to apply to the outgoing request.
+type Result struct {
+	Decision policy.Decision
+	// ValidatedGroups are the memberships that survived validation.
+	ValidatedGroups []string
+	// Capabilities are the verified capability grants.
+	Capabilities []policy.Capability
+	// Additions are domain-wide attributes to append to the request
+	// (cost offers, TE parameters, peering requirements).
+	Additions map[string]string
+}
+
+// Server is a policy decision point for one domain.
+type Server struct {
+	domain string
+	pol    *policy.Policy
+
+	mu sync.RWMutex
+	// groupServers maps group name -> the server trusted to accredit it.
+	groupServers map[string]*group.Server
+	// casKeys maps community -> trusted CAS public key.
+	casKeys map[string]*ecdsa.PublicKey
+	// additions are static domain-wide attributes.
+	additions map[string]string
+	// nowFn is injectable for tests.
+	nowFn func() time.Time
+}
+
+// New creates a policy server for domain evaluating pol.
+func New(domain string, pol *policy.Policy) *Server {
+	return &Server{
+		domain:       domain,
+		pol:          pol,
+		groupServers: make(map[string]*group.Server),
+		casKeys:      make(map[string]*ecdsa.PublicKey),
+		additions:    make(map[string]string),
+		nowFn:        time.Now,
+	}
+}
+
+// Domain returns the owning domain name.
+func (s *Server) Domain() string { return s.domain }
+
+// SetPolicy swaps the active policy.
+func (s *Server) SetPolicy(pol *policy.Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pol = pol
+}
+
+// TrustGroupServer delegates accreditation of groupName to gs.
+func (s *Server) TrustGroupServer(groupName string, gs *group.Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groupServers[groupName] = gs
+}
+
+// TrustCAS pins the CAS public key for a community.
+func (s *Server) TrustCAS(community string, key *ecdsa.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.casKeys[community] = key
+}
+
+// AddDomainInfo registers a static domain-wide addition propagated
+// with every granted request.
+func (s *Server) AddDomainInfo(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.additions[key] = value
+}
+
+// SetClock injects a time source (tests and simulations).
+func (s *Server) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nowFn = now
+}
+
+// Decide validates the query's authorization material and evaluates
+// local policy.
+func (s *Server) Decide(q *Query) (*Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("policysrv: nil query")
+	}
+	s.mu.RLock()
+	pol := s.pol
+	nowFn := s.nowFn
+	additions := make(map[string]string, len(s.additions))
+	for k, v := range s.additions {
+		additions[k] = v
+	}
+	s.mu.RUnlock()
+	now := nowFn()
+
+	res := &Result{Additions: additions}
+
+	// 1. Validate group assertions with the delegated group servers.
+	for _, g := range q.Assertions {
+		s.mu.RLock()
+		gs := s.groupServers[g]
+		s.mu.RUnlock()
+		if gs == nil {
+			continue // no server trusted for this group: assertion ignored
+		}
+		if _, err := gs.Validate(q.User, g); err == nil {
+			res.ValidatedGroups = append(res.ValidatedGroups, g)
+		}
+	}
+	// 2. Accept upstream attestations from trusted group servers.
+	for _, att := range q.Attestations {
+		s.mu.RLock()
+		gs := s.groupServers[att.Group]
+		s.mu.RUnlock()
+		if gs == nil {
+			continue
+		}
+		if err := group.VerifyAttestation(att, gs.Key(), now); err == nil && att.User == q.User {
+			res.ValidatedGroups = appendUnique(res.ValidatedGroups, att.Group)
+		}
+	}
+	// 3. Verify the capability chain against trusted CAS keys.
+	if len(q.CapabilityChain) > 0 {
+		community := q.CapabilityChain[0].Attrs.Community
+		s.mu.RLock()
+		casKey := s.casKeys[community]
+		s.mu.RUnlock()
+		if casKey != nil {
+			attrs, err := q.CapabilityChain.Verify(pki.VerifyOptions{
+				CASKey:             casKey,
+				At:                 now,
+				RequireRestriction: q.RequireRestriction,
+			})
+			if err == nil {
+				res.Capabilities = append(res.Capabilities, policy.Capability{
+					Community: attrs.Community,
+					Names:     attrs.Capabilities,
+				})
+			}
+		}
+	}
+
+	// 4. Evaluate local policy over the validated facts.
+	req := &policy.Request{
+		User:               q.User,
+		Groups:             res.ValidatedGroups,
+		Capabilities:       res.Capabilities,
+		Bandwidth:          q.Bandwidth,
+		Available:          q.Available,
+		Time:               effectiveTime(q, now),
+		SourceDomain:       q.SourceDomain,
+		DestDomain:         q.DestDomain,
+		LinkedReservations: q.LinkedReservations,
+	}
+	res.Decision = pol.Evaluate(req)
+	return res, nil
+}
+
+// effectiveTime evaluates time-of-day policy at the reservation start
+// when a window is supplied, else at the current time.
+func effectiveTime(q *Query, now time.Time) time.Time {
+	if q.Window.Valid() {
+		return q.Window.Start
+	}
+	return now
+}
+
+func appendUnique(list []string, v string) []string {
+	for _, have := range list {
+		if have == v {
+			return list
+		}
+	}
+	return append(list, v)
+}

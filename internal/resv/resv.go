@@ -1,0 +1,261 @@
+// Package resv implements GARA-style advance reservations for a single
+// resource pool: a table of bandwidth commitments over time windows
+// with admission control against a fixed capacity. Each bandwidth
+// broker owns one table per engineered path/aggregate; the CPU and
+// disk managers reuse the same mechanics with different units.
+package resv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+// Status is the lifecycle state of a reservation.
+type Status int
+
+// Reservation states.
+const (
+	// Granted means admitted and (within its window) enforceable.
+	Granted Status = iota
+	// Cancelled means withdrawn; it no longer counts against capacity.
+	Cancelled
+)
+
+func (s Status) String() string {
+	switch s {
+	case Granted:
+		return "granted"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Reservation is one admitted bandwidth commitment.
+type Reservation struct {
+	Handle    string
+	User      identity.DN
+	SrcHost   string
+	DstHost   string
+	Bandwidth units.Bandwidth
+	Window    units.Window
+	Status    Status
+	// Tunnel marks aggregate reservations usable for sub-flow
+	// allocation by authorized third parties.
+	Tunnel bool
+	// Created is the admission wall-clock time.
+	Created time.Time
+}
+
+// ActiveAt reports whether the reservation consumes capacity at t.
+func (r *Reservation) ActiveAt(t time.Time) bool {
+	return r.Status == Granted && r.Window.Contains(t)
+}
+
+// Table is an admission-controlled reservation table for one capacity
+// pool. It is safe for concurrent use.
+type Table struct {
+	mu       sync.Mutex
+	name     string
+	capacity units.Bandwidth
+	resv     map[string]*Reservation
+	seq      int64
+}
+
+// NewTable creates a table managing the given capacity.
+func NewTable(name string, capacity units.Bandwidth) (*Table, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("resv: non-positive capacity %v", capacity)
+	}
+	return &Table{name: name, capacity: capacity, resv: make(map[string]*Reservation)}, nil
+}
+
+// Capacity returns the managed capacity.
+func (t *Table) Capacity() units.Bandwidth { return t.capacity }
+
+// Name returns the table's label.
+func (t *Table) Name() string { return t.name }
+
+// maxCommittedLocked computes the peak committed bandwidth during w,
+// optionally ignoring one handle. Caller holds t.mu.
+func (t *Table) maxCommittedLocked(w units.Window, ignore string) units.Bandwidth {
+	type edge struct {
+		at    time.Time
+		delta units.Bandwidth
+	}
+	var edges []edge
+	for h, r := range t.resv {
+		if h == ignore || r.Status != Granted || !r.Window.Overlaps(w) {
+			continue
+		}
+		iv, _ := r.Window.Intersect(w)
+		edges = append(edges, edge{iv.Start, r.Bandwidth}, edge{iv.End, -r.Bandwidth})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if !edges[i].at.Equal(edges[j].at) {
+			return edges[i].at.Before(edges[j].at)
+		}
+		// Process releases before acquisitions at the same instant
+		// (half-open windows).
+		return edges[i].delta < edges[j].delta
+	})
+	var cur, max units.Bandwidth
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Available returns the guaranteed headroom throughout w.
+func (t *Table) Available(w units.Window) units.Bandwidth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.capacity - t.maxCommittedLocked(w, "")
+}
+
+// CommittedAt returns the committed bandwidth at instant at.
+func (t *Table) CommittedAt(at time.Time) units.Bandwidth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum units.Bandwidth
+	for _, r := range t.resv {
+		if r.ActiveAt(at) {
+			sum += r.Bandwidth
+		}
+	}
+	return sum
+}
+
+// AdmitRequest describes a candidate reservation.
+type AdmitRequest struct {
+	User      identity.DN
+	SrcHost   string
+	DstHost   string
+	Bandwidth units.Bandwidth
+	Window    units.Window
+	Tunnel    bool
+}
+
+// Admit runs admission control and, on success, commits the
+// reservation and returns it.
+func (t *Table) Admit(req AdmitRequest) (*Reservation, error) {
+	if req.Bandwidth <= 0 {
+		return nil, fmt.Errorf("resv: non-positive bandwidth %v", req.Bandwidth)
+	}
+	if !req.Window.Valid() {
+		return nil, fmt.Errorf("resv: invalid window %v", req.Window)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	peak := t.maxCommittedLocked(req.Window, "")
+	if peak+req.Bandwidth > t.capacity {
+		return nil, fmt.Errorf("resv: %s: insufficient capacity: peak committed %v + request %v > capacity %v",
+			t.name, peak, req.Bandwidth, t.capacity)
+	}
+	t.seq++
+	r := &Reservation{
+		Handle:    fmt.Sprintf("%s-%d", t.name, t.seq),
+		User:      req.User,
+		SrcHost:   req.SrcHost,
+		DstHost:   req.DstHost,
+		Bandwidth: req.Bandwidth,
+		Window:    req.Window,
+		Status:    Granted,
+		Tunnel:    req.Tunnel,
+		Created:   time.Now(),
+	}
+	t.resv[r.Handle] = r
+	return r, nil
+}
+
+// Cancel withdraws a reservation, releasing its capacity.
+func (t *Table) Cancel(handle string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.resv[handle]
+	if !ok {
+		return fmt.Errorf("resv: unknown handle %q", handle)
+	}
+	if r.Status == Cancelled {
+		return fmt.Errorf("resv: handle %q already cancelled", handle)
+	}
+	r.Status = Cancelled
+	return nil
+}
+
+// Modify atomically changes the bandwidth of an existing reservation,
+// re-running admission for the delta. Used by tunnel resizing.
+func (t *Table) Modify(handle string, bw units.Bandwidth) error {
+	if bw <= 0 {
+		return fmt.Errorf("resv: non-positive bandwidth %v", bw)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.resv[handle]
+	if !ok || r.Status != Granted {
+		return fmt.Errorf("resv: no granted reservation %q", handle)
+	}
+	peak := t.maxCommittedLocked(r.Window, handle)
+	if peak+bw > t.capacity {
+		return fmt.Errorf("resv: %s: cannot grow %q to %v: peak committed %v, capacity %v",
+			t.name, handle, bw, peak, t.capacity)
+	}
+	r.Bandwidth = bw
+	return nil
+}
+
+// Lookup returns a copy of the reservation for handle.
+func (t *Table) Lookup(handle string) (Reservation, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.resv[handle]
+	if !ok {
+		return Reservation{}, false
+	}
+	return *r, true
+}
+
+// Valid reports whether handle names a granted reservation that covers
+// instant at — the check behind Figure 6's HasValidCPUResv(RAR).
+func (t *Table) Valid(handle string, at time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.resv[handle]
+	return ok && r.ActiveAt(at)
+}
+
+// Timeline samples the committed bandwidth across w at the given
+// resolution, for capacity-planning views: it returns samples+1 values
+// covering [w.Start, w.End].
+func (t *Table) Timeline(w units.Window, samples int) []units.Bandwidth {
+	if samples < 1 || !w.Valid() {
+		return nil
+	}
+	out := make([]units.Bandwidth, samples+1)
+	step := w.Duration() / time.Duration(samples)
+	for i := 0; i <= samples; i++ {
+		out[i] = t.CommittedAt(w.Start.Add(time.Duration(i) * step))
+	}
+	return out
+}
+
+// All returns copies of all reservations, sorted by handle.
+func (t *Table) All() []Reservation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Reservation, 0, len(t.resv))
+	for _, r := range t.resv {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
+	return out
+}

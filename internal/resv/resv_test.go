@@ -1,0 +1,393 @@
+package resv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"e2eqos/internal/units"
+)
+
+var t0 = time.Date(2001, 8, 7, 9, 0, 0, 0, time.UTC)
+
+func win(startMin, durMin int) units.Window {
+	return units.NewWindow(t0.Add(time.Duration(startMin)*time.Minute), time.Duration(durMin)*time.Minute)
+}
+
+func newTable(t *testing.T, cap units.Bandwidth) *Table {
+	t.Helper()
+	tab, err := NewTable("test", cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableRejectsBadCapacity(t *testing.T) {
+	if _, err := NewTable("x", 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewTable("x", -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestAdmitWithinCapacity(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	r, err := tab.Admit(AdmitRequest{User: "/CN=alice", Bandwidth: 60 * units.Mbps, Window: win(0, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Handle == "" || r.Status != Granted {
+		t.Errorf("reservation = %+v", r)
+	}
+	if _, err := tab.Admit(AdmitRequest{User: "/CN=bob", Bandwidth: 40 * units.Mbps, Window: win(0, 60)}); err != nil {
+		t.Errorf("fill to capacity rejected: %v", err)
+	}
+	if _, err := tab.Admit(AdmitRequest{User: "/CN=carol", Bandwidth: 1 * units.Mbps, Window: win(0, 60)}); err == nil {
+		t.Error("overbooking accepted")
+	}
+}
+
+func TestAdmitInvalidRequests(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 0, Window: win(0, 60)}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 1, Window: units.Window{Start: t0, End: t0}}); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestAdvanceReservationsNonOverlapping(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	// Two full-capacity reservations in disjoint windows must both fit.
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 100 * units.Mbps, Window: win(0, 60)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 100 * units.Mbps, Window: win(60, 60)}); err != nil {
+		t.Errorf("adjacent window rejected: %v", err)
+	}
+}
+
+func TestPeakOverlapDetection(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	// Staircase: [0,30) 50M, [20,50) 40M -> peak 90M in [20,30).
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 50 * units.Mbps, Window: win(0, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 40 * units.Mbps, Window: win(20, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	// 20M over the whole hour collides with the 90M peak.
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 20 * units.Mbps, Window: win(0, 60)}); err == nil {
+		t.Error("request exceeding peak accepted")
+	}
+	// 10M fits exactly.
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 10 * units.Mbps, Window: win(0, 60)}); err != nil {
+		t.Errorf("exact-fit request rejected: %v", err)
+	}
+}
+
+func TestAvailable(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	if got := tab.Available(win(0, 60)); got != 100*units.Mbps {
+		t.Errorf("empty table available = %v", got)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 30 * units.Mbps, Window: win(0, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Available(win(0, 60)); got != 70*units.Mbps {
+		t.Errorf("available = %v, want 70Mb/s", got)
+	}
+	if got := tab.Available(win(30, 30)); got != 100*units.Mbps {
+		t.Errorf("disjoint window available = %v, want 100Mb/s", got)
+	}
+}
+
+func TestCancelReleasesCapacity(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	r, err := tab.Admit(AdmitRequest{Bandwidth: 100 * units.Mbps, Window: win(0, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 1 * units.Mbps, Window: win(0, 60)}); err == nil {
+		t.Fatal("full table admitted more")
+	}
+	if err := tab.Cancel(r.Handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 100 * units.Mbps, Window: win(0, 60)}); err != nil {
+		t.Errorf("capacity not released: %v", err)
+	}
+	if err := tab.Cancel(r.Handle); err == nil {
+		t.Error("double cancel accepted")
+	}
+	if err := tab.Cancel("nope"); err == nil {
+		t.Error("cancel of unknown handle accepted")
+	}
+}
+
+func TestModify(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	r, err := tab.Admit(AdmitRequest{Bandwidth: 40 * units.Mbps, Window: win(0, 60), Tunnel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 30 * units.Mbps, Window: win(0, 60)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Modify(r.Handle, 70*units.Mbps); err != nil {
+		t.Errorf("grow within capacity rejected: %v", err)
+	}
+	if err := tab.Modify(r.Handle, 71*units.Mbps); err == nil {
+		t.Error("grow beyond capacity accepted")
+	}
+	if err := tab.Modify(r.Handle, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := tab.Modify("nope", 1); err == nil {
+		t.Error("modify of unknown handle accepted")
+	}
+	got, ok := tab.Lookup(r.Handle)
+	if !ok || got.Bandwidth != 70*units.Mbps {
+		t.Errorf("lookup = %+v ok=%v", got, ok)
+	}
+}
+
+func TestValidHandleCheck(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	r, err := tab.Admit(AdmitRequest{Bandwidth: 10 * units.Mbps, Window: win(0, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Valid(r.Handle, t0.Add(30*time.Minute)) {
+		t.Error("in-window handle invalid")
+	}
+	if tab.Valid(r.Handle, t0.Add(61*time.Minute)) {
+		t.Error("out-of-window handle valid")
+	}
+	if tab.Valid("nope", t0) {
+		t.Error("unknown handle valid")
+	}
+	_ = tab.Cancel(r.Handle)
+	if tab.Valid(r.Handle, t0.Add(30*time.Minute)) {
+		t.Error("cancelled handle valid")
+	}
+}
+
+func TestCommittedAt(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 10 * units.Mbps, Window: win(0, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 20 * units.Mbps, Window: win(20, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.CommittedAt(t0.Add(25 * time.Minute)); got != 30*units.Mbps {
+		t.Errorf("committed at 25min = %v, want 30Mb/s", got)
+	}
+	if got := tab.CommittedAt(t0.Add(40 * time.Minute)); got != 20*units.Mbps {
+		t.Errorf("committed at 40min = %v, want 20Mb/s", got)
+	}
+	if got := tab.CommittedAt(t0.Add(2 * time.Hour)); got != 0 {
+		t.Errorf("committed after all windows = %v, want 0", got)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	tab := newTable(t, units.Gbps)
+	for i := 0; i < 5; i++ {
+		if _, err := tab.Admit(AdmitRequest{Bandwidth: units.Mbps, Window: win(i*10, 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := tab.All()
+	if len(all) != 5 {
+		t.Fatalf("len = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Handle >= all[i].Handle {
+			t.Fatalf("not sorted: %v", all)
+		}
+	}
+}
+
+// Property: whatever sequence of admissions succeeds, the committed
+// bandwidth never exceeds capacity at any sampled instant.
+func TestNeverOvercommitted(t *testing.T) {
+	f := func(reqs []struct {
+		Start uint8
+		Dur   uint8
+		BW    uint16
+	}) bool {
+		tab, err := NewTable("p", 1000)
+		if err != nil {
+			return false
+		}
+		for _, q := range reqs {
+			w := win(int(q.Start), int(q.Dur%60)+1)
+			_, _ = tab.Admit(AdmitRequest{Bandwidth: units.Bandwidth(q.BW), Window: w})
+		}
+		for m := 0; m < 330; m += 3 {
+			if tab.CommittedAt(t0.Add(time.Duration(m)*time.Minute)) > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAdmission(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	var wg sync.WaitGroup
+	admitted := make(chan string, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := tab.Admit(AdmitRequest{
+				User:      "/CN=u",
+				Bandwidth: 1 * units.Mbps,
+				Window:    win(0, 60),
+			})
+			if err == nil {
+				admitted <- r.Handle
+			}
+			_ = i
+		}(i)
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	seen := make(map[string]bool)
+	for h := range admitted {
+		if seen[h] {
+			t.Fatalf("duplicate handle %s", h)
+		}
+		seen[h] = true
+		n++
+	}
+	if n != 100 {
+		t.Errorf("admitted %d concurrent 1Mb/s requests into 100Mb/s, want exactly 100", n)
+	}
+	if got := tab.CommittedAt(t0.Add(time.Minute)); got != 100*units.Mbps {
+		t.Errorf("committed = %v", got)
+	}
+}
+
+func TestHandleUniqueness(t *testing.T) {
+	tab := newTable(t, units.Gbps)
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		r, err := tab.Admit(AdmitRequest{Bandwidth: units.Mbps, Window: win(0, 10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[r.Handle] {
+			t.Fatalf("duplicate handle %s", r.Handle)
+		}
+		seen[r.Handle] = true
+	}
+	_ = fmt.Sprintf("%v", seen)
+}
+
+func TestTimeline(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 40 * units.Mbps, Window: win(0, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Admit(AdmitRequest{Bandwidth: 20 * units.Mbps, Window: win(30, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	// Sample [0, 60) minutes in 6 steps: first half 40M, second 20M.
+	series := tab.Timeline(win(0, 60), 6)
+	if len(series) != 7 {
+		t.Fatalf("len = %d", len(series))
+	}
+	if series[0] != 40*units.Mbps || series[2] != 40*units.Mbps {
+		t.Errorf("first half = %v", series[:3])
+	}
+	if series[3] != 20*units.Mbps || series[5] != 20*units.Mbps {
+		t.Errorf("second half = %v", series[3:6])
+	}
+	if series[6] != 0 { // w.End is outside both half-open windows
+		t.Errorf("end sample = %v", series[6])
+	}
+	if tab.Timeline(win(0, 60), 0) != nil {
+		t.Error("zero samples must yield nil")
+	}
+	if tab.Timeline(units.Window{}, 5) != nil {
+		t.Error("invalid window must yield nil")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	r1, err := tab.Admit(AdmitRequest{User: "/CN=a", Bandwidth: 40 * units.Mbps, Window: win(0, 60), Tunnel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tab.Admit(AdmitRequest{User: "/CN=b", Bandwidth: 30 * units.Mbps, Window: win(30, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Cancel(r2.Handle); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tab.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := restored.Lookup(r1.Handle)
+	if !ok || got.Bandwidth != 40*units.Mbps || !got.Tunnel {
+		t.Errorf("restored r1 = %+v ok=%v", got, ok)
+	}
+	if restored.Valid(r2.Handle, t0.Add(40*time.Minute)) {
+		t.Error("cancelled reservation revived by restore")
+	}
+	// Sequence continues: new handles must not collide.
+	r3, err := restored.Admit(AdmitRequest{Bandwidth: units.Mbps, Window: win(0, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Handle == r1.Handle || r3.Handle == r2.Handle {
+		t.Errorf("handle reuse after restore: %s", r3.Handle)
+	}
+	// Committed state preserved.
+	if got := restored.CommittedAt(t0.Add(5 * time.Minute)); got != 41*units.Mbps {
+		t.Errorf("committed = %v", got)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	if _, err := RestoreTable([]byte("junk")); err == nil {
+		t.Error("junk restored")
+	}
+	// Overcommitted snapshot: two 80M reservations in a 100M table.
+	bad := `{"name":"x","capacity":100000000,"seq":2,"reservations":[
+	 {"Handle":"x-1","Bandwidth":80000000,"Window":{"Start":"2001-08-07T09:00:00Z","End":"2001-08-07T10:00:00Z"},"Status":0},
+	 {"Handle":"x-2","Bandwidth":80000000,"Window":{"Start":"2001-08-07T09:00:00Z","End":"2001-08-07T10:00:00Z"},"Status":0}]}`
+	if _, err := RestoreTable([]byte(bad)); err == nil {
+		t.Error("overcommitted snapshot restored")
+	}
+	dup := `{"name":"x","capacity":100000000,"seq":2,"reservations":[
+	 {"Handle":"x-1","Bandwidth":1,"Window":{"Start":"2001-08-07T09:00:00Z","End":"2001-08-07T10:00:00Z"},"Status":0},
+	 {"Handle":"x-1","Bandwidth":1,"Window":{"Start":"2001-08-07T09:00:00Z","End":"2001-08-07T10:00:00Z"},"Status":0}]}`
+	if _, err := RestoreTable([]byte(dup)); err == nil {
+		t.Error("duplicate-handle snapshot restored")
+	}
+	noWin := `{"name":"x","capacity":100,"seq":1,"reservations":[{"Handle":"x-1","Bandwidth":1,"Status":0}]}`
+	if _, err := RestoreTable([]byte(noWin)); err == nil {
+		t.Error("windowless reservation restored")
+	}
+}

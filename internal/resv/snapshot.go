@@ -1,0 +1,68 @@
+package resv
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"e2eqos/internal/units"
+)
+
+// snapshot is the persisted form of a table.
+type snapshot struct {
+	Name         string          `json:"name"`
+	Capacity     units.Bandwidth `json:"capacity"`
+	Seq          int64           `json:"seq"`
+	Reservations []Reservation   `json:"reservations"`
+}
+
+// Snapshot serialises the table so a restarting broker can restore its
+// committed state.
+func (t *Table) Snapshot() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := snapshot{Name: t.name, Capacity: t.capacity, Seq: t.seq}
+	for _, r := range t.resv {
+		s.Reservations = append(s.Reservations, *r)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("resv: snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreTable rebuilds a table from a snapshot. The restored state is
+// validated: committed bandwidth may not exceed the capacity at any
+// reservation boundary.
+func RestoreTable(data []byte) (*Table, error) {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("resv: restore: %w", err)
+	}
+	t, err := NewTable(s.Name, s.Capacity)
+	if err != nil {
+		return nil, fmt.Errorf("resv: restore: %w", err)
+	}
+	t.seq = s.Seq
+	for i := range s.Reservations {
+		r := s.Reservations[i]
+		if r.Handle == "" || !r.Window.Valid() || r.Bandwidth <= 0 {
+			return nil, fmt.Errorf("resv: restore: invalid reservation %q", r.Handle)
+		}
+		if _, dup := t.resv[r.Handle]; dup {
+			return nil, fmt.Errorf("resv: restore: duplicate handle %q", r.Handle)
+		}
+		t.resv[r.Handle] = &r
+	}
+	// Validate the invariant over every granted reservation's window.
+	for _, r := range t.resv {
+		if r.Status != Granted {
+			continue
+		}
+		if peak := t.maxCommittedLocked(r.Window, ""); peak > t.capacity {
+			return nil, fmt.Errorf("resv: restore: snapshot overcommits %v > %v during %v",
+				peak, t.capacity, r.Window)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,36 @@
+package signalling
+
+import (
+	"testing"
+)
+
+// FuzzDecodeMessage ensures arbitrary wire bytes never panic the
+// decoder and that accepted messages re-encode.
+func FuzzDecodeMessage(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"type":"reserve","id":1,"reserve":{"mode":"e2e","envelope":{}}}`),
+		[]byte(`{"type":"cancel","id":2,"cancel":{"rar_id":"RAR-1"}}`),
+		[]byte(`{"type":"result","id":3,"result":{"granted":true,"handle":"h"}}`),
+		[]byte(`{"type":"tunnel-alloc","tunnel_alloc":{"tunnel_rar_id":"r","sub_flow_id":"s","bandwidth":1}}`),
+		[]byte(`{}`),
+		[]byte(`null`),
+		[]byte(`[1,2,3]`),
+		[]byte("\x00\x01\x02"),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if msg.Type == "" {
+			t.Fatal("decoder accepted a typeless message")
+		}
+		if _, err := msg.Encode(); err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+// Package signalling defines the inter-BB wire protocol: message
+// formats, the signed per-domain approvals that propagate back to the
+// source, and client/server plumbing over the transport abstraction.
+// It carries the core package's nested RAR envelopes between brokers
+// and the direct tunnel-allocation traffic between end domains.
+package signalling
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"fmt"
+
+	"e2eqos/internal/envelope"
+	"e2eqos/internal/identity"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgReserve carries a (possibly nested) RAR envelope downstream.
+	MsgReserve MsgType = "reserve"
+	// MsgCancel withdraws a reservation by RAR id along the path.
+	MsgCancel MsgType = "cancel"
+	// MsgTunnelAlloc allocates a sub-flow inside an established tunnel
+	// over the direct source/end-domain channel.
+	MsgTunnelAlloc MsgType = "tunnel-alloc"
+	// MsgTunnelRelease frees a sub-flow allocation.
+	MsgTunnelRelease MsgType = "tunnel-release"
+	// MsgStatus queries a reservation handle.
+	MsgStatus MsgType = "status"
+	// MsgResult is the response to any request.
+	MsgResult MsgType = "result"
+)
+
+// ReserveMode selects the propagation behaviour of a reserve request.
+type ReserveMode string
+
+// Reservation modes.
+const (
+	// ModeEndToEnd propagates hop-by-hop to the destination domain
+	// (the paper's Approach 2).
+	ModeEndToEnd ReserveMode = "e2e"
+	// ModeLocal reserves in the receiving domain only; the
+	// source-domain-based baseline (Approach 1) issues one local
+	// request per domain. Nothing stops a malicious client from
+	// skipping a domain — which is exactly the Figure 4 attack.
+	ModeLocal ReserveMode = "local"
+)
+
+// Message is the wire frame; exactly one payload field is set
+// according to Type.
+type Message struct {
+	Type MsgType `json:"type"`
+	// ID matches responses to requests over a shared connection.
+	ID uint64 `json:"id"`
+
+	Reserve       *ReservePayload       `json:"reserve,omitempty"`
+	Cancel        *CancelPayload        `json:"cancel,omitempty"`
+	TunnelAlloc   *TunnelAllocPayload   `json:"tunnel_alloc,omitempty"`
+	TunnelRelease *TunnelReleasePayload `json:"tunnel_release,omitempty"`
+	Status        *StatusPayload        `json:"status,omitempty"`
+	Result        *ResultPayload        `json:"result,omitempty"`
+}
+
+// ReservePayload carries the RAR envelope.
+type ReservePayload struct {
+	Mode ReserveMode `json:"mode"`
+	// EnvelopeData is the encoded envelope (RAR_U, RAR_A, ...).
+	EnvelopeData json.RawMessage `json:"envelope"`
+}
+
+// Envelope decodes the carried envelope.
+func (p *ReservePayload) Envelope() (*envelope.Envelope, error) {
+	return envelope.Decode(p.EnvelopeData)
+}
+
+// CancelPayload withdraws the reservation created under RARID.
+type CancelPayload struct {
+	RARID string `json:"rar_id"`
+}
+
+// TunnelAllocPayload requests a sub-flow of Bandwidth (bits per
+// second) inside the tunnel established by TunnelRARID. SubFlowID
+// names the new flow; User identifies the requestor (authenticated by
+// the channel).
+type TunnelAllocPayload struct {
+	TunnelRARID string      `json:"tunnel_rar_id"`
+	SubFlowID   string      `json:"sub_flow_id"`
+	User        identity.DN `json:"user"`
+	Bandwidth   int64       `json:"bandwidth"`
+}
+
+// TunnelReleasePayload frees a sub-flow.
+type TunnelReleasePayload struct {
+	TunnelRARID string `json:"tunnel_rar_id"`
+	SubFlowID   string `json:"sub_flow_id"`
+}
+
+// StatusPayload queries the reservation created under RARID.
+type StatusPayload struct {
+	RARID string `json:"rar_id"`
+}
+
+// ResultPayload answers any request. For reserve requests, Approvals
+// carries one signed approval per domain on the path, appended as the
+// grant propagates back upstream (§6.4: "the BB adds its own signed
+// policy information and propagates the modified request to the
+// previous intermediate domain BB").
+type ResultPayload struct {
+	Granted bool   `json:"granted"`
+	Reason  string `json:"reason,omitempty"`
+	// Handle is the local reservation handle in the responding domain.
+	Handle string `json:"handle,omitempty"`
+	// Approvals accumulate along the return path, destination first.
+	Approvals []DomainApproval `json:"approvals,omitempty"`
+	// PolicyInfo carries returned attributes (cost quotes etc.).
+	PolicyInfo map[string]string `json:"policy_info,omitempty"`
+}
+
+// DomainApproval is one domain's signed statement about a RAR.
+type DomainApproval struct {
+	Domain  string      `json:"domain"`
+	BBDN    identity.DN `json:"bb_dn"`
+	RARID   string      `json:"rar_id"`
+	Handle  string      `json:"handle"`
+	Granted bool        `json:"granted"`
+	Reason  string      `json:"reason,omitempty"`
+	// Signature is the broker's signature over the canonical payload.
+	Signature []byte `json:"signature"`
+}
+
+func approvalPayload(a *DomainApproval) []byte {
+	return []byte(fmt.Sprintf("approval|%s|%s|%s|%s|%t|%s",
+		a.RARID, a.Domain, a.BBDN, a.Handle, a.Granted, a.Reason))
+}
+
+// SignApproval fills in the signature using the broker's key.
+func SignApproval(a *DomainApproval, key *identity.KeyPair) error {
+	sig, err := key.Sign(approvalPayload(a))
+	if err != nil {
+		return fmt.Errorf("signalling: signing approval: %w", err)
+	}
+	a.Signature = sig
+	return nil
+}
+
+// VerifyApproval checks the approval against the broker's public key.
+func VerifyApproval(a *DomainApproval, pub *ecdsa.PublicKey) error {
+	if a == nil {
+		return fmt.Errorf("signalling: nil approval")
+	}
+	if err := identity.Verify(pub, approvalPayload(a), a.Signature); err != nil {
+		return fmt.Errorf("signalling: approval by %s: %w", a.BBDN, err)
+	}
+	return nil
+}
+
+// Encode serialises a message for the wire.
+func (m *Message) Encode() ([]byte, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("signalling: encode: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeMessage reverses Encode.
+func DecodeMessage(data []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("signalling: decode: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("signalling: message without type")
+	}
+	return &m, nil
+}
+
+// NewReserveMessage wraps an envelope for the wire.
+func NewReserveMessage(mode ReserveMode, env *envelope.Envelope) (*Message, error) {
+	data, err := env.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return &Message{
+		Type:    MsgReserve,
+		Reserve: &ReservePayload{Mode: mode, EnvelopeData: data},
+	}, nil
+}

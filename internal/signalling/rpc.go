@@ -1,0 +1,144 @@
+package signalling
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/transport"
+)
+
+// Peer describes the authenticated remote side of a connection, as
+// established by the channel handshake.
+type Peer struct {
+	DN      identity.DN
+	CertDER []byte
+}
+
+// Handler processes one request message and returns the response.
+// Implementations must be safe for concurrent use.
+type Handler interface {
+	Handle(peer Peer, msg *Message) *Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(peer Peer, msg *Message) *Message
+
+// Handle calls f.
+func (f HandlerFunc) Handle(peer Peer, msg *Message) *Message { return f(peer, msg) }
+
+// Serve accepts connections from ln and dispatches inbound messages
+// to h until the listener closes. Each connection gets its own
+// goroutine; requests on one connection are processed sequentially,
+// preserving ordering.
+func Serve(ln transport.Listener, h Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn, h)
+	}
+}
+
+func serveConn(conn transport.Conn, h Handler) {
+	defer conn.Close()
+	peer := Peer{DN: conn.PeerDN(), CertDER: conn.PeerCertDER()}
+	for {
+		data, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := DecodeMessage(data)
+		if err != nil {
+			log.Printf("signalling: dropping malformed message from %s: %v", peer.DN, err)
+			return
+		}
+		resp := h.Handle(peer, msg)
+		if resp == nil {
+			resp = ErrorResult("internal: no response")
+		}
+		resp.ID = msg.ID
+		out, err := resp.Encode()
+		if err != nil {
+			log.Printf("signalling: encoding response to %s: %v", peer.DN, err)
+			return
+		}
+		if err := conn.Send(out); err != nil {
+			return
+		}
+	}
+}
+
+// ErrorResult builds a denied/failed result message.
+func ErrorResult(reason string) *Message {
+	return &Message{Type: MsgResult, Result: &ResultPayload{Granted: false, Reason: reason}}
+}
+
+// OKResult builds a granted result message.
+func OKResult(handle string) *Message {
+	return &Message{Type: MsgResult, Result: &ResultPayload{Granted: true, Handle: handle}}
+}
+
+// Client is a synchronous request/response client over one
+// authenticated connection. One request is outstanding at a time;
+// concurrent callers serialise.
+type Client struct {
+	mu     sync.Mutex
+	conn   transport.Conn
+	nextID uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn transport.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// Dial connects to addr with the dialer and wraps the connection.
+func Dial(d transport.Dialer, addr string) (*Client, error) {
+	conn, err := d.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// PeerDN reports the authenticated remote identity.
+func (c *Client) PeerDN() identity.DN { return c.conn.PeerDN() }
+
+// PeerCertDER reports the remote certificate.
+func (c *Client) PeerCertDER() []byte { return c.conn.PeerCertDER() }
+
+// Call sends msg and blocks for the matching response.
+func (c *Client) Call(msg *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	msg.ID = c.nextID
+	data, err := msg.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.Send(data); err != nil {
+		return nil, fmt.Errorf("signalling: send to %s: %w", c.conn.PeerDN(), err)
+	}
+	for {
+		raw, err := c.conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("signalling: recv from %s: %w", c.conn.PeerDN(), err)
+		}
+		resp, err := DecodeMessage(raw)
+		if err != nil {
+			return nil, err
+		}
+		if resp.ID != msg.ID {
+			// Stale response from an earlier timed-out call; skip.
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

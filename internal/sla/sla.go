@@ -1,0 +1,208 @@
+// Package sla models the service level agreements that regulate
+// traffic between peered administrative domains and the service level
+// specifications (SLS) that express their QoS parameters. In the
+// paper's architecture, "a specific contract between peered domains
+// comes into place, used by BBs as input for their admission control
+// procedures", and "end-to-end guarantees can then be built by a chain
+// of SLSs".
+package sla
+
+import (
+	"fmt"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+// ExcessTreatment says what an ingress domain does with traffic beyond
+// the contracted profile, one of the SLS parameters §6.1 lists
+// ("parameters for treatment of excess traffic").
+type ExcessTreatment int
+
+// Excess-traffic treatments.
+const (
+	// Drop discards out-of-profile packets at the ingress policer.
+	Drop ExcessTreatment = iota
+	// Remark demotes out-of-profile packets to best effort.
+	Remark
+	// Shape delays out-of-profile packets until they conform.
+	Shape
+)
+
+func (e ExcessTreatment) String() string {
+	switch e {
+	case Drop:
+		return "drop"
+	case Remark:
+		return "remark"
+	case Shape:
+		return "shape"
+	default:
+		return fmt.Sprintf("ExcessTreatment(%d)", int(e))
+	}
+}
+
+// TrafficProfile is a token-bucket traffic specification: the classic
+// (r, b) pair plus a peak rate, matching what DiffServ edge policers
+// implement.
+type TrafficProfile struct {
+	// Rate is the sustained token rate.
+	Rate units.Bandwidth
+	// BucketBytes is the burst allowance in bytes.
+	BucketBytes int64
+	// PeakRate bounds instantaneous sending; zero means unconstrained.
+	PeakRate units.Bandwidth
+}
+
+// Valid reports whether the profile is internally consistent.
+func (p TrafficProfile) Valid() bool {
+	if p.Rate <= 0 || p.BucketBytes <= 0 {
+		return false
+	}
+	if p.PeakRate != 0 && p.PeakRate < p.Rate {
+		return false
+	}
+	return true
+}
+
+// SLS is a service level specification: the measurable QoS parameters
+// an SLA demands for one service class.
+type SLS struct {
+	// Profile is the admitted aggregate traffic envelope.
+	Profile TrafficProfile
+	// Excess is the treatment of out-of-profile traffic.
+	Excess ExcessTreatment
+	// MaxLatency is the per-domain delay bound offered to conforming
+	// traffic; zero means unspecified.
+	MaxLatency time.Duration
+	// Reliability is the contracted availability in [0,1]; zero means
+	// unspecified ("reliability parameters expected for this service").
+	Reliability float64
+}
+
+// Valid reports whether the SLS is well formed.
+func (s SLS) Valid() bool {
+	if !s.Profile.Valid() {
+		return false
+	}
+	if s.Reliability < 0 || s.Reliability > 1 {
+		return false
+	}
+	return s.MaxLatency >= 0
+}
+
+// SLA is the bilateral contract between two peered domains. It also
+// carries the trust-establishment material the paper adds: "we extend
+// this agreement by adding information to facilitate the trust
+// relationship between two peered BBs. This information includes the
+// certificates of the peered BBs as well as the certificate of the
+// issuing certificate authority."
+type SLA struct {
+	// Upstream and Downstream name the peered domains; traffic covered
+	// by this SLA flows Upstream -> Downstream.
+	Upstream   string
+	Downstream string
+	// Service is the premium-class SLS for the aggregate.
+	Service SLS
+	// UpstreamBBDN / DownstreamBBDN identify the peered brokers.
+	UpstreamBBDN   identity.DN
+	DownstreamBBDN identity.DN
+	// UpstreamBBCertDER / DownstreamBBCertDER pin the broker
+	// certificates, and CACertDERs the issuing CAs, per §6.4.
+	UpstreamBBCertDER   []byte
+	DownstreamBBCertDER []byte
+	CACertDERs          [][]byte
+	// ValidFrom/ValidUntil bound the contract.
+	ValidFrom  time.Time
+	ValidUntil time.Time
+}
+
+// Valid reports structural validity at time t.
+func (s *SLA) Valid(t time.Time) bool {
+	if s == nil || !s.Service.Valid() {
+		return false
+	}
+	if s.Upstream == "" || s.Downstream == "" || s.Upstream == s.Downstream {
+		return false
+	}
+	if !s.ValidFrom.IsZero() && t.Before(s.ValidFrom) {
+		return false
+	}
+	if !s.ValidUntil.IsZero() && !t.Before(s.ValidUntil) {
+		return false
+	}
+	return true
+}
+
+// Conforms checks whether an additional reservation of rate bw on top
+// of committed aggregate usage fits the SLA's contracted profile.
+func (s *SLA) Conforms(committed, bw units.Bandwidth) error {
+	if s == nil {
+		return fmt.Errorf("sla: no SLA in place")
+	}
+	if bw <= 0 {
+		return fmt.Errorf("sla: non-positive bandwidth %v", bw)
+	}
+	if committed+bw > s.Service.Profile.Rate {
+		return fmt.Errorf("sla: aggregate %v + request %v exceeds contracted rate %v (%s -> %s)",
+			committed, bw, s.Service.Profile.Rate, s.Upstream, s.Downstream)
+	}
+	return nil
+}
+
+// Chain is an ordered list of SLAs along an inter-domain path; the
+// paper: "End-to-end guarantees can then be built by a chain of SLSs."
+type Chain []*SLA
+
+// EndToEndLatency sums the per-domain latency bounds; ok is false when
+// any hop leaves its bound unspecified.
+func (c Chain) EndToEndLatency() (time.Duration, bool) {
+	var total time.Duration
+	for _, s := range c {
+		if s == nil || s.Service.MaxLatency == 0 {
+			return 0, false
+		}
+		total += s.Service.MaxLatency
+	}
+	return total, true
+}
+
+// BottleneckRate returns the minimum contracted rate along the chain,
+// the end-to-end aggregate capacity.
+func (c Chain) BottleneckRate() units.Bandwidth {
+	var min units.Bandwidth
+	for i, s := range c {
+		if s == nil {
+			return 0
+		}
+		if i == 0 || s.Service.Profile.Rate < min {
+			min = s.Service.Profile.Rate
+		}
+	}
+	return min
+}
+
+// EndToEndReliability multiplies the per-domain reliabilities; ok is
+// false when any hop leaves reliability unspecified.
+func (c Chain) EndToEndReliability() (float64, bool) {
+	rel := 1.0
+	for _, s := range c {
+		if s == nil || s.Service.Reliability == 0 {
+			return 0, false
+		}
+		rel *= s.Service.Reliability
+	}
+	return rel, true
+}
+
+// Contiguous reports whether each SLA's downstream domain is the next
+// SLA's upstream domain, i.e. the chain actually describes one path.
+func (c Chain) Contiguous() bool {
+	for i := 1; i < len(c); i++ {
+		if c[i-1] == nil || c[i] == nil || c[i-1].Downstream != c[i].Upstream {
+			return false
+		}
+	}
+	return true
+}

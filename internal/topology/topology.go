@@ -1,0 +1,279 @@
+// Package topology models the inter-domain structure of the testbed:
+// administrative domains, their peering links, host-to-domain routing,
+// and inter-domain path computation. The GARA end-to-end library uses
+// it to determine "the relevant BBs" for a source/destination pair;
+// bandwidth brokers use it to find their next hop toward a destination
+// domain.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+// Domain describes one administrative domain.
+type Domain struct {
+	// Name is the domain identifier, e.g. "DomainA".
+	Name string
+	// BBDN is the distinguished name of the domain's bandwidth broker.
+	BBDN identity.DN
+	// Prefixes lists the address prefixes (string-prefix matched hosts)
+	// that belong to this domain, e.g. "hostA." or "10.1.".
+	Prefixes []string
+}
+
+// Link is a bidirectional peering between two domains with a physical
+// capacity.
+type Link struct {
+	A, B     string
+	Capacity units.Bandwidth
+	// Cost is the routing metric; 0 means 1.
+	Cost int
+}
+
+func (l Link) cost() int {
+	if l.Cost <= 0 {
+		return 1
+	}
+	return l.Cost
+}
+
+// Topology is the peering graph. It is safe for concurrent use.
+type Topology struct {
+	mu      sync.RWMutex
+	domains map[string]*Domain
+	// adj maps domain -> neighbor -> link.
+	adj map[string]map[string]Link
+}
+
+// New creates an empty topology.
+func New() *Topology {
+	return &Topology{
+		domains: make(map[string]*Domain),
+		adj:     make(map[string]map[string]Link),
+	}
+}
+
+// AddDomain registers a domain; re-adding replaces its metadata.
+func (t *Topology) AddDomain(d Domain) error {
+	if d.Name == "" {
+		return fmt.Errorf("topology: empty domain name")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dd := d
+	t.domains[d.Name] = &dd
+	if t.adj[d.Name] == nil {
+		t.adj[d.Name] = make(map[string]Link)
+	}
+	return nil
+}
+
+// AddLink connects two registered domains.
+func (t *Topology) AddLink(l Link) error {
+	if l.A == l.B {
+		return fmt.Errorf("topology: self link on %s", l.A)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.domains[l.A] == nil {
+		return fmt.Errorf("topology: unknown domain %s", l.A)
+	}
+	if t.domains[l.B] == nil {
+		return fmt.Errorf("topology: unknown domain %s", l.B)
+	}
+	t.adj[l.A][l.B] = l
+	rev := l
+	rev.A, rev.B = l.B, l.A
+	t.adj[l.B][l.A] = rev
+	return nil
+}
+
+// Domain returns the metadata for name.
+func (t *Topology) Domain(name string) (*Domain, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d, ok := t.domains[name]
+	return d, ok
+}
+
+// Domains returns all domain names, sorted.
+func (t *Topology) Domains() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.domains))
+	for name := range t.domains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns the sorted neighbor names of a domain.
+func (t *Topology) Neighbors(name string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.adj[name]))
+	for n := range t.adj[name] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkBetween returns the peering link between two domains.
+func (t *Topology) LinkBetween(a, b string) (Link, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	l, ok := t.adj[a][b]
+	return l, ok
+}
+
+// DomainForHost resolves a host identifier to its domain via longest
+// prefix match.
+func (t *Topology) DomainForHost(host string) (string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	best, bestLen := "", -1
+	for name, d := range t.domains {
+		for _, p := range d.Prefixes {
+			if strings.HasPrefix(host, p) && len(p) > bestLen {
+				best, bestLen = name, len(p)
+			}
+		}
+	}
+	if bestLen < 0 {
+		return "", fmt.Errorf("topology: no domain for host %q", host)
+	}
+	return best, nil
+}
+
+// Path computes the minimum-cost domain path from src to dst (inclusive
+// of both endpoints) with Dijkstra over link costs. Ties break toward
+// lexicographically smaller neighbor names so paths are deterministic.
+func (t *Topology) Path(src, dst string) ([]string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.domains[src] == nil {
+		return nil, fmt.Errorf("topology: unknown source domain %s", src)
+	}
+	if t.domains[dst] == nil {
+		return nil, fmt.Errorf("topology: unknown destination domain %s", dst)
+	}
+	if src == dst {
+		return []string{src}, nil
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make(map[string]int, len(t.domains))
+	prev := make(map[string]string, len(t.domains))
+	visited := make(map[string]bool, len(t.domains))
+	for name := range t.domains {
+		dist[name] = inf
+	}
+	dist[src] = 0
+	for {
+		// Extract the unvisited node with minimal distance,
+		// lexicographic tiebreak.
+		cur, best := "", inf
+		for name, d := range dist {
+			if visited[name] || d > best {
+				continue
+			}
+			if d < best || (d == best && (cur == "" || name < cur)) {
+				cur, best = name, d
+			}
+		}
+		if cur == "" || best == inf {
+			return nil, fmt.Errorf("topology: no path from %s to %s", src, dst)
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		// Deterministic neighbor order.
+		neigh := make([]string, 0, len(t.adj[cur]))
+		for n := range t.adj[cur] {
+			neigh = append(neigh, n)
+		}
+		sort.Strings(neigh)
+		for _, n := range neigh {
+			if visited[n] {
+				continue
+			}
+			l := t.adj[cur][n]
+			if nd := dist[cur] + l.cost(); nd < dist[n] {
+				dist[n] = nd
+				prev[n] = cur
+			}
+		}
+	}
+	// Reconstruct.
+	var rev []string
+	for cur := dst; cur != ""; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil, fmt.Errorf("topology: no path from %s to %s", src, dst)
+	}
+	path := make([]string, len(rev))
+	for i, d := range rev {
+		path[len(rev)-1-i] = d
+	}
+	return path, nil
+}
+
+// NextHop returns the neighbor of cur on the computed path toward dst.
+func (t *Topology) NextHop(cur, dst string) (string, error) {
+	path, err := t.Path(cur, dst)
+	if err != nil {
+		return "", err
+	}
+	if len(path) < 2 {
+		return "", fmt.Errorf("topology: %s is the destination", cur)
+	}
+	return path[1], nil
+}
+
+// Linear builds the canonical N-domain chain topology of the paper's
+// figures: Domain0 - Domain1 - ... - Domain{n-1}, each with a BB DN
+// "/O=Grid/OU=Domain<i>/CN=bb-<i>" and host prefix "host<i>.".
+// Names may be overridden by passing explicit labels.
+func Linear(n int, capacity units.Bandwidth, labels ...string) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least one domain")
+	}
+	if len(labels) != 0 && len(labels) != n {
+		return nil, fmt.Errorf("topology: got %d labels for %d domains", len(labels), n)
+	}
+	t := New()
+	name := func(i int) string {
+		if len(labels) == n {
+			return labels[i]
+		}
+		return fmt.Sprintf("Domain%d", i)
+	}
+	for i := 0; i < n; i++ {
+		d := Domain{
+			Name:     name(i),
+			BBDN:     identity.NewDN("Grid", name(i), fmt.Sprintf("bb-%d", i)),
+			Prefixes: []string{fmt.Sprintf("host%d.", i), strings.ToLower(name(i)) + "."},
+		}
+		if err := t.AddDomain(d); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := t.AddLink(Link{A: name(i - 1), B: name(i), Capacity: capacity}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

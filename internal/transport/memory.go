@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"e2eqos/internal/identity"
+)
+
+// ErrClosed is returned by operations on a closed connection or
+// listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Network is an in-process message network. Endpoints register
+// listeners under string addresses; dialing performs an implicit
+// mutual-authentication handshake (each side learns the other's DN and
+// certificate, standing in for the TLS handshake). Every message is
+// delivered after the configured one-way latency, and global counters
+// record message and byte volumes for the experiments.
+type Network struct {
+	// Latency is the one-way delivery delay applied to every message
+	// (and to connection establishment, once per dial).
+	Latency time.Duration
+
+	mu        sync.Mutex
+	listeners map[string]*memListener
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+	dials atomic.Int64
+}
+
+// NewNetwork creates a network with the given one-way latency.
+func NewNetwork(latency time.Duration) *Network {
+	return &Network{Latency: latency, listeners: make(map[string]*memListener)}
+}
+
+// Messages returns the total messages sent over this network.
+func (n *Network) Messages() int64 { return n.msgs.Load() }
+
+// Bytes returns the total payload bytes sent.
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// Dials returns the number of connections established.
+func (n *Network) Dials() int64 { return n.dials.Load() }
+
+// ResetCounters zeroes the accounting, between experiment runs.
+func (n *Network) ResetCounters() {
+	n.msgs.Store(0)
+	n.bytes.Store(0)
+	n.dials.Store(0)
+}
+
+// Endpoint is one named party on the network. The DN and certificate
+// are presented to peers during the handshake.
+type Endpoint struct {
+	net     *Network
+	dn      identity.DN
+	certDER []byte
+}
+
+// NewEndpoint creates an endpoint for dn with an optional certificate.
+func (n *Network) NewEndpoint(dn identity.DN, certDER []byte) *Endpoint {
+	return &Endpoint{net: n, dn: dn, certDER: certDER}
+}
+
+// Listen registers the endpoint under addr.
+func (e *Endpoint) Listen(addr string) (Listener, error) {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if _, exists := e.net.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &memListener{
+		net:     e.net,
+		ep:      e,
+		addr:    addr,
+		backlog: make(chan *memConn, 64),
+	}
+	e.net.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr, waiting one latency for the handshake.
+func (e *Endpoint) Dial(addr string) (Conn, error) {
+	e.net.mu.Lock()
+	l, ok := e.net.listeners[addr]
+	e.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	e.net.dials.Add(1)
+	if e.net.Latency > 0 {
+		time.Sleep(e.net.Latency)
+	}
+	clientSide, serverSide := newMemPair(e.net, e, l.ep)
+	select {
+	case l.backlog <- serverSide:
+		return clientSide, nil
+	default:
+		clientSide.Close()
+		return nil, fmt.Errorf("transport: listener at %q backlog full", addr)
+	}
+}
+
+type memListener struct {
+	net     *Network
+	ep      *Endpoint
+	addr    string
+	backlog chan *memConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	if l.closed == nil {
+		l.closed = make(chan struct{})
+	}
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		if l.closed == nil {
+			l.closed = make(chan struct{})
+		}
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// timedMsg carries the payload plus its delivery deadline.
+type timedMsg struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// pairState is the shared shutdown latch of the two half-connections.
+type pairState struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func (p *pairState) close() { p.once.Do(func() { close(p.done) }) }
+
+type memConn struct {
+	net      *Network
+	peerDN   identity.DN
+	peerCert []byte
+	out      chan timedMsg
+	in       chan timedMsg
+	pair     *pairState
+	done     chan struct{}
+}
+
+// newMemPair wires two half-connections together.
+func newMemPair(n *Network, client, server *Endpoint) (*memConn, *memConn) {
+	aToB := make(chan timedMsg, 256)
+	bToA := make(chan timedMsg, 256)
+	pair := &pairState{done: make(chan struct{})}
+	c := &memConn{net: n, peerDN: server.dn, peerCert: server.certDER, out: aToB, in: bToA, pair: pair, done: pair.done}
+	s := &memConn{net: n, peerDN: client.dn, peerCert: client.certDER, out: bToA, in: aToB, pair: pair, done: pair.done}
+	return c, s
+}
+
+func (c *memConn) Send(msg []byte) error {
+	// Deterministically refuse once closed; the select below would
+	// otherwise pick randomly between the buffered queue and done.
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	tm := timedMsg{data: cp, deliverAt: time.Now().Add(c.net.Latency)}
+	select {
+	case c.out <- tm:
+		c.net.msgs.Add(1)
+		c.net.bytes.Add(int64(len(msg)))
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case m := <-c.in:
+		if wait := time.Until(m.deliverAt); wait > 0 {
+			time.Sleep(wait)
+		}
+		return m.data, nil
+	case <-c.done:
+		// Drain any already queued message to preserve FIFO semantics
+		// on graceful close.
+		select {
+		case m := <-c.in:
+			if wait := time.Until(m.deliverAt); wait > 0 {
+				time.Sleep(wait)
+			}
+			return m.data, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) PeerDN() identity.DN { return c.peerDN }
+func (c *memConn) PeerCertDER() []byte { return c.peerCert }
+
+func (c *memConn) Close() error {
+	c.pair.close()
+	return nil
+}

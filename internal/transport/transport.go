@@ -1,0 +1,48 @@
+// Package transport provides the mutually authenticated, message
+// oriented channels the signalling protocol runs over. Two
+// implementations exist:
+//
+//   - Memory: an in-process network with configurable per-hop latency
+//     and global message accounting, used by the experiments so that
+//     latency and message-count series are deterministic.
+//   - TLS: real crypto/tls over TCP with mandatory client
+//     certificates, used by the daemons (cmd/bbd etc.); this is the
+//     "SSLv3/TLS" channel of §6.4.
+//
+// Both expose the peer's authenticated identity (DN and certificate),
+// which the signalling layer relies on: "Because RAR_U was received
+// through a mutually authenticated channel, we assume that the BB in
+// domain A has access to the user's certificate."
+package transport
+
+import (
+	"e2eqos/internal/identity"
+)
+
+// Conn is a message-oriented, mutually authenticated channel.
+type Conn interface {
+	// Send transmits one message.
+	Send(msg []byte) error
+	// Recv blocks for the next message.
+	Recv() ([]byte, error)
+	// PeerDN is the authenticated identity of the remote side.
+	PeerDN() identity.DN
+	// PeerCertDER is the remote identity certificate (nil if the
+	// transport has none, which never happens for TLS).
+	PeerCertDER() []byte
+	// Close tears the channel down.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the listen address in the transport's namespace.
+	Addr() string
+}
+
+// Dialer opens outbound connections.
+type Dialer interface {
+	Dial(addr string) (Conn, error)
+}

@@ -1,0 +1,156 @@
+// Package tunnel manages aggregate end-to-end reservations and their
+// sub-flow allocations. A tunnel is established once through the full
+// hop-by-hop signalling path; afterwards "users authorized to use this
+// tunnel can then request portions of this aggregate bandwidth by
+// contacting just the two end domains — the intermediate domains do
+// not need to be contacted as long as the total bandwidth remains less
+// than the size of the tunnel."
+package tunnel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+// Endpoint is one end domain's view of an established tunnel.
+type Endpoint struct {
+	// RARID identifies the tunnel's establishing reservation.
+	RARID string
+	// Aggregate is the tunnel size.
+	Aggregate units.Bandwidth
+	// Window is the tunnel's validity interval.
+	Window units.Window
+	// PeerBB is the broker at the other end, whose identity the
+	// signalling chain authenticated; only it may drive allocations
+	// over the direct channel.
+	PeerBB identity.DN
+	// Owner is the user who established the tunnel.
+	Owner identity.DN
+
+	mu     sync.Mutex
+	allocs map[string]units.Bandwidth
+}
+
+// NewEndpoint records an established tunnel at one end domain.
+func NewEndpoint(rarID string, aggregate units.Bandwidth, w units.Window, peerBB, owner identity.DN) (*Endpoint, error) {
+	if rarID == "" {
+		return nil, fmt.Errorf("tunnel: empty RAR id")
+	}
+	if aggregate <= 0 {
+		return nil, fmt.Errorf("tunnel: non-positive aggregate %v", aggregate)
+	}
+	if !w.Valid() {
+		return nil, fmt.Errorf("tunnel: invalid window %v", w)
+	}
+	return &Endpoint{
+		RARID:     rarID,
+		Aggregate: aggregate,
+		Window:    w,
+		PeerBB:    peerBB,
+		Owner:     owner,
+		allocs:    make(map[string]units.Bandwidth),
+	}, nil
+}
+
+// Used returns the currently allocated sub-flow total.
+func (e *Endpoint) Used() units.Bandwidth {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.usedLocked()
+}
+
+func (e *Endpoint) usedLocked() units.Bandwidth {
+	var sum units.Bandwidth
+	for _, bw := range e.allocs {
+		sum += bw
+	}
+	return sum
+}
+
+// Free returns the unallocated tunnel bandwidth.
+func (e *Endpoint) Free() units.Bandwidth { return e.Aggregate - e.Used() }
+
+// Allocate admits a sub-flow of bw under subID.
+func (e *Endpoint) Allocate(subID string, bw units.Bandwidth) error {
+	if subID == "" {
+		return fmt.Errorf("tunnel: empty sub-flow id")
+	}
+	if bw <= 0 {
+		return fmt.Errorf("tunnel: non-positive bandwidth %v", bw)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.allocs[subID]; exists {
+		return fmt.Errorf("tunnel: sub-flow %q already allocated", subID)
+	}
+	if e.usedLocked()+bw > e.Aggregate {
+		return fmt.Errorf("tunnel %s: allocation %v exceeds free capacity %v",
+			e.RARID, bw, e.Aggregate-e.usedLocked())
+	}
+	e.allocs[subID] = bw
+	return nil
+}
+
+// Release frees the sub-flow.
+func (e *Endpoint) Release(subID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.allocs[subID]; !exists {
+		return fmt.Errorf("tunnel %s: unknown sub-flow %q", e.RARID, subID)
+	}
+	delete(e.allocs, subID)
+	return nil
+}
+
+// SubFlows lists current allocations, sorted by id.
+func (e *Endpoint) SubFlows() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.allocs))
+	for id := range e.allocs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry indexes the tunnels terminating at one broker.
+type Registry struct {
+	mu      sync.RWMutex
+	tunnels map[string]*Endpoint
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tunnels: make(map[string]*Endpoint)}
+}
+
+// Add registers an endpoint; duplicate RAR ids are refused.
+func (r *Registry) Add(e *Endpoint) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.tunnels[e.RARID]; exists {
+		return fmt.Errorf("tunnel: %s already registered", e.RARID)
+	}
+	r.tunnels[e.RARID] = e
+	return nil
+}
+
+// Get looks an endpoint up.
+func (r *Registry) Get(rarID string) (*Endpoint, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.tunnels[rarID]
+	return e, ok
+}
+
+// Remove tears an endpoint down.
+func (r *Registry) Remove(rarID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tunnels, rarID)
+}

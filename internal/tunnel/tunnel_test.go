@@ -1,0 +1,117 @@
+package tunnel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/units"
+)
+
+func newEndpoint(t *testing.T, aggregate units.Bandwidth) *Endpoint {
+	t.Helper()
+	ep, err := NewEndpoint("RAR-1", aggregate,
+		units.NewWindow(time.Now(), time.Hour),
+		identity.NewDN("Grid", "C", "bb"), identity.NewDN("Grid", "A", "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func TestNewEndpointValidation(t *testing.T) {
+	w := units.NewWindow(time.Now(), time.Hour)
+	if _, err := NewEndpoint("", 10, w, "/CN=x", "/CN=y"); err == nil {
+		t.Error("empty RAR id accepted")
+	}
+	if _, err := NewEndpoint("r", 0, w, "/CN=x", "/CN=y"); err == nil {
+		t.Error("zero aggregate accepted")
+	}
+	if _, err := NewEndpoint("r", 10, units.Window{}, "/CN=x", "/CN=y"); err == nil {
+		t.Error("invalid window accepted")
+	}
+}
+
+func TestAllocateReleaseAccounting(t *testing.T) {
+	ep := newEndpoint(t, 50*units.Mbps)
+	for i, id := range []string{"a", "b", "c", "d", "e"} {
+		if err := ep.Allocate(id, 10*units.Mbps); err != nil {
+			t.Fatalf("allocation %d: %v", i, err)
+		}
+	}
+	if ep.Free() != 0 || ep.Used() != 50*units.Mbps {
+		t.Errorf("used=%v free=%v", ep.Used(), ep.Free())
+	}
+	if err := ep.Allocate("overflow", units.Mbps); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if err := ep.Release("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Allocate("refill", 10*units.Mbps); err != nil {
+		t.Fatalf("allocation after release: %v", err)
+	}
+	if err := ep.Release("ghost"); err == nil {
+		t.Fatal("release of unknown sub-flow succeeded")
+	}
+	if err := ep.Allocate("a", units.Mbps); err == nil {
+		t.Fatal("duplicate sub-flow id accepted")
+	}
+	if err := ep.Allocate("", units.Mbps); err == nil {
+		t.Fatal("empty sub-flow id accepted")
+	}
+	if err := ep.Allocate("neg", -1); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	subs := ep.SubFlows()
+	if len(subs) != 5 {
+		t.Errorf("subflows = %v", subs)
+	}
+}
+
+func TestConcurrentAllocationsNeverOversubscribe(t *testing.T) {
+	ep := newEndpoint(t, 100*units.Mbps)
+	var wg sync.WaitGroup
+	granted := make(chan struct{}, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ep.Allocate(string(rune('a'+i%26))+string(rune('0'+i/26)), units.Mbps); err == nil {
+				granted <- struct{}{}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(granted)
+	n := 0
+	for range granted {
+		n++
+	}
+	if n != 100 {
+		t.Errorf("granted %d 1Mb/s sub-flows into 100Mb/s tunnel, want 100", n)
+	}
+	if ep.Used() != 100*units.Mbps {
+		t.Errorf("used = %v", ep.Used())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	ep := newEndpoint(t, 10*units.Mbps)
+	if err := r.Add(ep); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(ep); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	got, ok := r.Get("RAR-1")
+	if !ok || got != ep {
+		t.Fatal("lookup failed")
+	}
+	r.Remove("RAR-1")
+	if _, ok := r.Get("RAR-1"); ok {
+		t.Fatal("removed endpoint still present")
+	}
+}

@@ -1,0 +1,179 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		in   Bandwidth
+		want string
+	}{
+		{10 * Mbps, "10Mb/s"},
+		{1 * Gbps, "1Gb/s"},
+		{500 * Kbps, "500Kb/s"},
+		{999, "999b/s"},
+		{1500 * Kbps, "1500Kb/s"},
+		{2500000, "2500Kb/s"},
+		{Bandwidth(1234567), "1.23Mb/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bandwidth(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bandwidth
+	}{
+		{"10Mb/s", 10 * Mbps},
+		{"10mbps", 10 * Mbps},
+		{"1.5Gb/s", 1500 * Mbps},
+		{"500Kb/s", 500 * Kbps},
+		{"250000", 250000},
+		{" 42 m ", 42 * Mbps},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.in)
+		if err != nil {
+			t.Fatalf("ParseBandwidth(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBandwidthErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-5Mb/s", "Mb/s", "10XB/s"} {
+		if _, err := ParseBandwidth(in); err == nil {
+			t.Errorf("ParseBandwidth(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseBandwidthRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		b := Bandwidth(n)
+		got, err := ParseBandwidth(b.String())
+		if err != nil {
+			return false
+		}
+		// Fractional renderings lose at most 0.5% precision.
+		diff := int64(got) - int64(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff*200 <= int64(b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (8 * Mbps).BytesIn(time.Second); got != 1_000_000 {
+		t.Errorf("8Mb/s over 1s = %d bytes, want 1000000", got)
+	}
+	if got := (10 * Mbps).BytesIn(500 * time.Millisecond); got != 625_000 {
+		t.Errorf("10Mb/s over 0.5s = %d bytes, want 625000", got)
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	d := (8 * Mbps).TimeToSend(1_000_000)
+	if d != time.Second {
+		t.Errorf("TimeToSend = %v, want 1s", d)
+	}
+	if d := Bandwidth(0).TimeToSend(1); d <= 0 {
+		t.Errorf("zero bandwidth should yield maximal duration, got %v", d)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	t0 := time.Date(2001, 8, 1, 9, 0, 0, 0, time.UTC)
+	w := NewWindow(t0, time.Hour)
+	if !w.Valid() {
+		t.Fatal("window should be valid")
+	}
+	if w.Duration() != time.Hour {
+		t.Errorf("Duration = %v", w.Duration())
+	}
+	if !w.Contains(t0) {
+		t.Error("window must contain its start")
+	}
+	if w.Contains(w.End) {
+		t.Error("window must not contain its end (half-open)")
+	}
+	if w.Contains(t0.Add(-time.Nanosecond)) {
+		t.Error("window must not contain times before start")
+	}
+}
+
+func TestWindowOverlapIntersect(t *testing.T) {
+	t0 := time.Date(2001, 8, 1, 9, 0, 0, 0, time.UTC)
+	a := NewWindow(t0, time.Hour)
+	b := NewWindow(t0.Add(30*time.Minute), time.Hour)
+	c := NewWindow(t0.Add(time.Hour), time.Hour)
+
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("adjacent half-open windows must not overlap")
+	}
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("a∩b should exist")
+	}
+	want := Window{Start: t0.Add(30 * time.Minute), End: t0.Add(time.Hour)}
+	if !got.Start.Equal(want.Start) || !got.End.Equal(want.End) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("a∩c should not exist")
+	}
+}
+
+func TestWindowIntersectProperty(t *testing.T) {
+	base := time.Date(2001, 8, 1, 0, 0, 0, 0, time.UTC)
+	f := func(s1, d1, s2, d2 uint16) bool {
+		a := NewWindow(base.Add(time.Duration(s1)*time.Second), time.Duration(d1+1)*time.Second)
+		b := NewWindow(base.Add(time.Duration(s2)*time.Second), time.Duration(d2+1)*time.Second)
+		i, ok := a.Intersect(b)
+		if ok != a.Overlaps(b) {
+			return false
+		}
+		if ok {
+			// Intersection must lie within both windows.
+			return !i.Start.Before(a.Start) && !i.Start.Before(b.Start) &&
+				!i.End.After(a.End) && !i.End.After(b.End) && i.Valid()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{512, "512B"},
+		{1500, "1.50KB"},
+		{3 * MB, "3.00MB"},
+		{2 * GB, "2.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

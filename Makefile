@@ -1,0 +1,26 @@
+# Build / verification tiers.
+#
+#   make build    compile everything
+#   make test     tier-1: full test suite
+#   make verify   tier-2: go vet + race-detector run over the whole
+#                 tree (the concurrent control plane — transport,
+#                 signalling, bb — plus the bench world setup all run
+#                 under -race)
+#   make bench    benchmark harness
+
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

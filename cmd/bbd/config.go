@@ -44,6 +44,18 @@ type FileConfig struct {
 	Peers []PeerConfig `json:"peers"`
 	// CPUs, when positive, co-manages a CPU pool of that size.
 	CPUs int `json:"cpus,omitempty"`
+
+	// CallTimeout bounds every downstream signalling call, e.g. "2s"
+	// (default "5s"; "0" waits forever). Overridable with -call-timeout.
+	CallTimeout string `json:"call_timeout,omitempty"`
+	// MaxRetries retries transport-failed downstream calls with
+	// exponential backoff starting at RetryBackoff (e.g. "50ms").
+	MaxRetries   int    `json:"max_retries,omitempty"`
+	RetryBackoff string `json:"retry_backoff,omitempty"`
+	// BreakerThreshold consecutive transport failures open the per-peer
+	// circuit for BreakerCooldown (e.g. "5s"). Zero disables.
+	BreakerThreshold int    `json:"breaker_threshold,omitempty"`
+	BreakerCooldown  string `json:"breaker_cooldown,omitempty"`
 }
 
 // DomainConfig mirrors topology.Domain.
@@ -200,18 +212,50 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	tlsCfg := &transport.TLSConfig{CertDER: cert.DER, Key: key.Private, RootDERs: rootDERs}
 	dialer := transport.NewTLSDialer(tlsCfg)
 
+	parseDur := func(name, s string, def time.Duration) (time.Duration, error) {
+		if s == "" {
+			return def, nil
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("bbd: %s: %w", name, err)
+		}
+		return d, nil
+	}
+	callTimeout, err := parseDur("call_timeout", cfg.CallTimeout, 5*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The same budget bounds connection establishment: a peer that
+	// accepts TCP but never finishes the TLS handshake must not stall
+	// the broker past the call deadline.
+	dialer.Timeout = callTimeout
+	retryBackoff, err := parseDur("retry_backoff", cfg.RetryBackoff, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	breakerCooldown, err := parseDur("breaker_cooldown", cfg.BreakerCooldown, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	bbCfg := bb.Config{
-		Domain:      cfg.Domain,
-		Key:         key,
-		Cert:        cert,
-		Trust:       trust,
-		Policy:      ps,
-		Capacity:    capacity,
-		Topo:        topo,
-		InboundSLAs: inbound,
-		PeerCerts:   peerCerts,
-		PeerAddrs:   peerAddrs,
-		Dialer:      dialer,
+		Domain:           cfg.Domain,
+		Key:              key,
+		Cert:             cert,
+		Trust:            trust,
+		Policy:           ps,
+		Capacity:         capacity,
+		Topo:             topo,
+		InboundSLAs:      inbound,
+		PeerCerts:        peerCerts,
+		PeerAddrs:        peerAddrs,
+		Dialer:           dialer,
+		CallTimeout:      callTimeout,
+		MaxRetries:       cfg.MaxRetries,
+		RetryBackoff:     retryBackoff,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  breakerCooldown,
 	}
 	if cfg.CPUs > 0 {
 		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)

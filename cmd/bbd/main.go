@@ -29,6 +29,11 @@ func newCPUManager(domain string, cpus int) (*cpusched.Manager, error) {
 
 func main() {
 	configPath := flag.String("config", "", "path to the broker JSON config (required)")
+	callTimeout := flag.String("call-timeout", "", "override call_timeout, e.g. 2s (0 waits forever)")
+	maxRetries := flag.Int("max-retries", -1, "override max_retries for downstream calls")
+	retryBackoff := flag.String("retry-backoff", "", "override retry_backoff, e.g. 50ms")
+	breakerThreshold := flag.Int("breaker-threshold", -1, "override breaker_threshold (0 disables the circuit breaker)")
+	breakerCooldown := flag.String("breaker-cooldown", "", "override breaker_cooldown, e.g. 5s")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "bbd: -config is required")
@@ -37,6 +42,21 @@ func main() {
 	cfg, err := LoadConfig(*configPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *callTimeout != "" {
+		cfg.CallTimeout = *callTimeout
+	}
+	if *maxRetries >= 0 {
+		cfg.MaxRetries = *maxRetries
+	}
+	if *retryBackoff != "" {
+		cfg.RetryBackoff = *retryBackoff
+	}
+	if *breakerThreshold >= 0 {
+		cfg.BreakerThreshold = *breakerThreshold
+	}
+	if *breakerCooldown != "" {
+		cfg.BreakerCooldown = *breakerCooldown
 	}
 	broker, ln, err := cfg.Build()
 	if err != nil {

@@ -17,11 +17,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, keydist, billing, diffserv, all")
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, keydist, billing, diffserv, faults, all")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
 	trials := flag.Int("trials", 3, "trials per signalling measurement")
+	callTimeout := flag.Duration("call-timeout", 100*time.Millisecond, "per-hop signalling deadline for the faults experiment")
+	faultTrials := flag.Int("fault-trials", 20, "reservations per cell of the faults sweep")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -108,6 +110,16 @@ func main() {
 		t, err := experiment.RunDiffServChain(5, *duration)
 		if err != nil {
 			fail("diffserv", err)
+		}
+		emit(t)
+	}
+	if run("faults") {
+		t, err := experiment.RunFaultSweep(experiment.FaultSweepConfig{
+			CallTimeout: *callTimeout,
+			Trials:      *faultTrials,
+		})
+		if err != nil {
+			fail("faults", err)
 		}
 		emit(t)
 	}

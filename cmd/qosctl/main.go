@@ -36,6 +36,7 @@ func main() {
 	keyFile := flag.String("key", "", "user key PEM (required)")
 	certFile := flag.String("cert", "", "user certificate PEM (required)")
 	roots := flag.String("roots", "", "comma-separated trusted CA certificate PEMs (required)")
+	timeout := flag.Duration("timeout", 30*time.Second, "bound on connecting and on each call (0 waits forever)")
 	flag.Parse()
 	if *keyFile == "" || *certFile == "" || *roots == "" {
 		die("-key, -cert and -roots are required")
@@ -61,11 +62,13 @@ func main() {
 		rootDERs = append(rootDERs, root.DER)
 	}
 	dialer := transport.NewTLSDialer(&transport.TLSConfig{CertDER: cert.DER, Key: key.Private, RootDERs: rootDERs})
+	dialer.Timeout = *timeout
 	client, err := signalling.Dial(dialer, *bbAddr)
 	if err != nil {
 		die("dialing broker: %v", err)
 	}
 	defer client.Close()
+	client.Timeout = *timeout
 
 	switch flag.Arg(0) {
 	case "reserve":

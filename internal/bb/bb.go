@@ -78,6 +78,25 @@ type Config struct {
 	Plane *DataPlane
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
+
+	// CallTimeout bounds each downstream signalling call (reserve
+	// forwarding, cancel propagation, tunnel allocation). Zero waits
+	// forever — the pre-robustness behaviour.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a transport-failed downstream call
+	// is retried (protocol denials are never retried). Zero disables.
+	MaxRetries int
+	// RetryBackoff is the initial retry delay, doubling per attempt
+	// (default 10ms when retries are enabled).
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a per-peer circuit breaker after that
+	// many consecutive transport failures, so calls to a dead
+	// neighbour fail fast instead of each waiting out a deadline.
+	// Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses calls before
+	// letting a probe through (default 5s).
+	BreakerCooldown time.Duration
 }
 
 // rarState remembers what a reserve created locally, for cancellation
@@ -88,6 +107,14 @@ type rarState struct {
 	tunnel   bool
 	sourceBB identity.DN // authenticated source-domain broker (or user)
 	spec     *core.Spec
+	// done is closed once the reserve that created this entry has
+	// settled; duplicates and cancels arriving mid-flight wait on it.
+	done chan struct{}
+	// outcome is the response originally returned for this RAR,
+	// replayed verbatim when a retransmitted reserve arrives (the
+	// upstream hop retries after losing the response; re-admitting
+	// would double-book, denying a granted chain would strand it).
+	outcome *signalling.Message
 }
 
 // BB is a bandwidth broker.
@@ -96,9 +123,10 @@ type BB struct {
 	proto *core.Broker
 	table *resv.Table
 
-	mu      sync.Mutex
-	clients map[identity.DN]*signalling.Client
-	routes  map[string]*rarState
+	mu       sync.Mutex
+	clients  map[identity.DN]*signalling.Client
+	routes   map[string]*rarState
+	breakers map[identity.DN]*breaker
 
 	tunnels *tunnelRegistry
 }
@@ -126,12 +154,13 @@ func New(cfg Config) (*BB, error) {
 		cfg.Clock = time.Now
 	}
 	return &BB{
-		cfg:     cfg,
-		proto:   proto,
-		table:   table,
-		clients: make(map[identity.DN]*signalling.Client),
-		routes:  make(map[string]*rarState),
-		tunnels: newTunnelRegistry(),
+		cfg:      cfg,
+		proto:    proto,
+		table:    table,
+		clients:  make(map[identity.DN]*signalling.Client),
+		routes:   make(map[string]*rarState),
+		breakers: make(map[identity.DN]*breaker),
+		tunnels:  newTunnelRegistry(),
 	}, nil
 }
 
@@ -179,6 +208,7 @@ func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bb %s: dialing %s: %w", b.cfg.Domain, dn, err)
 	}
+	c.Timeout = b.cfg.CallTimeout
 	if c.PeerDN() != dn {
 		c.Close()
 		return nil, fmt.Errorf("bb %s: dialed %s but authenticated peer is %s", b.cfg.Domain, dn, c.PeerDN())

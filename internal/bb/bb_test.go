@@ -2,7 +2,6 @@ package bb_test
 
 import (
 	"encoding/json"
-	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"e2eqos/internal/identity"
 	"e2eqos/internal/netsim"
 	"e2eqos/internal/policy"
+	"e2eqos/internal/resv"
 	"e2eqos/internal/signalling"
 	"e2eqos/internal/sla"
 	"e2eqos/internal/units"
@@ -104,16 +104,29 @@ func TestHandleReserveDuplicateRARID(t *testing.T) {
 	if err != nil || !res.Granted {
 		t.Fatalf("setup: %v %+v", err, res)
 	}
-	// Same RAR id again.
+	// The same RAR id again is treated as a retransmission: the
+	// original grant is replayed, and crucially no second reservation
+	// is admitted (a duplicate id must never double-book capacity).
 	res2, err := u.ReserveE2E(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Granted {
-		t.Fatal("duplicate RAR id accepted")
+	if !res2.Granted {
+		t.Fatalf("retransmitted RAR denied: %s", res2.Reason)
 	}
-	if !strings.Contains(res2.Reason, "duplicate") {
-		t.Errorf("reason = %q", res2.Reason)
+	if res2.Handle != res.Handle {
+		t.Errorf("replay handle = %q, want original %q", res2.Handle, res.Handle)
+	}
+	for _, dom := range w.Domains {
+		n := 0
+		for _, r := range w.BBs[dom].Table().All() {
+			if r.Status == resv.Granted {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("%s: %d granted reservations after replay, want 1", dom, n)
+		}
 	}
 }
 

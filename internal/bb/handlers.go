@@ -2,8 +2,10 @@ package bb
 
 import (
 	"fmt"
+	"time"
 
 	"e2eqos/internal/core"
+	"e2eqos/internal/envelope"
 	"e2eqos/internal/identity"
 	"e2eqos/internal/policysrv"
 	"e2eqos/internal/resv"
@@ -78,13 +80,47 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	}
 	spec := verified.Spec
 
-	// Duplicate RAR ids would corrupt cancellation state.
+	// Duplicate RAR ids would corrupt cancellation state. A duplicate
+	// is (almost always) a retransmission from an upstream hop that
+	// lost the response: wait out any still-in-flight first copy, then
+	// replay its outcome verbatim, so retries are idempotent
+	// (re-admitting would double-book, denying a granted chain would
+	// strand it). The placeholder registered for fresh RARs is what
+	// lets a concurrent retransmission find the first copy.
 	b.mu.Lock()
-	_, dup := b.routes[spec.RARID]
+	st, dup := b.routes[spec.RARID]
+	if !dup {
+		st = &rarState{spec: spec, done: make(chan struct{})}
+		b.routes[spec.RARID] = st
+	}
 	b.mu.Unlock()
 	if dup {
+		if st.done != nil {
+			<-st.done
+		}
+		b.mu.Lock()
+		outcome := st.outcome
+		b.mu.Unlock()
+		if outcome != nil {
+			resp := *outcome // shallow copy: Serve stamps the per-call ID
+			return &resp
+		}
 		return b.deny(spec.RARID, fmt.Sprintf("%s: duplicate RAR id %s", b.cfg.Domain, spec.RARID))
 	}
+	resp := b.processReserve(peer, payload, env, verified, now)
+	b.mu.Lock()
+	st.outcome = resp
+	b.mu.Unlock()
+	close(st.done)
+	return resp
+}
+
+// processReserve runs the admission pipeline for a first-seen RAR:
+// upstream SLA check, policy decision, local admission, and downstream
+// forwarding. The caller records the returned message as the RAR's
+// replayable outcome.
+func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, now time.Time) *signalling.Message {
+	spec := verified.Spec
 
 	// Identify the upstream entity. A single-layer chain came from the
 	// user directly; otherwise the outermost signer is the upstream BB.
@@ -174,18 +210,19 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 		_ = b.table.Cancel(r.Handle)
 		return b.deny(spec.RARID, fmt.Sprintf("%s: encode: %v", b.cfg.Domain, err))
 	}
-	client, err := b.clientFor(nd.BBDN)
+	downstream, err := b.callPeer(nd.BBDN, fwd)
 	if err != nil {
+		// Roll back the optimistic local admission and, because the
+		// downstream outcome is unknown (the hop may have admitted the
+		// reservation and the response was lost), fire a best-effort
+		// cancel so no hop below the failure strands bandwidth.
 		_ = b.table.Cancel(r.Handle)
-		return b.deny(spec.RARID, fmt.Sprintf("%s: %v", b.cfg.Domain, err))
-	}
-	downstream, err := client.Call(fwd)
-	if err != nil {
-		_ = b.table.Cancel(r.Handle)
+		b.cancelDownstream(nd.BBDN, spec.RARID)
 		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream call: %v", b.cfg.Domain, err))
 	}
 	if downstream.Result == nil {
 		_ = b.table.Cancel(r.Handle)
+		b.cancelDownstream(nd.BBDN, spec.RARID)
 		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream sent no result", b.cfg.Domain))
 	}
 	if !downstream.Result.Granted {
@@ -242,18 +279,21 @@ func (b *BB) finishGrant(peer signalling.Peer, verified *core.VerifiedRequest, r
 	return resp
 }
 
-// recordRoute remembers the RAR for cancellation and tunnel use.
+// recordRoute fills in the RAR's in-flight placeholder for
+// cancellation and tunnel use. The entry itself was registered when
+// the reserve arrived, so retransmissions and cancels can find it.
 func (b *BB) recordRoute(spec *core.Spec, handle string, next identity.DN, fromUser bool, peer signalling.Peer) {
-	src := peer.DN
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.routes[spec.RARID] = &rarState{
-		handle:   handle,
-		next:     next,
-		tunnel:   spec.Tunnel,
-		sourceBB: src,
-		spec:     spec,
+	st, ok := b.routes[spec.RARID]
+	if !ok {
+		return
 	}
+	st.handle = handle
+	st.next = next
+	st.tunnel = spec.Tunnel
+	st.sourceBB = peer.DN
+	st.spec = spec
 	_ = fromUser
 }
 
@@ -280,26 +320,40 @@ func (b *BB) validateLinkedHandles(spec *core.Spec) map[string]bool {
 func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayload) *signalling.Message {
 	b.mu.Lock()
 	st, ok := b.routes[payload.RARID]
-	if ok {
-		delete(b.routes, payload.RARID)
-	}
 	b.mu.Unlock()
 	if !ok {
 		return signalling.ErrorResult(fmt.Sprintf("%s: unknown RAR %s", b.cfg.Domain, payload.RARID))
 	}
+	// If the reserve that created this entry is still in flight (an
+	// upstream hop gave up on it and is now cancelling), wait for it to
+	// settle so its admission — and its recorded downstream hop — are
+	// visible to cancel.
+	if st.done != nil {
+		<-st.done
+	}
+	b.mu.Lock()
+	if cur, still := b.routes[payload.RARID]; !still || cur != st {
+		b.mu.Unlock()
+		return signalling.ErrorResult(fmt.Sprintf("%s: unknown RAR %s", b.cfg.Domain, payload.RARID))
+	}
+	delete(b.routes, payload.RARID)
+	b.mu.Unlock()
 	if err := b.table.Cancel(st.handle); err != nil {
 		return signalling.ErrorResult(fmt.Sprintf("%s: %v", b.cfg.Domain, err))
 	}
 	b.removeEdgeFlow(payload.RARID)
 	b.tunnels.reg.Remove(payload.RARID)
 	b.syncDataPlane()
-	// Propagate downstream along the recorded path.
+	// Propagate downstream along the recorded path (best effort, under
+	// the call deadline: a dead hop must not wedge the cancel chain).
+	// If the synchronous attempt fails, hand the cancel to the
+	// persistent async path so hops below the failure don't stay booked.
 	if st.next != "" {
-		if client, err := b.clientFor(st.next); err == nil {
-			_, _ = client.Call(&signalling.Message{
-				Type:   signalling.MsgCancel,
-				Cancel: &signalling.CancelPayload{RARID: payload.RARID},
-			})
+		if _, err := b.callPeer(st.next, &signalling.Message{
+			Type:   signalling.MsgCancel,
+			Cancel: &signalling.CancelPayload{RARID: payload.RARID},
+		}); err != nil {
+			b.cancelDownstream(st.next, payload.RARID)
 		}
 	}
 	return signalling.OKResult(st.handle)
@@ -403,12 +457,7 @@ func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidt
 	if err := ep.Allocate(subFlowID, bw); err != nil {
 		return err
 	}
-	client, err := b.clientFor(ep.PeerBB)
-	if err != nil {
-		_ = ep.Release(subFlowID)
-		return err
-	}
-	resp, err := client.Call(&signalling.Message{
+	resp, err := b.callPeer(ep.PeerBB, &signalling.Message{
 		Type: signalling.MsgTunnelAlloc,
 		TunnelAlloc: &signalling.TunnelAllocPayload{
 			TunnelRARID: tunnelRARID,
@@ -418,7 +467,17 @@ func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidt
 		},
 	})
 	if err != nil {
+		// Roll back the local half; the destination may or may not
+		// have allocated, so best-effort release there too.
 		_ = ep.Release(subFlowID)
+		go func() {
+			if client, cerr := b.clientFor(ep.PeerBB); cerr == nil {
+				_, _ = client.CallTimeout(&signalling.Message{
+					Type:          signalling.MsgTunnelRelease,
+					TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: tunnelRARID, SubFlowID: subFlowID},
+				}, b.cfg.CallTimeout)
+			}
+		}()
 		return fmt.Errorf("bb %s: tunnel alloc at destination: %w", b.cfg.Domain, err)
 	}
 	if resp.Result == nil || !resp.Result.Granted {
@@ -441,11 +500,7 @@ func (b *BB) ReleaseTunnelFlow(tunnelRARID, subFlowID string) error {
 	if err := ep.Release(subFlowID); err != nil {
 		return err
 	}
-	client, err := b.clientFor(ep.PeerBB)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Call(&signalling.Message{
+	resp, err := b.callPeer(ep.PeerBB, &signalling.Message{
 		Type:          signalling.MsgTunnelRelease,
 		TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: tunnelRARID, SubFlowID: subFlowID},
 	})

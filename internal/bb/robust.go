@@ -1,0 +1,166 @@
+package bb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/signalling"
+)
+
+// defaultRetryBackoff is the initial retry delay when retries are
+// enabled but no backoff is configured; it doubles per attempt.
+const defaultRetryBackoff = 10 * time.Millisecond
+
+// breaker is a per-peer circuit breaker: after BreakerThreshold
+// consecutive transport failures the circuit opens for BreakerCooldown
+// and downstream calls fail fast instead of each waiting out a full
+// deadline against a dead neighbour. After the cooldown one probe call
+// is let through (half-open); its outcome re-trips or closes the
+// circuit.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+}
+
+func (br *breaker) open(now time.Time) (time.Duration, bool) {
+	if br.threshold <= 0 {
+		return 0, false
+	}
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if now.Before(br.openUntil) {
+		return br.openUntil.Sub(now), true
+	}
+	return 0, false
+}
+
+func (br *breaker) fail(now time.Time) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	br.failures++
+	if br.threshold > 0 && br.failures >= br.threshold {
+		br.openUntil = now.Add(br.cooldown)
+	}
+}
+
+func (br *breaker) ok() {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	br.failures = 0
+	br.openUntil = time.Time{}
+}
+
+// breakerFor returns (creating if needed) the peer's circuit breaker.
+func (b *BB) breakerFor(dn identity.DN) *breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br, ok := b.breakers[dn]
+	if !ok {
+		cooldown := b.cfg.BreakerCooldown
+		if cooldown <= 0 {
+			cooldown = 5 * time.Second
+		}
+		br = &breaker{threshold: b.cfg.BreakerThreshold, cooldown: cooldown}
+		b.breakers[dn] = br
+	}
+	return br
+}
+
+// dropClient discards the cached client to dn if it is still the given
+// instance, so the next clientFor redials instead of reusing a
+// connection whose state is unknown after a transport failure.
+func (b *BB) dropClient(dn identity.DN, c *signalling.Client) {
+	b.mu.Lock()
+	if b.clients[dn] == c {
+		delete(b.clients, dn)
+	}
+	b.mu.Unlock()
+	c.Close()
+}
+
+// callPeer performs one downstream signalling call under the broker's
+// robustness policy: per-call deadline (Config.CallTimeout), retry
+// with exponential backoff on transport failures (never on
+// protocol-level denials, which arrive as granted=false results), and
+// the per-peer circuit breaker. On any transport failure the cached
+// connection is dropped, so retries and later calls redial.
+func (b *BB) callPeer(dn identity.DN, msg *signalling.Message) (*signalling.Message, error) {
+	br := b.breakerFor(dn)
+	if wait, isOpen := br.open(b.cfg.Clock()); isOpen {
+		return nil, fmt.Errorf("bb %s: circuit to %s open for another %v", b.cfg.Domain, dn, wait.Round(time.Millisecond))
+	}
+	backoff := b.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt <= b.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		client, err := b.clientFor(dn)
+		if err != nil {
+			lastErr = err
+			br.fail(b.cfg.Clock())
+			continue
+		}
+		resp, err := client.CallTimeout(msg, b.cfg.CallTimeout)
+		if err != nil {
+			lastErr = fmt.Errorf("bb %s: call to %s (attempt %d): %w", b.cfg.Domain, dn, attempt+1, err)
+			b.dropClient(dn, client)
+			br.fail(b.cfg.Clock())
+			continue
+		}
+		br.ok()
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// cancelAttempts bounds the persistence of cancelDownstream. It is
+// deliberately independent of (and larger than) Config.MaxRetries: a
+// stranded reservation costs real bandwidth until its window expires,
+// whereas a redundant cancel is refused harmlessly.
+const cancelAttempts = 5
+
+// cancelDownstream issues a best-effort asynchronous cancel towards a
+// hop whose reserve outcome is unknown (timeout or transport failure
+// mid-call): the request may have been admitted downstream with the
+// response lost, and without this cancel that bandwidth would stay
+// stranded in every hop below the failure. The cancel itself crosses
+// the same unreliable link, so it is retried with backoff until any
+// response arrives — a refusal for a RAR the peer never saw counts as
+// settled. Protocol errors are ignored.
+func (b *BB) cancelDownstream(dn identity.DN, rarID string) {
+	go func() {
+		backoff := b.cfg.RetryBackoff
+		if backoff <= 0 {
+			backoff = defaultRetryBackoff
+		}
+		for attempt := 0; attempt < cancelAttempts; attempt++ {
+			if attempt > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			client, err := b.clientFor(dn)
+			if err != nil {
+				continue
+			}
+			_, err = client.CallTimeout(&signalling.Message{
+				Type:   signalling.MsgCancel,
+				Cancel: &signalling.CancelPayload{RARID: rarID},
+			}, b.cfg.CallTimeout)
+			if err == nil {
+				return
+			}
+			b.dropClient(dn, client)
+		}
+	}()
+}

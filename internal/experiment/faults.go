@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"e2eqos/internal/resv"
+	"e2eqos/internal/transport"
+	"e2eqos/internal/units"
+)
+
+// FaultSweepConfig parameterises RunFaultSweep.
+type FaultSweepConfig struct {
+	// Domains is the chain length (default 5).
+	Domains int
+	// Probs are the per-hop message-loss probabilities swept (default
+	// 0, 0.02, 0.05, 0.1, 0.2). Each probability is applied as both a
+	// send-drop and a receive-drop on every inter-broker link.
+	Probs []float64
+	// Trials is the number of reservations attempted per cell
+	// (default 20).
+	Trials int
+	// CallTimeout is the per-hop signalling deadline (default 100ms).
+	CallTimeout time.Duration
+	// RetryBudgets are the MaxRetries settings compared per
+	// probability (default 0 and 2).
+	RetryBudgets []int
+}
+
+// faultCell is one measured (probability, retry-budget) combination.
+type faultCell struct {
+	grants, denials, errors int
+	grantLat, denyLat       time.Duration
+	faults                  int64
+	stranded                int
+}
+
+// runFaultCell builds a fresh faulted world and attempts cfg.Trials
+// reservations through it.
+func runFaultCell(cfg FaultSweepConfig, prob float64, retries int) (faultCell, error) {
+	var out faultCell
+	var dialers []*transport.FaultyDialer
+	seed := int64(1)
+	w, err := BuildWorld(WorldConfig{
+		NumDomains:   cfg.Domains,
+		Capacity:     units.Gbps,
+		CallTimeout:  cfg.CallTimeout,
+		MaxRetries:   retries,
+		RetryBackoff: 2 * time.Millisecond,
+		WrapDialer: func(domain string, d transport.Dialer) transport.Dialer {
+			if prob <= 0 {
+				return d
+			}
+			fd := transport.NewFaultyDialer(d, transport.FaultConfig{
+				SendDropProb: prob,
+				RecvDropProb: prob,
+				Seed:         seed,
+			})
+			seed++
+			dialers = append(dialers, fd)
+			return fd
+		},
+	})
+	if err != nil {
+		return out, err
+	}
+	defer w.Close()
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		return out, err
+	}
+	defer u.Close()
+
+	for i := 0; i < cfg.Trials; i++ {
+		spec := u.NewSpec(SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+		start := time.Now()
+		res, err := u.ReserveE2E(spec)
+		elapsed := time.Since(start)
+		switch {
+		case err != nil:
+			out.errors++
+		case res.Granted:
+			out.grants++
+			out.grantLat += elapsed
+		default:
+			out.denials++
+			out.denyLat += elapsed
+		}
+	}
+	for _, fd := range dialers {
+		out.faults += fd.Stats().Total()
+	}
+	// Denial-propagation correctness: every granted reservation holds
+	// one slot per domain; anything beyond that is bandwidth stranded
+	// by a lost response. Best-effort cancels are asynchronous, so
+	// allow them a settling window before counting.
+	want := out.grants * cfg.Domains
+	settle := time.Now().Add(3 * time.Second)
+	for {
+		got := 0
+		for _, broker := range w.BBs {
+			for _, r := range broker.Table().All() {
+				if r.Status == resv.Granted {
+					got++
+				}
+			}
+		}
+		out.stranded = got - want
+		if out.stranded <= 0 || time.Now().After(settle) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return out, nil
+}
+
+// RunFaultSweep measures the robustness layer end to end: reservation
+// outcome, latency and rollback correctness over a chain whose every
+// inter-broker link loses messages with a swept probability.
+func RunFaultSweep(cfg FaultSweepConfig) (*Table, error) {
+	if cfg.Domains <= 0 {
+		cfg.Domains = 5
+	}
+	if len(cfg.Probs) == 0 {
+		cfg.Probs = []float64{0, 0.02, 0.05, 0.1, 0.2}
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 20
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 100 * time.Millisecond
+	}
+	if len(cfg.RetryBudgets) == 0 {
+		cfg.RetryBudgets = []int{0, 2}
+	}
+	t := &Table{
+		ID:    "faults",
+		Title: fmt.Sprintf("Reservation outcome under per-hop message loss (%d domains, %v hop deadline, %d trials)", cfg.Domains, cfg.CallTimeout, cfg.Trials),
+		Claim: "a denied or failed hop must propagate upstream within the deadline budget and leave no reservation stranded in any domain",
+		Columns: []string{
+			"loss prob", "retries",
+			"grants", "denials", "errors",
+			"grant lat", "denial lat",
+			"faults injected", "stranded",
+		},
+	}
+	ms := func(total time.Duration, n int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1fms", float64((total/time.Duration(n)).Microseconds())/1000)
+	}
+	for _, prob := range cfg.Probs {
+		for _, retries := range cfg.RetryBudgets {
+			c, err := runFaultCell(cfg, prob, retries)
+			if err != nil {
+				return nil, fmt.Errorf("p=%.2f retries=%d: %w", prob, retries, err)
+			}
+			stranded := fmt.Sprintf("%d", c.stranded)
+			if c.stranded <= 0 {
+				stranded = "0 (clean)"
+			}
+			t.AddRow(
+				fmt.Sprintf("%.2f", prob),
+				fmt.Sprintf("%d", retries),
+				fmt.Sprintf("%d", c.grants),
+				fmt.Sprintf("%d", c.denials),
+				fmt.Sprintf("%d", c.errors),
+				ms(c.grantLat, c.grants),
+				ms(c.denyLat, c.denials),
+				fmt.Sprintf("%d", c.faults),
+				stranded,
+			)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"a lost message either times out at the sender (denial after the hop deadline) or strands optimistic admissions; the best-effort downstream cancel reclaims them",
+		"retries recover grants lost to transient faults at the cost of extra deadline exposure per hop",
+		"errors are user-visible transport failures: the user's own deadline fired before any broker answered",
+	)
+	return t, nil
+}

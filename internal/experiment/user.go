@@ -85,6 +85,12 @@ func (u *User) clientTo(domain string) (*signalling.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A user call may fan out across every hop of the chain before a
+	// result comes back, so its deadline is the per-hop budget scaled
+	// by the worst-case path length (plus one hop of slack).
+	if t := u.world.callTimeout; t > 0 {
+		c.Timeout = t * time.Duration(len(u.world.Domains)+1)
+	}
 	u.clients[domain] = c
 	return c, nil
 }

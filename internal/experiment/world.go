@@ -59,6 +59,20 @@ type WorldConfig struct {
 	Disks map[string]units.Bandwidth
 	// Clock is the shared time source (default time.Now).
 	Clock func() time.Time
+
+	// CallTimeout bounds every signalling call made by brokers and by
+	// users created with NewUser (0 = wait forever).
+	CallTimeout time.Duration
+	// MaxRetries / RetryBackoff / BreakerThreshold / BreakerCooldown
+	// mirror the bb.Config robustness knobs for every broker.
+	MaxRetries       int
+	RetryBackoff     time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// WrapDialer, when set, wraps each broker's outbound dialer —
+	// the hook the fault-injection experiments use to subject a
+	// specific hop to failure.
+	WrapDialer func(domain string, d transport.Dialer) transport.Dialer
 }
 
 // World is a running testbed.
@@ -77,9 +91,10 @@ type World struct {
 	Disk   map[string]*disksched.Manager
 	Planes map[string]*bb.DataPlane
 
-	listeners []transport.Listener
-	addrs     map[identity.DN]string
-	clock     func() time.Time
+	listeners   []transport.Listener
+	addrs       map[identity.DN]string
+	clock       func() time.Time
+	callTimeout time.Duration
 }
 
 // addrOf is the in-memory address convention for a broker.
@@ -120,8 +135,9 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		CPU:     make(map[string]*cpusched.Manager),
 		Disk:    make(map[string]*disksched.Manager),
 		Planes:  make(map[string]*bb.DataPlane),
-		addrs:   make(map[identity.DN]string),
-		clock:   cfg.Clock,
+		addrs:       make(map[identity.DN]string),
+		clock:       cfg.Clock,
+		callTimeout: cfg.CallTimeout,
 	}
 
 	// Shared authorization infrastructure.
@@ -240,6 +256,10 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		}
 
 		endpoint := w.Net.NewEndpoint(m.key.DN, m.cert.DER)
+		var dialer transport.Dialer = endpoint
+		if cfg.WrapDialer != nil {
+			dialer = cfg.WrapDialer(name, endpoint)
+		}
 		plane := &bb.DataPlane{}
 		w.Planes[name] = plane
 		capacity := cfg.Capacity
@@ -247,21 +267,26 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			capacity = c
 		}
 		broker, err := bb.New(bb.Config{
-			Domain:      name,
-			Key:         m.key,
-			Cert:        m.cert,
-			Trust:       m.trust,
-			Policy:      ps,
-			Capacity:    capacity,
-			Topo:        topo,
-			InboundSLAs: inbound,
-			PeerCerts:   peerCerts,
-			PeerAddrs:   w.addrs,
-			Dialer:      endpoint,
-			CPU:         cpuMgr,
-			Disk:        diskMgr,
-			Plane:       plane,
-			Clock:       cfg.Clock,
+			Domain:           name,
+			Key:              m.key,
+			Cert:             m.cert,
+			Trust:            m.trust,
+			Policy:           ps,
+			Capacity:         capacity,
+			Topo:             topo,
+			InboundSLAs:      inbound,
+			PeerCerts:        peerCerts,
+			PeerAddrs:        w.addrs,
+			Dialer:           dialer,
+			CPU:              cpuMgr,
+			Disk:             diskMgr,
+			Plane:            plane,
+			Clock:            cfg.Clock,
+			CallTimeout:      cfg.CallTimeout,
+			MaxRetries:       cfg.MaxRetries,
+			RetryBackoff:     cfg.RetryBackoff,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
 		})
 		if err != nil {
 			return nil, err

@@ -137,7 +137,7 @@ func (api *NetworkAPI) reserveSequential(req Requester, spec *core.Spec) (*signa
 		res, err := req.ReserveLocalAt(dom, spec)
 		if err != nil || !res.Granted {
 			api.rollback(req, spec.RARID, acquired)
-			reason := "transport error"
+			reason := fmt.Sprintf("transport error: %v", err)
 			if err == nil {
 				reason = res.Reason
 			}

@@ -1,0 +1,168 @@
+package signalling
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"e2eqos/internal/transport"
+)
+
+// silentHandler never responds: Serve's handler must return something,
+// so the server side is driven manually to swallow requests.
+func silentServer(t *testing.T, ln transport.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					if _, err := conn.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func TestCallTimeoutOnSilentPeer(t *testing.T) {
+	net := transport.NewNetwork(0)
+	server := net.NewEndpoint("/CN=server", nil)
+	client := net.NewEndpoint("/CN=client", nil)
+	ln, err := server.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	silentServer(t, ln)
+
+	c, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 60 * time.Millisecond
+	start := time.Now()
+	_, err = c.Call(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "r"}})
+	if err == nil {
+		t.Fatal("call to silent peer succeeded")
+	}
+	if !transport.IsTimeout(err) {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timed out after %v, want ~60ms", elapsed)
+	}
+}
+
+func TestCallDoesNotMutateCallerMessage(t *testing.T) {
+	net := transport.NewNetwork(0)
+	server := net.NewEndpoint("/CN=server", nil)
+	client := net.NewEndpoint("/CN=client", nil)
+	ln, err := server.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go Serve(ln, HandlerFunc(func(_ Peer, msg *Message) *Message {
+		return OKResult(msg.Status.RARID)
+	}))
+
+	// One message value shared across two clients and repeated calls:
+	// its ID must stay untouched or concurrent matching corrupts.
+	shared := &Message{Type: MsgStatus, Status: &StatusPayload{RARID: "shared"}}
+	c1, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		for _, c := range []*Client{c1, c2} {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				resp, err := c.Call(shared)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.Result.Granted || resp.Result.Handle != "shared" {
+					errs <- err
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if shared.ID != 0 {
+		t.Errorf("caller's message mutated: ID = %d, want 0", shared.ID)
+	}
+}
+
+func TestCallBoundsMismatchedIDSkip(t *testing.T) {
+	net := transport.NewNetwork(0)
+	server := net.NewEndpoint("/CN=server", nil)
+	client := net.NewEndpoint("/CN=client", nil)
+	ln, err := server.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A misbehaving peer floods responses that never match the request
+	// ID; Call must error out instead of spinning forever.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := conn.Recv(); err != nil {
+			return
+		}
+		bogus := OKResult("bogus")
+		bogus.ID = 999_999
+		data, _ := bogus.Encode()
+		for {
+			if err := conn.Send(data); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "r"}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call against id-flooding peer succeeded")
+		}
+		if !strings.Contains(err.Error(), "mismatched ids") {
+			t.Errorf("error = %v, want mismatched-id diagnosis", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call spun on mismatched responses instead of bailing")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"e2eqos/internal/identity"
 	"e2eqos/internal/transport"
@@ -81,6 +82,12 @@ func OKResult(handle string) *Message {
 	return &Message{Type: MsgResult, Result: &ResultPayload{Granted: true, Handle: handle}}
 }
 
+// maxStaleResponses bounds how many mismatched-ID responses one call
+// will skip before giving up on the connection: earlier timed-out
+// calls can leave a few stale responses in flight, but an unbounded
+// skip loop would spin forever against a misbehaving peer.
+const maxStaleResponses = 32
+
 // Client is a synchronous request/response client over one
 // authenticated connection. One request is outstanding at a time;
 // concurrent callers serialise.
@@ -88,6 +95,11 @@ type Client struct {
 	mu     sync.Mutex
 	conn   transport.Conn
 	nextID uint64
+
+	// Timeout bounds each Call (send plus wait for the matching
+	// response) when positive; zero waits forever. It may be set any
+	// time before a call.
+	Timeout time.Duration
 }
 
 // NewClient wraps an established connection.
@@ -110,19 +122,41 @@ func (c *Client) PeerDN() identity.DN { return c.conn.PeerDN() }
 // PeerCertDER reports the remote certificate.
 func (c *Client) PeerCertDER() []byte { return c.conn.PeerCertDER() }
 
-// Call sends msg and blocks for the matching response.
+// Call sends msg and blocks for the matching response, honouring the
+// client's Timeout. The caller's message is never mutated, so one
+// message value may safely be shared across clients and retries.
 func (c *Client) Call(msg *Message) (*Message, error) {
+	return c.CallTimeout(msg, c.Timeout)
+}
+
+// CallTimeout is Call with an explicit per-call deadline (0 = wait
+// forever). A deadline expiry surfaces as an error matched by
+// transport.IsTimeout; the connection state is then unknown (the
+// request may still be processed remotely), so callers should treat
+// the connection as dead and clean up any remote state separately.
+func (c *Client) CallTimeout(msg *Message, timeout time.Duration) (*Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
-	msg.ID = c.nextID
-	data, err := msg.Encode()
+	// Copy before assigning the ID: the caller may reuse msg across
+	// clients or retries, and a shared mutation would corrupt the
+	// request/response matching of concurrent calls.
+	m := *msg
+	m.ID = c.nextID
+	data, err := m.Encode()
 	if err != nil {
 		return nil, err
+	}
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("signalling: deadline on %s: %w", c.conn.PeerDN(), err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
 	}
 	if err := c.conn.Send(data); err != nil {
 		return nil, fmt.Errorf("signalling: send to %s: %w", c.conn.PeerDN(), err)
 	}
+	stale := 0
 	for {
 		raw, err := c.conn.Recv()
 		if err != nil {
@@ -132,8 +166,12 @@ func (c *Client) Call(msg *Message) (*Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if resp.ID != msg.ID {
-			// Stale response from an earlier timed-out call; skip.
+		if resp.ID != m.ID {
+			// Stale response from an earlier timed-out call; skip a
+			// bounded number before declaring the peer broken.
+			if stale++; stale > maxStaleResponses {
+				return nil, fmt.Errorf("signalling: %s sent %d responses with mismatched ids", c.conn.PeerDN(), stale)
+			}
 			continue
 		}
 		return resp, nil

@@ -79,12 +79,14 @@ func (e *Endpoint) Listen(addr string) (Listener, error) {
 		ep:      e,
 		addr:    addr,
 		backlog: make(chan *memConn, 64),
+		closed:  make(chan struct{}),
 	}
 	e.net.listeners[addr] = l
 	return l, nil
 }
 
-// Dial connects to addr, waiting one latency for the handshake.
+// Dial connects to addr, waiting one latency for the handshake. A full
+// or closed listener refuses before the handshake latency is paid.
 func (e *Endpoint) Dial(addr string) (Conn, error) {
 	e.net.mu.Lock()
 	l, ok := e.net.listeners[addr]
@@ -92,18 +94,18 @@ func (e *Endpoint) Dial(addr string) (Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: no listener at %q", addr)
 	}
+	clientSide, serverSide := newMemPair(e.net, e, l.ep)
+	if err := l.enqueue(serverSide); err != nil {
+		// Closing one half closes the shared pair state, so the
+		// refused server-side conn cannot strand a future Accept.
+		clientSide.Close()
+		return nil, err
+	}
 	e.net.dials.Add(1)
 	if e.net.Latency > 0 {
 		time.Sleep(e.net.Latency)
 	}
-	clientSide, serverSide := newMemPair(e.net, e, l.ep)
-	select {
-	case l.backlog <- serverSide:
-		return clientSide, nil
-	default:
-		clientSide.Close()
-		return nil, fmt.Errorf("transport: listener at %q backlog full", addr)
-	}
+	return clientSide, nil
 }
 
 type memListener struct {
@@ -112,14 +114,29 @@ type memListener struct {
 	addr    string
 	backlog chan *memConn
 
-	closeOnce sync.Once
+	mu        sync.Mutex // guards shut and the backlog drain on close
+	shut      bool
 	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// enqueue hands a dialed server-side conn to the listener, refusing
+// when the listener is closed or the backlog is full.
+func (l *memListener) enqueue(c *memConn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.shut {
+		return fmt.Errorf("transport: listener at %q closed: %w", l.addr, ErrClosed)
+	}
+	select {
+	case l.backlog <- c:
+		return nil
+	default:
+		return fmt.Errorf("transport: listener at %q backlog full", l.addr)
+	}
 }
 
 func (l *memListener) Accept() (Conn, error) {
-	if l.closed == nil {
-		l.closed = make(chan struct{})
-	}
 	select {
 	case c := <-l.backlog:
 		return c, nil
@@ -130,10 +147,21 @@ func (l *memListener) Accept() (Conn, error) {
 
 func (l *memListener) Close() error {
 	l.closeOnce.Do(func() {
-		if l.closed == nil {
-			l.closed = make(chan struct{})
-		}
+		l.mu.Lock()
+		l.shut = true
 		close(l.closed)
+		// Refuse queued dials: their server halves were never accepted
+		// and would otherwise leave the dialers blocking forever.
+	drain:
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				break drain
+			}
+		}
+		l.mu.Unlock()
 		l.net.mu.Lock()
 		delete(l.net.listeners, l.addr)
 		l.net.mu.Unlock()
@@ -165,6 +193,9 @@ type memConn struct {
 	in       chan timedMsg
 	pair     *pairState
 	done     chan struct{}
+
+	dlMu     sync.Mutex
+	deadline time.Time
 }
 
 // newMemPair wires two half-connections together.
@@ -177,6 +208,28 @@ func newMemPair(n *Network, client, server *Endpoint) (*memConn, *memConn) {
 	return c, s
 }
 
+// SetDeadline bounds subsequent Send and Recv calls.
+func (c *memConn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.deadline = t
+	c.dlMu.Unlock()
+	return nil
+}
+
+// expiry arms a timer for the current deadline. The returned channel
+// is nil (never fires) when no deadline is set; stop releases the
+// timer and is safe to call either way.
+func (c *memConn) expiry() (<-chan time.Time, func()) {
+	c.dlMu.Lock()
+	d := c.deadline
+	c.dlMu.Unlock()
+	if d.IsZero() {
+		return nil, func() {}
+	}
+	t := time.NewTimer(time.Until(d))
+	return t.C, func() { t.Stop() }
+}
+
 func (c *memConn) Send(msg []byte) error {
 	// Deterministically refuse once closed; the select below would
 	// otherwise pick randomly between the buffered queue and done.
@@ -185,6 +238,8 @@ func (c *memConn) Send(msg []byte) error {
 		return ErrClosed
 	default:
 	}
+	timeout, stop := c.expiry()
+	defer stop()
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
 	tm := timedMsg{data: cp, deliverAt: time.Now().Add(c.net.Latency)}
@@ -195,29 +250,44 @@ func (c *memConn) Send(msg []byte) error {
 		return nil
 	case <-c.done:
 		return ErrClosed
+	case <-timeout:
+		return ErrTimeout
 	}
 }
 
 func (c *memConn) Recv() ([]byte, error) {
+	timeout, stop := c.expiry()
+	defer stop()
 	select {
 	case m := <-c.in:
-		if wait := time.Until(m.deliverAt); wait > 0 {
-			time.Sleep(wait)
-		}
-		return m.data, nil
+		return c.deliver(m, timeout)
 	case <-c.done:
 		// Drain any already queued message to preserve FIFO semantics
 		// on graceful close.
 		select {
 		case m := <-c.in:
-			if wait := time.Until(m.deliverAt); wait > 0 {
-				time.Sleep(wait)
-			}
-			return m.data, nil
+			return c.deliver(m, timeout)
 		default:
 			return nil, ErrClosed
 		}
+	case <-timeout:
+		return nil, ErrTimeout
 	}
+}
+
+// deliver waits out the modelled propagation latency of a received
+// message, still honouring the read deadline.
+func (c *memConn) deliver(m timedMsg, timeout <-chan time.Time) ([]byte, error) {
+	if wait := time.Until(m.deliverAt); wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-timeout:
+			return nil, ErrTimeout
+		}
+	}
+	return m.data, nil
 }
 
 func (c *memConn) PeerDN() identity.DN { return c.peerDN }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"e2eqos/internal/identity"
 	"e2eqos/internal/pki"
@@ -123,6 +124,10 @@ func (c *tlsConn) Recv() ([]byte, error) {
 	return buf, nil
 }
 
+// SetDeadline bounds subsequent Send and Recv calls; expiry surfaces
+// as a net.Error with Timeout() == true (matched by IsTimeout).
+func (c *tlsConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
 func (c *tlsConn) PeerDN() identity.DN { return c.peerDN }
 func (c *tlsConn) PeerCertDER() []byte { return c.peerCert }
 func (c *tlsConn) Close() error        { return c.conn.Close() }
@@ -165,6 +170,13 @@ func (l *TLSListener) Addr() string { return l.ln.Addr().String() }
 // TLSDialer dials mutually authenticated connections.
 type TLSDialer struct {
 	cfg *TLSConfig
+
+	// Timeout bounds connection establishment — the TCP connect plus
+	// the TLS handshake — when positive; zero waits forever. Without
+	// it a peer that accepts TCP but never completes the handshake
+	// (half-open host, wedged process) blocks Dial indefinitely,
+	// before any per-call deadline can apply.
+	Timeout time.Duration
 }
 
 // NewTLSDialer creates a dialer using the given identity material.
@@ -176,9 +188,20 @@ func (d *TLSDialer) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := net.Dial("tcp", addr)
+	nd := net.Dialer{Timeout: d.Timeout}
+	raw, err := nd.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTLSConn(tls.Client(raw, tcfg))
+	if d.Timeout > 0 {
+		raw.SetDeadline(time.Now().Add(d.Timeout))
+	}
+	conn, err := newTLSConn(tls.Client(raw, tcfg))
+	if err != nil {
+		return nil, err
+	}
+	if d.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	return conn, nil
 }

@@ -16,8 +16,27 @@
 package transport
 
 import (
+	"errors"
+	"net"
+	"time"
+
 	"e2eqos/internal/identity"
 )
+
+// ErrTimeout is returned by Send/Recv when the connection deadline
+// passes before the operation completes. TLS connections surface the
+// underlying net.Error instead; use IsTimeout to match both.
+var ErrTimeout = errors.New("transport: deadline exceeded")
+
+// IsTimeout reports whether err is a deadline expiry from either
+// transport implementation.
+func IsTimeout(err error) bool {
+	if errors.Is(err, ErrTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // Conn is a message-oriented, mutually authenticated channel.
 type Conn interface {
@@ -25,6 +44,10 @@ type Conn interface {
 	Send(msg []byte) error
 	// Recv blocks for the next message.
 	Recv() ([]byte, error)
+	// SetDeadline bounds subsequent Send and Recv calls: an operation
+	// that would block past t fails with a timeout error (IsTimeout).
+	// The zero time clears the deadline.
+	SetDeadline(t time.Time) error
 	// PeerDN is the authenticated identity of the remote side.
 	PeerDN() identity.DN
 	// PeerCertDER is the remote identity certificate (nil if the

@@ -1,16 +1,20 @@
 # Build / verification tiers.
 #
-#   make build    compile everything
-#   make test     tier-1: full test suite
-#   make verify   tier-2: go vet + race-detector run over the whole
-#                 tree (the concurrent control plane — transport,
-#                 signalling, bb — plus the bench world setup all run
-#                 under -race)
-#   make bench    benchmark harness
+#   make build         compile everything
+#   make test          tier-1: full test suite
+#   make verify        tier-2: go vet + metrics lint + race-detector run
+#                      over the whole tree (the concurrent control plane —
+#                      transport, signalling, bb — plus the bench world
+#                      setup all run under -race)
+#   make metrics-lint  metric-name rules: every registered name is
+#                      lowercase_snake, counters end in _total, and each
+#                      name registers exactly once (obs registry panics
+#                      plus a walk over the live world registries)
+#   make bench         benchmark harness
 
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench metrics-lint
 
 build:
 	$(GO) build ./...
@@ -18,9 +22,12 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build
+verify: build metrics-lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+metrics-lint:
+	$(GO) test -run 'TestMetricsLint' ./internal/obs ./internal/experiment
 
 bench:
 	$(GO) test -bench=. -benchmem

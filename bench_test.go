@@ -261,6 +261,57 @@ func BenchmarkTunnelVsPerFlow(b *testing.B) {
 	})
 }
 
+// --- Observability overhead ------------------------------------------------
+
+// BenchmarkReserveChainTraced is the observability cost guard over the
+// 5-domain grant hot path (the same chain as
+// BenchmarkTunnelVsPerFlow/per-flow-e2e):
+//
+//	off     no registries, no trace id — must stay within noise of the
+//	        pre-observability baseline (the nil-handle no-op design)
+//	metrics per-broker registries collecting, tracing off
+//	traced  registries plus a trace id, so every hop also records and
+//	        returns a span
+//
+// BENCH_obs.json records the before/after numbers.
+func BenchmarkReserveChainTraced(b *testing.B) {
+	run := func(b *testing.B, enableObs, traced bool) {
+		w, err := experiment.BuildWorld(experiment.WorldConfig{
+			NumDomains: 5,
+			Capacity:   units.Bandwidth(1000) * units.Gbps,
+			EnableObs:  enableObs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(w.Close)
+		u, err := w.NewUser("alice", "", nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(u.Close)
+		u.Trace = traced
+		warm := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+		if res, err := u.ReserveE2E(warm); err != nil || !res.Granted {
+			b.Fatalf("warmup failed: %v %+v", err, res)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := u.NewSpec(experiment.SpecOptions{DestDomain: "Domain4", Bandwidth: units.Mbps})
+			res, err := u.ReserveE2E(spec)
+			if err != nil || !res.Granted {
+				b.Fatalf("reserve failed: %v %+v", err, res)
+			}
+			if traced && len(res.Trace) != 5 {
+				b.Fatalf("traced grant carries %d spans, want 5", len(res.Trace))
+			}
+		}
+	}
+	b.Run("off/domains=5", func(b *testing.B) { run(b, false, false) })
+	b.Run("metrics/domains=5", func(b *testing.B) { run(b, true, false) })
+	b.Run("traced/domains=5", func(b *testing.B) { run(b, true, true) })
+}
+
 // --- Ablations -------------------------------------------------------------
 
 // BenchmarkAblationEnvelopeCrypto isolates the cost the nested

@@ -8,6 +8,7 @@ import (
 
 	"e2eqos/internal/bb"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
 	"e2eqos/internal/policysrv"
@@ -56,6 +57,18 @@ type FileConfig struct {
 	// circuit for BreakerCooldown (e.g. "5s"). Zero disables.
 	BreakerThreshold int    `json:"breaker_threshold,omitempty"`
 	BreakerCooldown  string `json:"breaker_cooldown,omitempty"`
+
+	// AdminAddr, when set (e.g. "127.0.0.1:7101"), serves the broker's
+	// admin HTTP endpoint: Prometheus metrics on /metrics and the pprof
+	// profiler under /debug/pprof/. Default "" = disabled (metrics are
+	// still collected; they are just not exposed).
+	AdminAddr string `json:"admin_addr,omitempty"`
+	// LogLevel is the minimum structured-log severity: "debug", "info",
+	// "warn" or "error". Default "" = "info".
+	LogLevel string `json:"log_level,omitempty"`
+	// LogFormat selects the stderr log encoding: "text" or "json".
+	// Default "" = "text".
+	LogFormat string `json:"log_format,omitempty"`
 }
 
 // DomainConfig mirrors topology.Domain.
@@ -239,6 +252,17 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 		return nil, nil, err
 	}
 
+	level, err := obs.ParseLevel(cfg.LogLevel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bbd: %w", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, cfg.LogFormat)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bbd: %w", err)
+	}
+	metrics := obs.NewRegistry()
+	dialer.Metrics = transport.NewMetrics(metrics)
+
 	bbCfg := bb.Config{
 		Domain:           cfg.Domain,
 		Key:              key,
@@ -256,6 +280,8 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 		RetryBackoff:     retryBackoff,
 		BreakerThreshold: cfg.BreakerThreshold,
 		BreakerCooldown:  breakerCooldown,
+		Logger:           logger,
+		Metrics:          metrics,
 	}
 	if cfg.CPUs > 0 {
 		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)
@@ -272,5 +298,6 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	ln.Metrics = dialer.Metrics
 	return broker, ln, nil
 }

@@ -34,6 +34,9 @@ func main() {
 	retryBackoff := flag.String("retry-backoff", "", "override retry_backoff, e.g. 50ms")
 	breakerThreshold := flag.Int("breaker-threshold", -1, "override breaker_threshold (0 disables the circuit breaker)")
 	breakerCooldown := flag.String("breaker-cooldown", "", "override breaker_cooldown, e.g. 5s")
+	adminAddr := flag.String("admin-addr", "", "override admin_addr: serve /metrics and /debug/pprof/ here (empty disables)")
+	logLevel := flag.String("log-level", "", "override log_level: debug, info, warn or error (default info)")
+	logFormat := flag.String("log-format", "", "override log_format: text or json (default text)")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "bbd: -config is required")
@@ -58,18 +61,36 @@ func main() {
 	if *breakerCooldown != "" {
 		cfg.BreakerCooldown = *breakerCooldown
 	}
+	if *adminAddr != "" {
+		cfg.AdminAddr = *adminAddr
+	}
+	if *logLevel != "" {
+		cfg.LogLevel = *logLevel
+	}
+	if *logFormat != "" {
+		cfg.LogFormat = *logFormat
+	}
 	broker, ln, err := cfg.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("bbd: domain %s (%s) listening on %s", cfg.Domain, broker.DN(), ln.Addr())
+	logger := broker.Logger()
+	logger.Info("bbd listening", "dn", string(broker.DN()), "addr", ln.Addr())
 
-	go signalling.Serve(ln, broker)
+	if cfg.AdminAddr != "" {
+		closeAdmin, err := startAdmin(cfg.AdminAddr, broker.MetricsRegistry(), logger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeAdmin()
+	}
+
+	go signalling.ServeWith(ln, broker, logger)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("bbd: shutting down")
+	logger.Info("bbd shutting down")
 	ln.Close()
 	broker.Close()
 }

@@ -20,6 +20,7 @@ import (
 
 	"e2eqos/internal/core"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/signalling"
 	"e2eqos/internal/transport"
@@ -148,6 +149,7 @@ func runReserve(client *signalling.Client, key *identity.KeyPair, cert *pki.Cert
 	duration := fs.Duration("duration", time.Hour, "reservation duration")
 	tunnelFlag := fs.Bool("tunnel", false, "request an aggregate tunnel reservation")
 	cpuHandle := fs.String("cpu-handle", "", "linked CPU reservation handle at the destination")
+	traceFlag := fs.Bool("trace", false, "ask every hop to record a span; print the per-hop timeline")
 	_ = fs.Parse(args)
 	if *src == "" || *dst == "" || *srcDomain == "" || *dstDomain == "" {
 		die("reserve: -src, -dst, -src-domain and -dst-domain are required")
@@ -188,6 +190,9 @@ func runReserve(client *signalling.Client, key *identity.KeyPair, cert *pki.Cert
 	if err != nil {
 		die("%v", err)
 	}
+	if *traceFlag {
+		msg.Reserve.TraceID = obs.NewTraceID()
+	}
 	resp, err := client.Call(msg)
 	if err != nil {
 		die("%v", err)
@@ -223,6 +228,7 @@ func printResult(rarID string, resp *signalling.Message) {
 	r := resp.Result
 	if !r.Granted {
 		fmt.Printf("DENIED %s: %s\n", rarID, r.Reason)
+		printTrace(r)
 		os.Exit(1)
 	}
 	fmt.Printf("GRANTED %s handle=%s\n", rarID, r.Handle)
@@ -232,4 +238,15 @@ func printResult(rarID string, resp *signalling.Message) {
 	for k, v := range r.PolicyInfo {
 		fmt.Printf("  info: %s=%s\n", k, v)
 	}
+	printTrace(r)
+}
+
+// printTrace renders the per-hop timeline of a traced reserve; on a
+// denial it names the hop that refused (or timed out) and shows where
+// the chain's time went.
+func printTrace(r *signalling.ResultPayload) {
+	if len(r.Trace) == 0 {
+		return
+	}
+	fmt.Print(obs.RenderTimeline(r.TraceID, r.Trace))
 }

@@ -8,6 +8,7 @@ package bb
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"e2eqos/internal/disksched"
 	"e2eqos/internal/identity"
 	"e2eqos/internal/netsim"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policysrv"
 	"e2eqos/internal/resv"
@@ -97,6 +99,14 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit refuses calls before
 	// letting a probe through (default 5s).
 	BreakerCooldown time.Duration
+
+	// Logger receives the broker's structured log records; the domain
+	// is attached to every record. Nil discards everything.
+	Logger *slog.Logger
+	// Metrics registers the broker's counters, gauges and histograms.
+	// The registry must be dedicated to this broker (metric names are
+	// registered exactly once). Nil disables metrics at no cost.
+	Metrics *obs.Registry
 }
 
 // rarState remembers what a reserve created locally, for cancellation
@@ -122,6 +132,8 @@ type BB struct {
 	cfg   Config
 	proto *core.Broker
 	table *resv.Table
+	log   *slog.Logger
+	m     bbMetrics
 
 	mu       sync.Mutex
 	clients  map[identity.DN]*signalling.Client
@@ -153,16 +165,28 @@ func New(cfg Config) (*BB, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &BB{
+	b := &BB{
 		cfg:      cfg,
 		proto:    proto,
 		table:    table,
+		log:      obs.BrokerLogger(cfg.Logger, cfg.Domain),
+		m:        newBBMetrics(cfg.Metrics),
 		clients:  make(map[identity.DN]*signalling.Client),
 		routes:   make(map[string]*rarState),
 		breakers: make(map[identity.DN]*breaker),
 		tunnels:  newTunnelRegistry(),
-	}, nil
+	}
+	b.registerGauges(cfg.Metrics)
+	return b, nil
 }
+
+// Logger exposes the broker's structured logger (never nil); the
+// signalling server and daemon share it so records carry the domain.
+func (b *BB) Logger() *slog.Logger { return b.log }
+
+// MetricsRegistry exposes the broker's metric registry (nil when
+// observability is disabled); the daemon's admin endpoint serves it.
+func (b *BB) MetricsRegistry() *obs.Registry { return b.cfg.Metrics }
 
 // DN returns the broker's identity.
 func (b *BB) DN() identity.DN { return b.cfg.Key.DN }

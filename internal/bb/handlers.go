@@ -7,6 +7,7 @@ import (
 	"e2eqos/internal/core"
 	"e2eqos/internal/envelope"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/policysrv"
 	"e2eqos/internal/resv"
 	"e2eqos/internal/signalling"
@@ -68,15 +69,58 @@ func (b *BB) deny(rarID, reason string) *signalling.Message {
 	return resp
 }
 
+// finishTrace stamps this hop's span onto the response of a traced
+// reserve: total time, verdict (derived from the result unless the
+// processing already pinned one), and the trace id echo. Spans from
+// hops below are already in the result; this hop's span goes on top,
+// mirroring how approvals stack on the return path.
+func finishTrace(resp *signalling.Message, span *obs.Span, traceID string, t0 time.Time) {
+	if span == nil || resp == nil || resp.Result == nil {
+		return
+	}
+	span.TotalNS = time.Since(t0).Nanoseconds()
+	if span.Verdict == "" {
+		if resp.Result.Granted {
+			span.Verdict = obs.VerdictGranted
+		} else {
+			span.Verdict = obs.VerdictDenied
+			span.Reason = resp.Result.Reason
+		}
+	}
+	resp.Result.TraceID = traceID
+	resp.Result.Trace = append(resp.Result.Trace, *span)
+}
+
 func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayload) *signalling.Message {
+	t0 := time.Now()
+	b.m.received.Inc()
+	// Tracing is requester-opt-in: without a trace id no span is
+	// built and the traced branches below reduce to nil checks.
+	var span *obs.Span
+	if payload.TraceID != "" {
+		span = &obs.Span{Domain: b.cfg.Domain, BB: string(b.cfg.Key.DN)}
+	}
 	env, err := payload.Envelope()
 	if err != nil {
-		return signalling.ErrorResult(fmt.Sprintf("malformed envelope: %v", err))
+		b.m.denied.Inc()
+		b.log.Warn("reserve: malformed envelope", obs.AttrPeer, string(peer.DN), "err", err)
+		resp := signalling.ErrorResult(fmt.Sprintf("malformed envelope: %v", err))
+		finishTrace(resp, span, payload.TraceID, t0)
+		return resp
 	}
 	now := b.cfg.Clock()
+	tVerify := time.Now()
 	verified, err := b.proto.Verify(env, peer.DN, peer.CertDER, now)
+	if span != nil {
+		span.VerifyNS = time.Since(tVerify).Nanoseconds()
+	}
 	if err != nil {
-		return signalling.ErrorResult(fmt.Sprintf("verification failed: %v", err))
+		b.m.denied.Inc()
+		b.log.Warn("reserve: verification failed", obs.AttrPeer, string(peer.DN),
+			obs.AttrTrace, payload.TraceID, "err", err)
+		resp := signalling.ErrorResult(fmt.Sprintf("verification failed: %v", err))
+		finishTrace(resp, span, payload.TraceID, t0)
+		return resp
 	}
 	spec := verified.Spec
 
@@ -101,13 +145,35 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 		b.mu.Lock()
 		outcome := st.outcome
 		b.mu.Unlock()
+		b.m.replays.Inc()
+		b.log.Info("reserve: replaying recorded outcome for retransmitted RAR",
+			obs.AttrRAR, spec.RARID, obs.AttrPeer, string(peer.DN), obs.AttrTrace, payload.TraceID)
 		if outcome != nil {
+			// The recorded outcome already carries this hop's span (and
+			// everything below it), so a replay never duplicates spans.
 			resp := *outcome // shallow copy: Serve stamps the per-call ID
 			return &resp
 		}
 		return b.deny(spec.RARID, fmt.Sprintf("%s: duplicate RAR id %s", b.cfg.Domain, spec.RARID))
 	}
-	resp := b.processReserve(peer, payload, env, verified, now)
+	resp := b.processReserve(peer, payload, env, verified, now, span)
+	if resp.Result != nil {
+		if resp.Result.Granted {
+			b.m.granted.Inc()
+			if len(verified.Path) == 1 {
+				// This hop is the source domain: its handle time IS the
+				// end-to-end grant time the user observes.
+				b.m.grantSeconds.ObserveSince(t0)
+			}
+		} else {
+			b.m.denied.Inc()
+		}
+	}
+	b.m.handleSeconds.ObserveSince(t0)
+	// Stamp the span before recording the outcome, so replays return
+	// the identical trace.
+	finishTrace(resp, span, payload.TraceID, t0)
+	b.logReserveVerdict(spec, payload.TraceID, resp, time.Since(t0))
 	b.mu.Lock()
 	st.outcome = resp
 	b.mu.Unlock()
@@ -115,11 +181,43 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	return resp
 }
 
+// logReserveVerdict emits the one per-reserve log record: grants at
+// info, denials (which were silent before the obs layer) at warn.
+func (b *BB) logReserveVerdict(spec *core.Spec, traceID string, resp *signalling.Message, took time.Duration) {
+	if resp.Result == nil {
+		return
+	}
+	if resp.Result.Granted {
+		b.log.Info("reserve granted",
+			obs.AttrRAR, spec.RARID, obs.AttrTrace, traceID,
+			"user", string(spec.User), "bw", spec.Bandwidth.String(),
+			"dest", spec.DestDomain, "handle", resp.Result.Handle, "took", took)
+		return
+	}
+	b.log.Warn("reserve denied",
+		obs.AttrRAR, spec.RARID, obs.AttrTrace, traceID,
+		"user", string(spec.User), "bw", spec.Bandwidth.String(),
+		"dest", spec.DestDomain, "reason", resp.Result.Reason, "took", took)
+}
+
+// rollback cancels an optimistic local admission that must not
+// survive (downstream denial, transport failure, encode error) and
+// accounts for it.
+func (b *BB) rollback(handle, rarID, why string) {
+	_ = b.table.Cancel(handle)
+	b.m.rollbacks.Inc()
+	b.log.Info("reserve: rolled back local admission",
+		obs.AttrRAR, rarID, "handle", handle, "why", why)
+}
+
 // processReserve runs the admission pipeline for a first-seen RAR:
 // upstream SLA check, policy decision, local admission, and downstream
 // forwarding. The caller records the returned message as the RAR's
-// replayable outcome.
-func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, now time.Time) *signalling.Message {
+// replayable outcome. span, non-nil only on traced reserves, collects
+// where the hop's time went; processReserve pins span.Verdict only
+// when the result alone cannot distinguish the failure mode (transport
+// error vs. own denial vs. rolled-back admission).
+func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, now time.Time, span *obs.Span) *signalling.Message {
 	spec := verified.Spec
 
 	// Identify the upstream entity. A single-layer chain came from the
@@ -160,7 +258,11 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		RequireRestriction: spec.RestrictionFor(),
 		LinkedReservations: b.validateLinkedHandles(spec),
 	}
+	tPolicy := time.Now()
 	res, err := b.cfg.Policy.Decide(q)
+	if span != nil {
+		span.PolicyNS = time.Since(tPolicy).Nanoseconds()
+	}
 	if err != nil {
 		return b.deny(spec.RARID, fmt.Sprintf("%s: policy server: %v", b.cfg.Domain, err))
 	}
@@ -169,6 +271,7 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 	}
 
 	// Admission control against the local reservation table.
+	tAdmit := time.Now()
 	r, err := b.table.Admit(resv.AdmitRequest{
 		User:      spec.User,
 		SrcHost:   spec.SrcHost,
@@ -177,6 +280,9 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		Window:    spec.Window,
 		Tunnel:    spec.Tunnel,
 	})
+	if span != nil {
+		span.AdmitNS = time.Since(tAdmit).Nanoseconds()
+	}
 	if err != nil {
 		return b.deny(spec.RARID, fmt.Sprintf("%s: admission: %v", b.cfg.Domain, err))
 	}
@@ -191,48 +297,74 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 	// Forward downstream (hop-by-hop).
 	nextDomain, err := b.cfg.Topo.NextHop(b.cfg.Domain, spec.DestDomain)
 	if err != nil {
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "no route")
 		return b.deny(spec.RARID, fmt.Sprintf("%s: routing: %v", b.cfg.Domain, err))
 	}
 	nd, _ := b.cfg.Topo.Domain(nextDomain)
 	nextCert := b.cfg.PeerCerts[nd.BBDN]
 	if nextCert == nil {
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "no next-hop certificate")
 		return b.deny(spec.RARID, fmt.Sprintf("%s: no certificate for next hop %s", b.cfg.Domain, nd.BBDN))
 	}
 	extended, err := b.proto.Extend(env, peer.CertDER, verified, nextCert, res.Additions)
 	if err != nil {
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "extend failed")
 		return b.deny(spec.RARID, fmt.Sprintf("%s: extend: %v", b.cfg.Domain, err))
 	}
 	fwd, err := signalling.NewReserveMessage(signalling.ModeEndToEnd, extended)
 	if err != nil {
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "encode failed")
 		return b.deny(spec.RARID, fmt.Sprintf("%s: encode: %v", b.cfg.Domain, err))
 	}
-	downstream, err := b.callPeer(nd.BBDN, fwd)
+	// The trace id rides the whole chain so every hop below records a
+	// span into the same trace.
+	fwd.Reserve.TraceID = payload.TraceID
+	b.m.forwarded.Inc()
+	tDown := time.Now()
+	downstream, retries, err := b.callPeer(nd.BBDN, fwd)
+	b.m.downstreamSeconds.ObserveSince(tDown)
+	if span != nil {
+		span.DownstreamNS = time.Since(tDown).Nanoseconds()
+		span.Retries = retries
+	}
 	if err != nil {
 		// Roll back the optimistic local admission and, because the
 		// downstream outcome is unknown (the hop may have admitted the
 		// reservation and the response was lost), fire a best-effort
 		// cancel so no hop below the failure strands bandwidth.
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "downstream call failed")
 		b.cancelDownstream(nd.BBDN, spec.RARID)
+		if span != nil {
+			span.Verdict = obs.VerdictError
+			span.Reason = err.Error()
+		}
+		b.log.Error("reserve: downstream call failed",
+			obs.AttrRAR, spec.RARID, obs.AttrPeer, string(nd.BBDN),
+			obs.AttrTrace, payload.TraceID, "retries", retries, "err", err)
 		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream call: %v", b.cfg.Domain, err))
 	}
 	if downstream.Result == nil {
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "downstream sent no result")
 		b.cancelDownstream(nd.BBDN, spec.RARID)
+		if span != nil {
+			span.Verdict = obs.VerdictError
+			span.Reason = "downstream sent no result"
+		}
 		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream sent no result", b.cfg.Domain))
 	}
 	if !downstream.Result.Granted {
 		// Roll back the optimistic local admission and propagate the
 		// denial (with the downstream approvals/reasons) upstream.
-		_ = b.table.Cancel(r.Handle)
+		b.rollback(r.Handle, spec.RARID, "downstream denied")
 		resp := signalling.ErrorResult(downstream.Result.Reason)
 		resp.Result.Approvals = downstream.Result.Approvals
+		resp.Result.Trace = downstream.Result.Trace
 		if a, err := b.signApproval(spec.RARID, "", false, "upstream of denial"); err == nil {
 			resp.Result.Approvals = append(resp.Result.Approvals, a)
+		}
+		if span != nil {
+			// This hop did not refuse; the refusal is in a deeper span.
+			span.Verdict = obs.VerdictRolledBack
 		}
 		return resp
 	}
@@ -253,6 +385,7 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		Handle:     r.Handle,
 		Approvals:  downstream.Result.Approvals,
 		PolicyInfo: downstream.Result.PolicyInfo,
+		Trace:      downstream.Result.Trace,
 	}}
 	if a, err := b.signApproval(spec.RARID, r.Handle, true, ""); err == nil {
 		resp.Result.Approvals = append(resp.Result.Approvals, a)
@@ -318,6 +451,7 @@ func (b *BB) validateLinkedHandles(spec *core.Spec) map[string]bool {
 }
 
 func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayload) *signalling.Message {
+	b.m.cancels.Inc()
 	b.mu.Lock()
 	st, ok := b.routes[payload.RARID]
 	b.mu.Unlock()
@@ -349,13 +483,15 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	// If the synchronous attempt fails, hand the cancel to the
 	// persistent async path so hops below the failure don't stay booked.
 	if st.next != "" {
-		if _, err := b.callPeer(st.next, &signalling.Message{
+		if _, _, err := b.callPeer(st.next, &signalling.Message{
 			Type:   signalling.MsgCancel,
 			Cancel: &signalling.CancelPayload{RARID: payload.RARID},
 		}); err != nil {
 			b.cancelDownstream(st.next, payload.RARID)
 		}
 	}
+	b.log.Info("cancel: released reservation",
+		obs.AttrRAR, payload.RARID, obs.AttrPeer, string(peer.DN), "handle", st.handle)
 	return signalling.OKResult(st.handle)
 }
 
@@ -457,7 +593,7 @@ func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidt
 	if err := ep.Allocate(subFlowID, bw); err != nil {
 		return err
 	}
-	resp, err := b.callPeer(ep.PeerBB, &signalling.Message{
+	resp, _, err := b.callPeer(ep.PeerBB, &signalling.Message{
 		Type: signalling.MsgTunnelAlloc,
 		TunnelAlloc: &signalling.TunnelAllocPayload{
 			TunnelRARID: tunnelRARID,
@@ -500,7 +636,7 @@ func (b *BB) ReleaseTunnelFlow(tunnelRARID, subFlowID string) error {
 	if err := ep.Release(subFlowID); err != nil {
 		return err
 	}
-	resp, err := b.callPeer(ep.PeerBB, &signalling.Message{
+	resp, _, err := b.callPeer(ep.PeerBB, &signalling.Message{
 		Type:          signalling.MsgTunnelRelease,
 		TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: tunnelRARID, SubFlowID: subFlowID},
 	})

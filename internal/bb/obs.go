@@ -1,0 +1,72 @@
+package bb
+
+import (
+	"e2eqos/internal/obs"
+)
+
+// bbMetrics is the broker's pre-resolved metric handles. With no
+// registry configured every handle is nil and every operation no-ops,
+// so the instrumented hot path costs a nil check per event.
+type bbMetrics struct {
+	// RAR lifecycle counters.
+	received  *obs.Counter // reserve requests received
+	forwarded *obs.Counter // reserves forwarded downstream
+	granted   *obs.Counter // reserves granted at this hop
+	denied    *obs.Counter // reserves denied or failed at this hop
+	cancels   *obs.Counter // cancel requests received
+	// Robustness-layer counters.
+	rollbacks    *obs.Counter // optimistic admissions rolled back
+	retries      *obs.Counter // downstream call retries
+	breakerOpens *obs.Counter // circuit-breaker open transitions
+	replays      *obs.Counter // idempotent replays of recorded outcomes
+	// Latency histograms (seconds).
+	handleSeconds     *obs.Histogram // per-hop reserve handling time
+	downstreamSeconds *obs.Histogram // downstream round trip incl. retries
+	grantSeconds      *obs.Histogram // end-to-end grant time at the source hop
+}
+
+// newBBMetrics registers the broker's counters and histograms on r.
+// The registry must be per-broker: names are registered exactly once.
+func newBBMetrics(r *obs.Registry) bbMetrics {
+	if r == nil {
+		return bbMetrics{}
+	}
+	return bbMetrics{
+		received:     r.Counter("bb_rars_received_total", "reserve requests received"),
+		forwarded:    r.Counter("bb_rars_forwarded_total", "reserve requests forwarded downstream"),
+		granted:      r.Counter("bb_rars_granted_total", "reserve requests granted at this hop"),
+		denied:       r.Counter("bb_rars_denied_total", "reserve requests denied or failed at this hop"),
+		cancels:      r.Counter("bb_cancels_total", "cancel requests received"),
+		rollbacks:    r.Counter("bb_rollbacks_total", "optimistic admissions rolled back after downstream denial or failure"),
+		retries:      r.Counter("bb_retries_total", "downstream call retries after transport failures"),
+		breakerOpens: r.Counter("bb_breaker_opens_total", "per-peer circuit breaker open transitions"),
+		replays:      r.Counter("bb_replays_total", "idempotent replays of recorded RAR outcomes"),
+
+		handleSeconds:     r.Histogram("bb_handle_seconds", "per-hop reserve handling time", nil),
+		downstreamSeconds: r.Histogram("bb_downstream_seconds", "downstream call round trip including retries and backoff", nil),
+		grantSeconds:      r.Histogram("bb_grant_seconds", "end-to-end grant time observed at the source hop", nil),
+	}
+}
+
+// registerGauges exposes the broker's live state as sampled-on-scrape
+// gauges: double bookkeeping would drift, the table and tunnel
+// registry already know the truth.
+func (b *BB) registerGauges(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("bb_capacity_bps", "premium aggregate capacity (bits per second)",
+		func() float64 { return float64(b.cfg.Capacity) })
+	r.GaugeFunc("bb_reserved_bps", "premium bandwidth committed right now (bits per second)",
+		func() float64 { return float64(b.table.CommittedAt(b.cfg.Clock())) })
+	r.GaugeFunc("bb_open_tunnels", "tunnel endpoints registered at this broker",
+		func() float64 { return float64(b.tunnels.reg.Len()) })
+	r.GaugeFunc("bb_tunnel_subflows", "live sub-flow allocations across all tunnels",
+		func() float64 { return float64(b.tunnels.reg.SubFlowTotal()) })
+	r.GaugeFunc("bb_open_rars", "RAR route entries currently held (in-flight plus granted)",
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.routes))
+		})
+}

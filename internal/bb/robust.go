@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/signalling"
 )
 
@@ -40,13 +41,19 @@ func (br *breaker) open(now time.Time) (time.Duration, bool) {
 	return 0, false
 }
 
-func (br *breaker) fail(now time.Time) {
+// fail records a transport failure and reports whether this failure
+// transitioned the circuit from closed to open (so the caller can
+// count and log the event exactly once per opening).
+func (br *breaker) fail(now time.Time) bool {
 	br.mu.Lock()
 	defer br.mu.Unlock()
 	br.failures++
 	if br.threshold > 0 && br.failures >= br.threshold {
+		wasClosed := !now.Before(br.openUntil)
 		br.openUntil = now.Add(br.cooldown)
+		return wasClosed
 	}
+	return false
 }
 
 func (br *breaker) ok() {
@@ -89,39 +96,57 @@ func (b *BB) dropClient(dn identity.DN, c *signalling.Client) {
 // with exponential backoff on transport failures (never on
 // protocol-level denials, which arrive as granted=false results), and
 // the per-peer circuit breaker. On any transport failure the cached
-// connection is dropped, so retries and later calls redial.
-func (b *BB) callPeer(dn identity.DN, msg *signalling.Message) (*signalling.Message, error) {
+// connection is dropped, so retries and later calls redial. The
+// retries return reports how many extra attempts beyond the first
+// were made (for span accounting); it is meaningful on error too.
+func (b *BB) callPeer(dn identity.DN, msg *signalling.Message) (*signalling.Message, int, error) {
 	br := b.breakerFor(dn)
 	if wait, isOpen := br.open(b.cfg.Clock()); isOpen {
-		return nil, fmt.Errorf("bb %s: circuit to %s open for another %v", b.cfg.Domain, dn, wait.Round(time.Millisecond))
+		return nil, 0, fmt.Errorf("bb %s: circuit to %s open for another %v", b.cfg.Domain, dn, wait.Round(time.Millisecond))
 	}
 	backoff := b.cfg.RetryBackoff
 	if backoff <= 0 {
 		backoff = defaultRetryBackoff
 	}
 	var lastErr error
+	retries := 0
 	for attempt := 0; attempt <= b.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			retries++
+			b.m.retries.Inc()
+			b.log.Debug("retrying downstream call",
+				obs.AttrPeer, string(dn), "type", string(msg.Type),
+				"attempt", attempt+1, "backoff", backoff)
 			time.Sleep(backoff)
 			backoff *= 2
 		}
 		client, err := b.clientFor(dn)
 		if err != nil {
 			lastErr = err
-			br.fail(b.cfg.Clock())
+			b.noteFailure(br, dn)
 			continue
 		}
 		resp, err := client.CallTimeout(msg, b.cfg.CallTimeout)
 		if err != nil {
 			lastErr = fmt.Errorf("bb %s: call to %s (attempt %d): %w", b.cfg.Domain, dn, attempt+1, err)
 			b.dropClient(dn, client)
-			br.fail(b.cfg.Clock())
+			b.noteFailure(br, dn)
 			continue
 		}
 		br.ok()
-		return resp, nil
+		return resp, retries, nil
 	}
-	return nil, lastErr
+	return nil, retries, lastErr
+}
+
+// noteFailure feeds a transport failure into the peer's breaker and
+// accounts for the open transition, if this failure caused one.
+func (b *BB) noteFailure(br *breaker, dn identity.DN) {
+	if br.fail(b.cfg.Clock()) {
+		b.m.breakerOpens.Inc()
+		b.log.Warn("circuit breaker opened",
+			obs.AttrPeer, string(dn), "cooldown", br.cooldown)
+	}
 }
 
 // cancelAttempts bounds the persistence of cancelDownstream. It is
@@ -158,9 +183,15 @@ func (b *BB) cancelDownstream(dn identity.DN, rarID string) {
 				Cancel: &signalling.CancelPayload{RARID: rarID},
 			}, b.cfg.CallTimeout)
 			if err == nil {
+				b.log.Info("rollback cancel settled downstream",
+					obs.AttrRAR, rarID, obs.AttrPeer, string(dn), "attempts", attempt+1)
 				return
 			}
 			b.dropClient(dn, client)
 		}
+		// Bandwidth below the failed hop may now stay stranded until the
+		// reservation window expires; the operator must hear about it.
+		b.log.Error("rollback cancel abandoned, downstream state unknown",
+			obs.AttrRAR, rarID, obs.AttrPeer, string(dn), "attempts", cancelAttempts)
 	}()
 }

@@ -33,6 +33,9 @@ type faultCell struct {
 	grantLat, denyLat       time.Duration
 	faults                  int64
 	stranded                int
+	// Observability-layer totals summed across all domains, so the
+	// table shows the robustness machinery at work, not just outcomes.
+	retries, breakerOpens, rollbacks, replays float64
 }
 
 // runFaultCell builds a fresh faulted world and attempts cfg.Trials
@@ -47,6 +50,7 @@ func runFaultCell(cfg FaultSweepConfig, prob float64, retries int) (faultCell, e
 		CallTimeout:  cfg.CallTimeout,
 		MaxRetries:   retries,
 		RetryBackoff: 2 * time.Millisecond,
+		EnableObs:    true,
 		WrapDialer: func(domain string, d transport.Dialer) transport.Dialer {
 			if prob <= 0 {
 				return d
@@ -111,6 +115,10 @@ func runFaultCell(cfg FaultSweepConfig, prob float64, retries int) (faultCell, e
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	out.retries = w.CounterTotal("bb_retries_total")
+	out.breakerOpens = w.CounterTotal("bb_breaker_opens_total")
+	out.rollbacks = w.CounterTotal("bb_rollbacks_total")
+	out.replays = w.CounterTotal("bb_replays_total")
 	return out, nil
 }
 
@@ -142,6 +150,7 @@ func RunFaultSweep(cfg FaultSweepConfig) (*Table, error) {
 			"grants", "denials", "errors",
 			"grant lat", "denial lat",
 			"faults injected", "stranded",
+			"bb retries", "breaker opens", "rollbacks", "replays",
 		},
 	}
 	ms := func(total time.Duration, n int) string {
@@ -170,6 +179,10 @@ func RunFaultSweep(cfg FaultSweepConfig) (*Table, error) {
 				ms(c.denyLat, c.denials),
 				fmt.Sprintf("%d", c.faults),
 				stranded,
+				fmt.Sprintf("%.0f", c.retries),
+				fmt.Sprintf("%.0f", c.breakerOpens),
+				fmt.Sprintf("%.0f", c.rollbacks),
+				fmt.Sprintf("%.0f", c.replays),
 			)
 		}
 	}
@@ -177,6 +190,7 @@ func RunFaultSweep(cfg FaultSweepConfig) (*Table, error) {
 		"a lost message either times out at the sender (denial after the hop deadline) or strands optimistic admissions; the best-effort downstream cancel reclaims them",
 		"retries recover grants lost to transient faults at the cost of extra deadline exposure per hop",
 		"errors are user-visible transport failures: the user's own deadline fired before any broker answered",
+		"bb retries / breaker opens / rollbacks / replays are the brokers' own metrics (bb_*_total summed over all domains): the observability layer answering which machinery fired, not just what the user saw",
 	)
 	return t, nil
 }

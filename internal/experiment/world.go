@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"e2eqos/internal/bb"
@@ -15,6 +16,7 @@ import (
 	"e2eqos/internal/disksched"
 	"e2eqos/internal/group"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
 	"e2eqos/internal/policysrv"
@@ -73,6 +75,15 @@ type WorldConfig struct {
 	// the hook the fault-injection experiments use to subject a
 	// specific hop to failure.
 	WrapDialer func(domain string, d transport.Dialer) transport.Dialer
+
+	// EnableObs gives every broker its own metrics registry (exposed as
+	// World.Metrics) and wires transport counters onto the shared
+	// in-memory network. Off by default: most experiments and the
+	// benchmarks measure the uninstrumented baseline.
+	EnableObs bool
+	// Logger, when set, receives every broker's structured log records
+	// (each stamped with its domain). Nil keeps brokers silent.
+	Logger *slog.Logger
 }
 
 // World is a running testbed.
@@ -90,6 +101,11 @@ type World struct {
 	CPU    map[string]*cpusched.Manager
 	Disk   map[string]*disksched.Manager
 	Planes map[string]*bb.DataPlane
+	// Metrics holds each domain's broker registry (nil unless
+	// WorldConfig.EnableObs); NetMetrics aggregates transport counters
+	// across the whole in-memory network.
+	Metrics    map[string]*obs.Registry
+	NetMetrics *obs.Registry
 
 	listeners   []transport.Listener
 	addrs       map[identity.DN]string
@@ -135,9 +151,14 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		CPU:     make(map[string]*cpusched.Manager),
 		Disk:    make(map[string]*disksched.Manager),
 		Planes:  make(map[string]*bb.DataPlane),
+		Metrics: make(map[string]*obs.Registry),
 		addrs:       make(map[identity.DN]string),
 		clock:       cfg.Clock,
 		callTimeout: cfg.CallTimeout,
+	}
+	if cfg.EnableObs {
+		w.NetMetrics = obs.NewRegistry()
+		w.Net.Metrics = transport.NewMetrics(w.NetMetrics)
 	}
 
 	// Shared authorization infrastructure.
@@ -266,6 +287,11 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		if c, ok := cfg.Capacities[name]; ok {
 			capacity = c
 		}
+		var reg *obs.Registry
+		if cfg.EnableObs {
+			reg = obs.NewRegistry()
+			w.Metrics[name] = reg
+		}
 		broker, err := bb.New(bb.Config{
 			Domain:           name,
 			Key:              m.key,
@@ -287,6 +313,8 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			RetryBackoff:     cfg.RetryBackoff,
 			BreakerThreshold: cfg.BreakerThreshold,
 			BreakerCooldown:  cfg.BreakerCooldown,
+			Logger:           cfg.Logger,
+			Metrics:          reg,
 		})
 		if err != nil {
 			return nil, err
@@ -297,7 +325,7 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			return nil, err
 		}
 		w.listeners = append(w.listeners, ln)
-		go signalling.Serve(ln, broker)
+		go signalling.ServeWith(ln, broker, broker.Logger())
 	}
 	return w, nil
 }
@@ -323,3 +351,26 @@ func (w *World) BBAddr(domain string) string { return addrOf(domain) }
 
 // Clock returns the shared time source.
 func (w *World) Clock() func() time.Time { return w.clock }
+
+// CounterTotal sums one counter (or any scalar series) across every
+// domain's registry — the world-level view of e.g.
+// "bb_retries_total". Zero when observability is disabled.
+func (w *World) CounterTotal(name string) float64 {
+	var total float64
+	for _, reg := range w.Metrics {
+		if v, ok := reg.Snapshot()[name]; ok {
+			total += v
+		}
+	}
+	return total
+}
+
+// MetricsSnapshot returns each domain's point-in-time metric values,
+// keyed by domain. Nil registries (obs disabled) yield no entries.
+func (w *World) MetricsSnapshot() map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(w.Metrics))
+	for name, reg := range w.Metrics {
+		out[name] = reg.Snapshot()
+	}
+	return out
+}

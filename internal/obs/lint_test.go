@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The metrics-lint tier (`make metrics-lint`) runs the TestMetricsLint
+// tests here and in internal/experiment: the registry enforces the
+// naming rules by panicking at registration time, and these tests pin
+// that enforcement so a rule regression fails CI rather than silently
+// admitting bad names.
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", wantSubstr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic %v does not mention %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+func TestMetricsLintNameRule(t *testing.T) {
+	for _, bad := range []string{"Total", "x-y", "1x", "x.y", "", "x y", "réqs"} {
+		bad := bad
+		mustPanic(t, "lowercase_snake", func() {
+			NewRegistry().Gauge(bad, "")
+		})
+	}
+	// The boundary cases that must pass.
+	r := NewRegistry()
+	r.Gauge("a", "")
+	r.Gauge("a2_b_c", "")
+}
+
+func TestMetricsLintCounterSuffix(t *testing.T) {
+	mustPanic(t, "_total", func() {
+		NewRegistry().Counter("requests", "")
+	})
+	NewRegistry().Counter("requests_total", "")
+}
+
+func TestMetricsLintRegisteredExactlyOnce(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth", "")
+	mustPanic(t, "registered twice", func() {
+		r.Gauge("depth", "")
+	})
+	mustPanic(t, "registered twice", func() {
+		r.GaugeFunc("depth", "", func() float64 { return 0 })
+	})
+}
+
+func TestMetricsLintBucketsAscending(t *testing.T) {
+	mustPanic(t, "not ascending", func() {
+		NewRegistry().Histogram("h_seconds", "", []float64{1, 1})
+	})
+}

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nameRE is the lowercase_snake rule every metric name must satisfy.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// DefLatencyBuckets are the default histogram buckets for control-plane
+// latencies, in seconds (0.1ms .. 5s — one signalling hop up to a full
+// retried chain).
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// metric is anything the registry can expose.
+type metric interface {
+	expose(w io.Writer)
+}
+
+// Counter is a monotonically increasing count. All methods are no-ops
+// on a nil receiver, so disabled observability threads the same code.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) expose(w io.Writer) {
+	writeHeader(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// Gauge is a value that can go up and down, stored as a float64.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) expose(w io.Writer) {
+	writeHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
+// gaugeFunc samples a callback at exposition time: for values the
+// system already tracks (reserved bandwidth, open tunnels) a callback
+// avoids double bookkeeping.
+type gaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+func (g *gaugeFunc) expose(w io.Writer) {
+	writeHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// Histogram is a cumulative-bucket latency histogram in the Prometheus
+// style. Observations are in seconds.
+type Histogram struct {
+	name, help string
+	buckets    []float64 // upper bounds, ascending
+
+	mu     sync.Mutex
+	counts []uint64 // one per bucket, non-cumulative
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.mu.Lock()
+	if i < len(h.counts) {
+		h.counts[i]++
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) expose(w io.Writer) {
+	writeHeader(w, h.name, h.help, "histogram")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count)
+}
+
+// Registry owns a set of uniquely named metrics. A nil *Registry is
+// the disabled state: it hands out nil handles whose methods no-op.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]metric
+	ordered []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// register enforces the naming and exactly-once rules; violations are
+// programming errors and panic (turned into test failures by
+// lint_test.go and `make metrics-lint`).
+func (r *Registry) register(name string, m metric) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: metric name %q is not lowercase_snake", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, name)
+}
+
+// Counter registers and returns a counter. Counter names must end in
+// _total per Prometheus convention. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if len(name) < len("_total") || name[len(name)-len("_total"):] != "_total" {
+		panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+	}
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Gauge registers and returns a gauge. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from fn at exposition time.
+// No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
+}
+
+// Histogram registers and returns a histogram with the given ascending
+// bucket upper bounds (DefLatencyBuckets when nil). Returns nil on a
+// nil registry.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{name: name, help: help, buckets: buckets, counts: make([]uint64, len(buckets))}
+	r.register(name, h)
+	return h
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.ordered...)
+}
+
+// WriteText renders the registry in Prometheus text exposition format,
+// metrics sorted by name.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.ordered...)
+	ms := make([]metric, len(names))
+	for i, n := range names {
+		ms[i] = r.byName[n]
+	}
+	r.mu.Unlock()
+	sort.Sort(&byName{names, ms})
+	for _, m := range ms {
+		m.expose(w)
+	}
+}
+
+// Snapshot returns a point-in-time view of every scalar series:
+// counters and gauges under their own name, histograms as _count and
+// _sum. Experiments use it for world-level assertions.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make(map[string]metric, len(r.byName))
+	for n, m := range r.byName {
+		ms[n] = m
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(ms))
+	for n, m := range ms {
+		switch v := m.(type) {
+		case *Counter:
+			out[n] = float64(v.Value())
+		case *Gauge:
+			out[n] = v.Value()
+		case *gaugeFunc:
+			out[n] = v.fn()
+		case *Histogram:
+			out[n+"_count"] = float64(v.Count())
+			out[n+"_sum"] = v.Sum()
+		}
+	}
+	return out
+}
+
+type byName struct {
+	names []string
+	ms    []metric
+}
+
+func (s *byName) Len() int           { return len(s.names) }
+func (s *byName) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *byName) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.ms[i], s.ms[j] = s.ms[j], s.ms[i]
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one hop's record of handling a traced reserve request: which
+// domain, what it decided, and where the time went. Spans are appended
+// to the signalling result payload as the response propagates back
+// upstream, destination first — the observability analogue of the
+// paper's nested approval chain — so the requester can reconstruct the
+// exact path its RAR took and where it stalled.
+//
+// All durations are wall-clock nanoseconds measured at the hop:
+//
+//	VerifyNS     envelope verification (signature chain + certs)
+//	PolicyNS     policy-server decision
+//	AdmitNS      reservation-table admission
+//	DownstreamNS downstream call round trip, including retries/backoff
+//	TotalNS      whole handler, receipt to response
+type Span struct {
+	Domain  string `json:"domain"`
+	BB      string `json:"bb,omitempty"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason,omitempty"`
+	// Retries is how many extra downstream attempts this hop made
+	// beyond the first (0 when the first attempt settled it).
+	Retries      int   `json:"retries,omitempty"`
+	VerifyNS     int64 `json:"verify_ns,omitempty"`
+	PolicyNS     int64 `json:"policy_ns,omitempty"`
+	AdmitNS      int64 `json:"admit_ns,omitempty"`
+	DownstreamNS int64 `json:"downstream_ns,omitempty"`
+	TotalNS      int64 `json:"total_ns,omitempty"`
+}
+
+// Span verdicts.
+const (
+	// VerdictGranted: the hop admitted and (if not the destination)
+	// its downstream chain granted.
+	VerdictGranted = "granted"
+	// VerdictDenied: the hop itself refused (policy, SLA, admission).
+	VerdictDenied = "denied"
+	// VerdictError: the hop's downstream call failed at the transport
+	// level (timeout, reset, open breaker) — the chain below it is in
+	// an unknown state and was handed a rollback cancel.
+	VerdictError = "error"
+	// VerdictRolledBack: the hop admitted locally but a hop below it
+	// denied, so the local admission was rolled back. The actual
+	// refusal is in a deeper span.
+	VerdictRolledBack = "rolled_back"
+)
+
+// NewTraceID returns a fresh 16-hex-char trace id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to
+		// a fixed id rather than propagate an error nobody can handle.
+		return "t-0000000000000000"
+	}
+	return "t-" + hex.EncodeToString(b[:])
+}
+
+// RenderTimeline formats spans as a per-hop timeline. Spans are
+// expected destination-first (the wire order); the rendering walks the
+// chain source-to-destination, one line per hop.
+func RenderTimeline(traceID string, spans []Span) string {
+	var sb strings.Builder
+	if traceID != "" {
+		fmt.Fprintf(&sb, "trace %s (%d hops)\n", traceID, len(spans))
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		s := spans[i]
+		hop := len(spans) - i
+		fmt.Fprintf(&sb, "  hop %d %-12s %-7s total=%s", hop, s.Domain, s.Verdict, fmtNS(s.TotalNS))
+		if s.VerifyNS > 0 {
+			fmt.Fprintf(&sb, " verify=%s", fmtNS(s.VerifyNS))
+		}
+		if s.PolicyNS > 0 {
+			fmt.Fprintf(&sb, " policy=%s", fmtNS(s.PolicyNS))
+		}
+		if s.AdmitNS > 0 {
+			fmt.Fprintf(&sb, " admit=%s", fmtNS(s.AdmitNS))
+		}
+		if s.DownstreamNS > 0 {
+			fmt.Fprintf(&sb, " downstream=%s", fmtNS(s.DownstreamNS))
+		}
+		if s.Retries > 0 {
+			fmt.Fprintf(&sb, " retries=%d", s.Retries)
+		}
+		if s.Reason != "" {
+			fmt.Fprintf(&sb, " reason=%q", s.Reason)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

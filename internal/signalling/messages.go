@@ -12,6 +12,7 @@ import (
 
 	"e2eqos/internal/envelope"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 )
 
 // MsgType discriminates protocol messages.
@@ -67,6 +68,10 @@ type Message struct {
 // ReservePayload carries the RAR envelope.
 type ReservePayload struct {
 	Mode ReserveMode `json:"mode"`
+	// TraceID, when non-empty, asks every hop on the chain to record
+	// a trace span; the spans come back in the result payload. Empty
+	// disables tracing at zero per-hop cost.
+	TraceID string `json:"trace_id,omitempty"`
 	// EnvelopeData is the encoded envelope (RAR_U, RAR_A, ...).
 	EnvelopeData json.RawMessage `json:"envelope"`
 }
@@ -117,6 +122,11 @@ type ResultPayload struct {
 	Approvals []DomainApproval `json:"approvals,omitempty"`
 	// PolicyInfo carries returned attributes (cost quotes etc.).
 	PolicyInfo map[string]string `json:"policy_info,omitempty"`
+	// TraceID echoes the request's trace id on traced reserves.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace accumulates per-hop spans along the return path,
+	// destination first — the observability analogue of Approvals.
+	Trace []obs.Span `json:"trace,omitempty"`
 }
 
 // DomainApproval is one domain's signed statement about a RAR.

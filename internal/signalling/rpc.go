@@ -2,11 +2,13 @@ package signalling
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
 	"e2eqos/internal/transport"
 )
 
@@ -32,18 +34,30 @@ func (f HandlerFunc) Handle(peer Peer, msg *Message) *Message { return f(peer, m
 // Serve accepts connections from ln and dispatches inbound messages
 // to h until the listener closes. Each connection gets its own
 // goroutine; requests on one connection are processed sequentially,
-// preserving ordering.
+// preserving ordering. Handler panics are reported through the
+// default logger with a stack trace; use ServeWith to direct them to
+// a structured logger.
 func Serve(ln transport.Listener, h Handler) {
+	ServeWith(ln, h, nil)
+}
+
+// ServeWith is Serve with an explicit structured logger for protocol
+// errors and handler panics (nil falls back to slog.Default, which
+// writes through the standard log package).
+func ServeWith(ln transport.Listener, h Handler, logger *slog.Logger) {
+	if logger == nil {
+		logger = slog.Default()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go serveConn(conn, h)
+		go serveConn(conn, h, logger)
 	}
 }
 
-func serveConn(conn transport.Conn, h Handler) {
+func serveConn(conn transport.Conn, h Handler, logger *slog.Logger) {
 	defer conn.Close()
 	peer := Peer{DN: conn.PeerDN(), CertDER: conn.PeerCertDER()}
 	for {
@@ -53,23 +67,47 @@ func serveConn(conn transport.Conn, h Handler) {
 		}
 		msg, err := DecodeMessage(data)
 		if err != nil {
-			log.Printf("signalling: dropping malformed message from %s: %v", peer.DN, err)
+			logger.Warn("signalling: dropping malformed message",
+				obs.AttrPeer, string(peer.DN), "err", err)
 			return
 		}
-		resp := h.Handle(peer, msg)
+		resp := safeHandle(h, peer, msg, logger)
 		if resp == nil {
 			resp = ErrorResult("internal: no response")
 		}
-		resp.ID = msg.ID
-		out, err := resp.Encode()
+		// Copy before stamping the ID: handlers may return a shared
+		// message (e.g. a recorded outcome replayed to duplicate
+		// requests), and two connections must not race on its ID field.
+		stamped := *resp
+		stamped.ID = msg.ID
+		out, err := stamped.Encode()
 		if err != nil {
-			log.Printf("signalling: encoding response to %s: %v", peer.DN, err)
+			logger.Error("signalling: encoding response failed",
+				obs.AttrPeer, string(peer.DN), "type", string(msg.Type), "err", err)
 			return
 		}
 		if err := conn.Send(out); err != nil {
 			return
 		}
 	}
+}
+
+// safeHandle dispatches one request, converting a handler panic into
+// a logged error (with stack trace) and a denied result instead of
+// silently killing the connection's goroutine — a poisoned request
+// must not take the whole server down, and the operator must see it.
+func safeHandle(h Handler, peer Peer, msg *Message, logger *slog.Logger) (resp *Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			logger.Error("signalling: handler panic",
+				obs.AttrPeer, string(peer.DN),
+				"type", string(msg.Type),
+				"panic", fmt.Sprint(r),
+				"stack", string(debug.Stack()))
+			resp = ErrorResult("internal: handler panic")
+		}
+	}()
+	return h.Handle(peer, msg)
 }
 
 // ErrorResult builds a denied/failed result message.

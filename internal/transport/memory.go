@@ -25,6 +25,11 @@ type Network struct {
 	// (and to connection establishment, once per dial).
 	Latency time.Duration
 
+	// Metrics, when set before use, counts dials, accepts and
+	// deadline expiries network-wide (per-domain attribution is done
+	// at the broker layer; the network is shared).
+	Metrics *Metrics
+
 	mu        sync.Mutex
 	listeners map[string]*memListener
 
@@ -92,6 +97,7 @@ func (e *Endpoint) Dial(addr string) (Conn, error) {
 	l, ok := e.net.listeners[addr]
 	e.net.mu.Unlock()
 	if !ok {
+		e.net.Metrics.dialFailure()
 		return nil, fmt.Errorf("transport: no listener at %q", addr)
 	}
 	clientSide, serverSide := newMemPair(e.net, e, l.ep)
@@ -99,9 +105,11 @@ func (e *Endpoint) Dial(addr string) (Conn, error) {
 		// Closing one half closes the shared pair state, so the
 		// refused server-side conn cannot strand a future Accept.
 		clientSide.Close()
+		e.net.Metrics.dialFailure()
 		return nil, err
 	}
 	e.net.dials.Add(1)
+	e.net.Metrics.dial()
 	if e.net.Latency > 0 {
 		time.Sleep(e.net.Latency)
 	}
@@ -139,6 +147,7 @@ func (l *memListener) enqueue(c *memConn) error {
 func (l *memListener) Accept() (Conn, error) {
 	select {
 	case c := <-l.backlog:
+		l.net.Metrics.accept()
 		return c, nil
 	case <-l.closed:
 		return nil, ErrClosed
@@ -251,6 +260,7 @@ func (c *memConn) Send(msg []byte) error {
 	case <-c.done:
 		return ErrClosed
 	case <-timeout:
+		c.net.Metrics.timeout()
 		return ErrTimeout
 	}
 }
@@ -271,6 +281,7 @@ func (c *memConn) Recv() ([]byte, error) {
 			return nil, ErrClosed
 		}
 	case <-timeout:
+		c.net.Metrics.timeout()
 		return nil, ErrTimeout
 	}
 }
@@ -284,6 +295,7 @@ func (c *memConn) deliver(m timedMsg, timeout <-chan time.Time) ([]byte, error) 
 		select {
 		case <-t.C:
 		case <-timeout:
+			c.net.Metrics.timeout()
 			return nil, ErrTimeout
 		}
 	}

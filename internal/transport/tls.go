@@ -67,11 +67,12 @@ type tlsConn struct {
 	conn     *tls.Conn
 	peerDN   identity.DN
 	peerCert []byte
+	metrics  *Metrics
 	sendMu   sync.Mutex
 	recvMu   sync.Mutex
 }
 
-func newTLSConn(conn *tls.Conn) (*tlsConn, error) {
+func newTLSConn(conn *tls.Conn, metrics *Metrics) (*tlsConn, error) {
 	if err := conn.Handshake(); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: TLS handshake: %w", err)
@@ -86,6 +87,7 @@ func newTLSConn(conn *tls.Conn) (*tlsConn, error) {
 		conn:     conn,
 		peerDN:   pki.NameToDN(leaf.Subject),
 		peerCert: leaf.Raw,
+		metrics:  metrics,
 	}, nil
 }
 
@@ -98,9 +100,15 @@ func (c *tlsConn) Send(msg []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
 	if _, err := c.conn.Write(hdr[:]); err != nil {
+		if IsTimeout(err) {
+			c.metrics.timeout()
+		}
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.conn.Write(msg); err != nil {
+		if IsTimeout(err) {
+			c.metrics.timeout()
+		}
 		return fmt.Errorf("transport: write body: %w", err)
 	}
 	return nil
@@ -111,6 +119,9 @@ func (c *tlsConn) Recv() ([]byte, error) {
 	defer c.recvMu.Unlock()
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+		if IsTimeout(err) {
+			c.metrics.timeout()
+		}
 		return nil, fmt.Errorf("transport: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
@@ -119,6 +130,9 @@ func (c *tlsConn) Recv() ([]byte, error) {
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(c.conn, buf); err != nil {
+		if IsTimeout(err) {
+			c.metrics.timeout()
+		}
 		return nil, fmt.Errorf("transport: read body: %w", err)
 	}
 	return buf, nil
@@ -136,6 +150,10 @@ func (c *tlsConn) Close() error        { return c.conn.Close() }
 type TLSListener struct {
 	ln  net.Listener
 	cfg *tls.Config
+
+	// Metrics, when set before serving, counts accepted connections
+	// and deadline expiries on them.
+	Metrics *Metrics
 }
 
 // ListenTLS starts a mutually authenticated listener on addr
@@ -158,7 +176,12 @@ func (l *TLSListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTLSConn(tls.Server(raw, l.cfg))
+	conn, err := newTLSConn(tls.Server(raw, l.cfg), l.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	l.Metrics.accept()
+	return conn, nil
 }
 
 // Close stops the listener.
@@ -177,6 +200,10 @@ type TLSDialer struct {
 	// (half-open host, wedged process) blocks Dial indefinitely,
 	// before any per-call deadline can apply.
 	Timeout time.Duration
+
+	// Metrics, when set, counts dials, dial failures and deadline
+	// expiries on dialed connections.
+	Metrics *Metrics
 }
 
 // NewTLSDialer creates a dialer using the given identity material.
@@ -191,17 +218,20 @@ func (d *TLSDialer) Dial(addr string) (Conn, error) {
 	nd := net.Dialer{Timeout: d.Timeout}
 	raw, err := nd.Dial("tcp", addr)
 	if err != nil {
+		d.Metrics.dialFailure()
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	if d.Timeout > 0 {
 		raw.SetDeadline(time.Now().Add(d.Timeout))
 	}
-	conn, err := newTLSConn(tls.Client(raw, tcfg))
+	conn, err := newTLSConn(tls.Client(raw, tcfg), d.Metrics)
 	if err != nil {
+		d.Metrics.dialFailure()
 		return nil, err
 	}
 	if d.Timeout > 0 {
 		conn.SetDeadline(time.Time{})
 	}
+	d.Metrics.dial()
 	return conn, nil
 }

@@ -154,3 +154,28 @@ func (r *Registry) Remove(rarID string) {
 	defer r.mu.Unlock()
 	delete(r.tunnels, rarID)
 }
+
+// Len reports the number of registered tunnels.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tunnels)
+}
+
+// SubFlowTotal reports the live sub-flow allocations summed across all
+// registered tunnels.
+func (r *Registry) SubFlowTotal() int {
+	r.mu.RLock()
+	eps := make([]*Endpoint, 0, len(r.tunnels))
+	for _, e := range r.tunnels {
+		eps = append(eps, e)
+	}
+	r.mu.RUnlock()
+	total := 0
+	for _, e := range eps {
+		e.mu.Lock()
+		total += len(e.allocs)
+		e.mu.Unlock()
+	}
+	return total
+}

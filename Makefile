@@ -1,20 +1,25 @@
 # Build / verification tiers.
 #
-#   make build         compile everything
-#   make test          tier-1: full test suite
-#   make verify        tier-2: go vet + metrics lint + race-detector run
-#                      over the whole tree (the concurrent control plane —
-#                      transport, signalling, bb — plus the bench world
-#                      setup all run under -race)
-#   make metrics-lint  metric-name rules: every registered name is
-#                      lowercase_snake, counters end in _total, and each
-#                      name registers exactly once (obs registry panics
-#                      plus a walk over the live world registries)
-#   make bench         benchmark harness
+#   make build             compile everything
+#   make test              tier-1: full test suite
+#   make verify            tier-2: go vet + metrics lint + concurrency
+#                          race smoke + race-detector run over the whole
+#                          tree (the concurrent control plane — transport,
+#                          signalling, bb — plus the bench world setup all
+#                          run under -race)
+#   make race-concurrency  fast -race smoke over the multiplexed-client
+#                          and broker concurrency tests only
+#   make metrics-lint      metric-name rules: every registered name is
+#                          lowercase_snake, counters end in _total, and each
+#                          name registers exactly once (obs registry panics
+#                          plus a walk over the live world registries)
+#   make bench             benchmark harness
+#   make bench-concurrency reserve throughput vs parallel requesters
+#                          (the numbers recorded in BENCH_concurrency.json)
 
 GO ?= go
 
-.PHONY: build test verify bench metrics-lint
+.PHONY: build test verify bench bench-concurrency metrics-lint race-concurrency
 
 build:
 	$(GO) build ./...
@@ -22,12 +27,18 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint
+verify: build metrics-lint race-concurrency
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+race-concurrency:
+	$(GO) test -race -run 'Concurrent' ./internal/signalling ./internal/bb
 
 metrics-lint:
 	$(GO) test -run 'TestMetricsLint' ./internal/obs ./internal/experiment
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+bench-concurrency:
+	$(GO) test -run NONE -bench 'ConcurrentReserveChain' -benchtime 2s .

@@ -135,8 +135,12 @@ type BB struct {
 	log   *slog.Logger
 	m     bbMetrics
 
+	// pool holds the outbound signalling clients, one multiplexed
+	// connection per peer, with its own per-slot locking — never
+	// acquired under b.mu.
+	pool *clientPool
+
 	mu       sync.Mutex
-	clients  map[identity.DN]*signalling.Client
 	routes   map[string]*rarState
 	breakers map[identity.DN]*breaker
 
@@ -165,17 +169,20 @@ func New(cfg Config) (*BB, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	// The table shares the broker's clock so compaction horizons follow
+	// simulated time in the experiments.
+	table.SetClock(cfg.Clock)
 	b := &BB{
 		cfg:      cfg,
 		proto:    proto,
 		table:    table,
 		log:      obs.BrokerLogger(cfg.Logger, cfg.Domain),
 		m:        newBBMetrics(cfg.Metrics),
-		clients:  make(map[identity.DN]*signalling.Client),
 		routes:   make(map[string]*rarState),
 		breakers: make(map[identity.DN]*breaker),
 		tunnels:  newTunnelRegistry(),
 	}
+	b.pool = newClientPool(b.dialPeer, func() { b.m.clientEvictions.Inc() })
 	b.registerGauges(cfg.Metrics)
 	return b, nil
 }
@@ -201,27 +208,17 @@ func (b *BB) Table() *resv.Table { return b.table }
 // Cert returns the broker certificate.
 func (b *BB) Cert() *pki.Certificate { return b.cfg.Cert }
 
-// domainOfBB resolves a broker DN to its domain via the topology.
+// domainOfBB resolves a broker DN to its domain via the topology's
+// reverse index.
 func (b *BB) domainOfBB(dn identity.DN) (string, bool) {
-	for _, name := range b.cfg.Topo.Domains() {
-		d, ok := b.cfg.Topo.Domain(name)
-		if ok && d.BBDN == dn {
-			return name, true
-		}
-	}
-	return "", false
+	return b.cfg.Topo.DomainOfBB(dn)
 }
 
-// clientFor returns (establishing if needed) a signalling client to
-// the given peer broker.
-func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
-	b.mu.Lock()
-	if c, ok := b.clients[dn]; ok {
-		b.mu.Unlock()
-		return c, nil
-	}
+// dialPeer opens and authenticates a fresh signalling client to the
+// given peer broker; the pool owns caching and lifecycle. Reads only
+// immutable config, so it runs without b.mu.
+func (b *BB) dialPeer(dn identity.DN) (*signalling.Client, error) {
 	addr, ok := b.cfg.PeerAddrs[dn]
-	b.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("bb %s: no address for peer %s", b.cfg.Domain, dn)
 	}
@@ -237,24 +234,18 @@ func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
 		c.Close()
 		return nil, fmt.Errorf("bb %s: dialed %s but authenticated peer is %s", b.cfg.Domain, dn, c.PeerDN())
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if existing, ok := b.clients[dn]; ok {
-		c.Close()
-		return existing, nil
-	}
-	b.clients[dn] = c
 	return c, nil
+}
+
+// clientFor returns a pooled signalling client to the given peer
+// broker, redialing transparently when the cached one has died.
+func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
+	return b.pool.get(dn)
 }
 
 // Close tears down all outbound clients.
 func (b *BB) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, c := range b.clients {
-		c.Close()
-	}
-	b.clients = make(map[identity.DN]*signalling.Client)
+	b.pool.closeAll()
 }
 
 // syncDataPlane pushes the currently committed aggregate into the

@@ -15,10 +15,11 @@ type bbMetrics struct {
 	denied    *obs.Counter // reserves denied or failed at this hop
 	cancels   *obs.Counter // cancel requests received
 	// Robustness-layer counters.
-	rollbacks    *obs.Counter // optimistic admissions rolled back
-	retries      *obs.Counter // downstream call retries
-	breakerOpens *obs.Counter // circuit-breaker open transitions
-	replays      *obs.Counter // idempotent replays of recorded outcomes
+	rollbacks       *obs.Counter // optimistic admissions rolled back
+	retries         *obs.Counter // downstream call retries
+	breakerOpens    *obs.Counter // circuit-breaker open transitions
+	replays         *obs.Counter // idempotent replays of recorded outcomes
+	clientEvictions *obs.Counter // pooled peer clients retired after faults
 	// Latency histograms (seconds).
 	handleSeconds     *obs.Histogram // per-hop reserve handling time
 	downstreamSeconds *obs.Histogram // downstream round trip incl. retries
@@ -41,6 +42,8 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		retries:      r.Counter("bb_retries_total", "downstream call retries after transport failures"),
 		breakerOpens: r.Counter("bb_breaker_opens_total", "per-peer circuit breaker open transitions"),
 		replays:      r.Counter("bb_replays_total", "idempotent replays of recorded RAR outcomes"),
+		clientEvictions: r.Counter("bb_client_evictions_total",
+			"pooled peer clients retired after transport faults or dead demux loops"),
 
 		handleSeconds:     r.Histogram("bb_handle_seconds", "per-hop reserve handling time", nil),
 		downstreamSeconds: r.Histogram("bb_downstream_seconds", "downstream call round trip including retries and backoff", nil),
@@ -69,4 +72,6 @@ func (b *BB) registerGauges(r *obs.Registry) {
 			defer b.mu.Unlock()
 			return float64(len(b.routes))
 		})
+	r.GaugeFunc("bb_late_responses_dropped", "downstream responses that arrived after their call gave up",
+		func() float64 { return float64(b.pool.lateDropped()) })
 }

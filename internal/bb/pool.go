@@ -1,0 +1,160 @@
+package bb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/signalling"
+)
+
+// errPoolClosed is returned by get after closeAll: the broker is
+// shutting down and no new connections may be established.
+var errPoolClosed = errors.New("bb: client pool closed")
+
+// clientPool keeps one multiplexed signalling client per peer broker.
+// It owns the connection lifecycle the retry/breaker layer above it
+// relies on: a broken client (transport error observed by a caller, or
+// a demux loop that died without anyone calling) is retired and the
+// next get redials, transparently. Dials are singleflighted per peer —
+// a slot mutex is held across the dial — so a burst of concurrent
+// callers shares one connection instead of racing N dials for one
+// cache slot the way the old ad-hoc client map did.
+type clientPool struct {
+	dial    func(dn identity.DN) (*signalling.Client, error)
+	onEvict func() // counts retirements (never nil; no-op without metrics)
+
+	mu     sync.Mutex // guards slots and closed
+	slots  map[identity.DN]*poolSlot
+	closed bool
+
+	// retiredLate accumulates LateDropped from retired clients so the
+	// broker-wide late-response gauge survives eviction. Snapshotted at
+	// retirement: drops during a retired client's drain are not counted.
+	retiredLate atomic.Int64
+}
+
+// poolSlot is the per-peer entry. Its mutex serializes dialing and
+// replacement for that peer only, so a slow dial to one neighbour
+// never blocks calls to another.
+type poolSlot struct {
+	mu     sync.Mutex
+	client *signalling.Client
+}
+
+func newClientPool(dial func(dn identity.DN) (*signalling.Client, error), onEvict func()) *clientPool {
+	if onEvict == nil {
+		onEvict = func() {}
+	}
+	return &clientPool{dial: dial, onEvict: onEvict, slots: make(map[identity.DN]*poolSlot)}
+}
+
+func (p *clientPool) slot(dn identity.DN) (*poolSlot, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false
+	}
+	s, ok := p.slots[dn]
+	if !ok {
+		s = &poolSlot{}
+		p.slots[dn] = s
+	}
+	return s, true
+}
+
+// get returns a live client to dn, dialing if the slot is empty or its
+// client's demux loop has died (a fault the owner may never have seen
+// as a failed call — e.g. the peer closed an idle connection).
+func (p *clientPool) get(dn identity.DN) (*signalling.Client, error) {
+	s, ok := p.slot(dn)
+	if !ok {
+		return nil, errPoolClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client != nil {
+		if s.client.Alive() {
+			return s.client, nil
+		}
+		p.retire(s.client)
+		s.client = nil
+	}
+	c, err := p.dial(dn)
+	if err != nil {
+		return nil, err
+	}
+	s.client = c
+	return c, nil
+}
+
+// evict retires the cached client to dn if it is still the given
+// instance, so the next get redials instead of reusing a connection
+// whose state is unknown after a transport failure. A concurrent
+// caller that already evicted and redialed is left alone.
+func (p *clientPool) evict(dn identity.DN, c *signalling.Client) {
+	p.mu.Lock()
+	s := p.slots[dn]
+	p.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.client == c {
+		p.retire(c)
+		s.client = nil
+	}
+	s.mu.Unlock()
+}
+
+// retire counts the eviction and drain-closes the client: calls still
+// multiplexed on the connection (other goroutines mid-call when one
+// observed a timeout) complete or expire on their own before the
+// connection actually closes.
+func (p *clientPool) retire(c *signalling.Client) {
+	p.onEvict()
+	p.retiredLate.Add(c.LateDropped())
+	c.CloseWhenIdle()
+}
+
+// lateDropped sums orphaned responses across live and retired clients,
+// for the broker's late-response gauge.
+func (p *clientPool) lateDropped() int64 {
+	total := p.retiredLate.Load()
+	p.mu.Lock()
+	slots := make([]*poolSlot, 0, len(p.slots))
+	for _, s := range p.slots {
+		slots = append(slots, s)
+	}
+	p.mu.Unlock()
+	for _, s := range slots {
+		s.mu.Lock()
+		if s.client != nil {
+			total += s.client.LateDropped()
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// closeAll hard-closes every pooled client and refuses further gets;
+// broker shutdown, where draining has no value.
+func (p *clientPool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	slots := make([]*poolSlot, 0, len(p.slots))
+	for _, s := range p.slots {
+		slots = append(slots, s)
+	}
+	p.slots = make(map[identity.DN]*poolSlot)
+	p.mu.Unlock()
+	for _, s := range slots {
+		s.mu.Lock()
+		if s.client != nil {
+			s.client.Close()
+			s.client = nil
+		}
+		s.mu.Unlock()
+	}
+}

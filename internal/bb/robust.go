@@ -79,16 +79,13 @@ func (b *BB) breakerFor(dn identity.DN) *breaker {
 	return br
 }
 
-// dropClient discards the cached client to dn if it is still the given
+// dropClient retires the pooled client to dn if it is still the given
 // instance, so the next clientFor redials instead of reusing a
-// connection whose state is unknown after a transport failure.
+// connection whose state is unknown after a transport failure. The
+// retirement is a drain-close: calls other goroutines still have in
+// flight on the connection settle on their own deadlines first.
 func (b *BB) dropClient(dn identity.DN, c *signalling.Client) {
-	b.mu.Lock()
-	if b.clients[dn] == c {
-		delete(b.clients, dn)
-	}
-	b.mu.Unlock()
-	c.Close()
+	b.pool.evict(dn, c)
 }
 
 // callPeer performs one downstream signalling call under the broker's

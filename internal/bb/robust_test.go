@@ -9,6 +9,7 @@ import (
 
 	"e2eqos/internal/experiment"
 	"e2eqos/internal/resv"
+	"e2eqos/internal/signalling"
 	"e2eqos/internal/transport"
 	"e2eqos/internal/units"
 )
@@ -245,5 +246,63 @@ func TestRetryRecoversFromTransientDialFailure(t *testing.T) {
 	}
 	if n := grantedCount(w); n != len(w.Domains) {
 		t.Errorf("%d granted reservations across the chain, want %d", n, len(w.Domains))
+	}
+}
+
+// TestDeadPeerRestartRecovers is the regression test for the pooled
+// client lifecycle: a mid-chain broker dies (listener and established
+// connections), reservations fail while it is down, and after it comes
+// back the very next reserve succeeds — the upstream broker must
+// notice its cached connection is dead and redial, without itself
+// being restarted.
+func TestDeadPeerRestartRecovers(t *testing.T) {
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains:  3,
+		CallTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+
+	reserve := func() (*signalling.ResultPayload, error) {
+		spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+		return u.ReserveE2E(spec)
+	}
+
+	// Healthy chain: establishes pooled connections end to end.
+	res, err := reserve()
+	if err != nil || !res.Granted {
+		t.Fatalf("baseline reserve: res=%+v err=%v", res, err)
+	}
+
+	// Kill the mid-chain broker, established connections included.
+	if err := w.StopDomain("Domain1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = reserve()
+	if err != nil {
+		t.Fatalf("user got a transport error, want a protocol denial: %v", err)
+	}
+	if res.Granted {
+		t.Fatal("reservation granted through a dead mid-chain broker")
+	}
+
+	// Restart it at the same address. The source broker's next call
+	// must transparently redial — no broker restarts, no manual reset.
+	if err := w.RestartDomain("Domain1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = reserve()
+	if err != nil || !res.Granted {
+		t.Fatalf("reserve after peer restart: res=%+v err=%v", res, err)
+	}
+	if err := w.VerifyApprovals(res); err != nil {
+		t.Fatalf("approval signature check after restart: %v", err)
 	}
 }

@@ -107,7 +107,8 @@ type World struct {
 	Metrics    map[string]*obs.Registry
 	NetMetrics *obs.Registry
 
-	listeners   []transport.Listener
+	servers     map[string]*signalling.Server
+	endpoints   map[string]*transport.Endpoint
 	addrs       map[identity.DN]string
 	clock       func() time.Time
 	callTimeout time.Duration
@@ -152,6 +153,8 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		Disk:    make(map[string]*disksched.Manager),
 		Planes:  make(map[string]*bb.DataPlane),
 		Metrics: make(map[string]*obs.Registry),
+		servers:     make(map[string]*signalling.Server),
+		endpoints:   make(map[string]*transport.Endpoint),
 		addrs:       make(map[identity.DN]string),
 		clock:       cfg.Clock,
 		callTimeout: cfg.CallTimeout,
@@ -320,21 +323,60 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			return nil, err
 		}
 		w.BBs[name] = broker
-		ln, err := endpoint.Listen(addrOf(name))
-		if err != nil {
+		w.endpoints[name] = endpoint
+		if err := w.startDomain(name); err != nil {
 			return nil, err
 		}
-		w.listeners = append(w.listeners, ln)
-		go signalling.ServeWith(ln, broker, broker.Logger())
 	}
 	return w, nil
 }
 
-// Close stops all listeners and brokers.
-func (w *World) Close() {
-	for _, ln := range w.listeners {
-		ln.Close()
+// startDomain listens at the domain's well-known address and serves
+// its broker, tracking the server for StopDomain/Close.
+func (w *World) startDomain(name string) error {
+	broker, ok := w.BBs[name]
+	if !ok {
+		return fmt.Errorf("experiment: unknown domain %q", name)
 	}
+	ln, err := w.endpoints[name].Listen(addrOf(name))
+	if err != nil {
+		return err
+	}
+	srv := signalling.NewServer(broker, broker.Logger())
+	w.servers[name] = srv
+	go srv.Serve(ln)
+	return nil
+}
+
+// StopDomain kills a domain's broker frontend: its listener and every
+// established signalling connection drop, exactly as if the broker
+// process died. The broker's in-memory state (tables, routes) is kept,
+// so RestartDomain models a fast restart with state intact.
+func (w *World) StopDomain(name string) error {
+	srv, ok := w.servers[name]
+	if !ok {
+		return fmt.Errorf("experiment: domain %q is not running", name)
+	}
+	srv.Shutdown()
+	delete(w.servers, name)
+	return nil
+}
+
+// RestartDomain brings a stopped domain's broker frontend back at the
+// same address; peers reconnect on their next call.
+func (w *World) RestartDomain(name string) error {
+	if _, running := w.servers[name]; running {
+		return fmt.Errorf("experiment: domain %q is already running", name)
+	}
+	return w.startDomain(name)
+}
+
+// Close stops all listeners, established connections and brokers.
+func (w *World) Close() {
+	for _, srv := range w.servers {
+		srv.Shutdown()
+	}
+	w.servers = make(map[string]*signalling.Server)
 	for _, broker := range w.BBs {
 		broker.Close()
 	}

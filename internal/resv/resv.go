@@ -51,6 +51,10 @@ type Reservation struct {
 	Tunnel bool
 	// Created is the admission wall-clock time.
 	Created time.Time
+	// CancelledAt records when Cancel withdrew the reservation (zero
+	// while granted); compaction uses it as the retirement timestamp
+	// for entries whose window would otherwise keep them around.
+	CancelledAt time.Time `json:",omitempty"`
 }
 
 // ActiveAt reports whether the reservation consumes capacity at t.
@@ -58,14 +62,40 @@ func (r *Reservation) ActiveAt(t time.Time) bool {
 	return r.Status == Granted && r.Window.Contains(t)
 }
 
+// DefaultRetention is how long a dead reservation (cancelled, or past
+// its window end) stays visible before compaction removes it. The
+// grace period exists for status queries and operator tooling that
+// look up a reservation shortly after it ends; a long-running broker
+// must not accumulate every reservation it ever admitted.
+const DefaultRetention = 5 * time.Minute
+
+// sweepEvery is how many admissions pass between automatic compaction
+// sweeps. Admission is the only path that grows the table, so tying
+// the sweep to it bounds the dead-entry population without a
+// background goroutine: at most sweepEvery corpses accumulate between
+// sweeps, amortising the O(n) scan to O(1) per admit.
+const sweepEvery = 128
+
 // Table is an admission-controlled reservation table for one capacity
 // pool. It is safe for concurrent use.
+//
+// Dead entries — cancelled reservations and reservations whose window
+// has ended — are removed once they have been dead longer than the
+// retention period, either by an explicit Compact call or by the
+// automatic sweep piggybacked on Admit. Lookup, Valid, All and
+// Snapshot therefore do not see reservations past their retention;
+// callers needing a permanent record must keep their own (the broker's
+// structured log is that record).
 type Table struct {
-	mu       sync.Mutex
-	name     string
-	capacity units.Bandwidth
-	resv     map[string]*Reservation
-	seq      int64
+	mu        sync.Mutex
+	name      string
+	capacity  units.Bandwidth
+	resv      map[string]*Reservation
+	seq       int64
+	retention time.Duration
+	clock     func() time.Time
+	// admits counts admissions since the last automatic sweep.
+	admits int
 }
 
 // NewTable creates a table managing the given capacity.
@@ -73,7 +103,33 @@ func NewTable(name string, capacity units.Bandwidth) (*Table, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("resv: non-positive capacity %v", capacity)
 	}
-	return &Table{name: name, capacity: capacity, resv: make(map[string]*Reservation)}, nil
+	return &Table{
+		name:      name,
+		capacity:  capacity,
+		resv:      make(map[string]*Reservation),
+		retention: DefaultRetention,
+		clock:     time.Now,
+	}, nil
+}
+
+// SetClock injects the time source used for admission stamps and
+// compaction horizons (tests, simulated time). Nil restores time.Now.
+func (t *Table) SetClock(clock func() time.Time) {
+	if clock == nil {
+		clock = time.Now
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// SetRetention changes how long dead reservations stay visible before
+// compaction removes them. Zero or negative disables compaction
+// entirely, including the automatic sweep.
+func (t *Table) SetRetention(d time.Duration) {
+	t.mu.Lock()
+	t.retention = d
+	t.mu.Unlock()
 }
 
 // Capacity returns the managed capacity.
@@ -156,6 +212,12 @@ func (t *Table) Admit(req AdmitRequest) (*Reservation, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	now := t.clock()
+	t.admits++
+	if t.admits >= sweepEvery {
+		t.admits = 0
+		t.compactLocked(now)
+	}
 	peak := t.maxCommittedLocked(req.Window, "")
 	if peak+req.Bandwidth > t.capacity {
 		return nil, fmt.Errorf("resv: %s: insufficient capacity: peak committed %v + request %v > capacity %v",
@@ -171,7 +233,7 @@ func (t *Table) Admit(req AdmitRequest) (*Reservation, error) {
 		Window:    req.Window,
 		Status:    Granted,
 		Tunnel:    req.Tunnel,
-		Created:   time.Now(),
+		Created:   now,
 	}
 	t.resv[r.Handle] = r
 	return r, nil
@@ -189,7 +251,57 @@ func (t *Table) Cancel(handle string) error {
 		return fmt.Errorf("resv: handle %q already cancelled", handle)
 	}
 	r.Status = Cancelled
+	r.CancelledAt = t.clock()
 	return nil
+}
+
+// Compact removes reservations that have been dead — cancelled, or
+// past their window end — for longer than the retention period as of
+// now, and reports how many were removed. Admit sweeps automatically
+// every sweepEvery admissions; Compact exists for callers that want
+// deterministic timing (periodic maintenance, tests, snapshotting a
+// long-idle table).
+func (t *Table) Compact(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.compactLocked(now)
+}
+
+// compactLocked removes entries dead since before the retention
+// horizon. Caller holds t.mu.
+func (t *Table) compactLocked(now time.Time) int {
+	if t.retention <= 0 {
+		return 0
+	}
+	horizon := now.Add(-t.retention)
+	removed := 0
+	for h, r := range t.resv {
+		var deadSince time.Time
+		switch {
+		case r.Status == Cancelled:
+			// Pre-compaction snapshots have no CancelledAt; their window
+			// end is the only retirement time on record.
+			deadSince = r.CancelledAt
+			if deadSince.IsZero() || r.Window.End.Before(deadSince) {
+				deadSince = r.Window.End
+			}
+		default:
+			deadSince = r.Window.End
+		}
+		if deadSince.Before(horizon) {
+			delete(t.resv, h)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Len reports the number of reservations currently held, dead or
+// alive; compaction observability for tests and gauges.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.resv)
 }
 
 // Modify atomically changes the bandwidth of an existing reservation,
@@ -248,7 +360,8 @@ func (t *Table) Timeline(w units.Window, samples int) []units.Bandwidth {
 	return out
 }
 
-// All returns copies of all reservations, sorted by handle.
+// All returns copies of all reservations still held, sorted by handle.
+// Entries removed by compaction are not included.
 func (t *Table) All() []Reservation {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -245,6 +245,10 @@ func TestNeverOvercommitted(t *testing.T) {
 
 func TestConcurrentAdmission(t *testing.T) {
 	tab := newTable(t, 100*units.Mbps)
+	// Pin the clock into the test's reservation era: enough admissions
+	// cross the automatic compaction threshold, and with the real clock
+	// the 2001 windows would count as long-dead and be swept mid-test.
+	tab.SetClock(func() time.Time { return t0 })
 	var wg sync.WaitGroup
 	admitted := make(chan string, 200)
 	for i := 0; i < 200; i++ {
@@ -389,5 +393,131 @@ func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
 	noWin := `{"name":"x","capacity":100,"seq":1,"reservations":[{"Handle":"x-1","Bandwidth":1,"Status":0}]}`
 	if _, err := RestoreTable([]byte(noWin)); err == nil {
 		t.Error("windowless reservation restored")
+	}
+}
+
+// fakeClock is a settable time source for compaction tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+func TestCompactRemovesDeadReservations(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	clk := &fakeClock{now: t0}
+	tab.SetClock(clk.Now)
+
+	expired, err := tab.Admit(AdmitRequest{User: "/CN=a", Bandwidth: 10 * units.Mbps, Window: win(0, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := tab.Admit(AdmitRequest{User: "/CN=b", Bandwidth: 10 * units.Mbps, Window: win(0, 120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := tab.Admit(AdmitRequest{User: "/CN=c", Bandwidth: 10 * units.Mbps, Window: win(0, 120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Set(t0.Add(5 * time.Minute))
+	if err := tab.Cancel(cancelled.Handle); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing is older than the retention horizon yet.
+	if n := tab.Compact(t0.Add(6 * time.Minute)); n != 0 {
+		t.Fatalf("early compact removed %d reservations", n)
+	}
+	// 20 minutes in: the expired window (ended at +10min) and the
+	// cancellation (at +5min) are both past the 5-minute retention.
+	if n := tab.Compact(t0.Add(20 * time.Minute)); n != 2 {
+		t.Fatalf("compact removed %d reservations, want 2", n)
+	}
+	if _, ok := tab.Lookup(expired.Handle); ok {
+		t.Error("expired reservation survived compaction")
+	}
+	if _, ok := tab.Lookup(cancelled.Handle); ok {
+		t.Error("cancelled reservation survived compaction")
+	}
+	if _, ok := tab.Lookup(live.Handle); !ok {
+		t.Error("live reservation was compacted")
+	}
+}
+
+func TestCompactRetentionDisabled(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	tab.SetRetention(0)
+	if _, err := tab.Admit(AdmitRequest{User: "/CN=a", Bandwidth: 10 * units.Mbps, Window: win(0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := tab.Compact(t0.Add(24 * time.Hour)); n != 0 {
+		t.Fatalf("disabled compaction removed %d reservations", n)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestAdmitSweepsAutomatically(t *testing.T) {
+	tab := newTable(t, units.Bandwidth(1_000_000)*units.Mbps)
+	clk := &fakeClock{now: t0}
+	tab.SetClock(clk.Now)
+	// A batch of short reservations, all long dead once the clock jumps.
+	for i := 0; i < 10; i++ {
+		if _, err := tab.Admit(AdmitRequest{User: "/CN=a", Bandwidth: units.Mbps, Window: win(0, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Set(t0.Add(time.Hour))
+	// Drive enough admissions to cross the automatic sweep threshold;
+	// the new windows sit around "now", so only the first batch is dead.
+	handles := make([]string, 0, sweepEvery)
+	for i := 0; i < sweepEvery; i++ {
+		r, err := tab.Admit(AdmitRequest{User: "/CN=b", Bandwidth: units.Mbps, Window: win(70, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, r.Handle)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, ok := tab.Lookup(fmt.Sprintf("test-%d", i)); ok {
+			t.Errorf("dead reservation test-%d survived the automatic sweep", i)
+		}
+	}
+	for _, h := range handles {
+		if _, ok := tab.Lookup(h); !ok {
+			t.Errorf("current reservation %s was swept", h)
+		}
+	}
+}
+
+func TestCancelStampsCancelledAt(t *testing.T) {
+	tab := newTable(t, 100*units.Mbps)
+	clk := &fakeClock{now: t0}
+	tab.SetClock(clk.Now)
+	r, err := tab.Admit(AdmitRequest{User: "/CN=a", Bandwidth: 10 * units.Mbps, Window: win(0, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := t0.Add(7 * time.Minute)
+	clk.Set(at)
+	if err := tab.Cancel(r.Handle); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tab.Lookup(r.Handle)
+	if !got.CancelledAt.Equal(at) {
+		t.Errorf("CancelledAt = %v, want %v", got.CancelledAt, at)
 	}
 }

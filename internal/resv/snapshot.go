@@ -16,7 +16,8 @@ type snapshot struct {
 }
 
 // Snapshot serialises the table so a restarting broker can restore its
-// committed state.
+// committed state. Reservations removed by compaction are absent: a
+// snapshot captures the table's live admission state, not its history.
 func (t *Table) Snapshot() ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

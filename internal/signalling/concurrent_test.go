@@ -1,0 +1,333 @@
+package signalling
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"e2eqos/internal/transport"
+)
+
+// echoServe starts a handler that echoes the request's RARID back as
+// the result handle, optionally delayed by the per-request delay func.
+func echoServe(t *testing.T, ln transport.Listener, delay func(rarid string) time.Duration) {
+	t.Helper()
+	go Serve(ln, HandlerFunc(func(_ Peer, msg *Message) *Message {
+		if delay != nil {
+			if d := delay(msg.Status.RARID); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		return OKResult(msg.Status.RARID)
+	}))
+}
+
+func dialPair(t *testing.T, latency time.Duration) (*Client, transport.Listener) {
+	t.Helper()
+	net := transport.NewNetwork(latency)
+	server := net.NewEndpoint("/CN=server", nil)
+	client := net.NewEndpoint("/CN=client", nil)
+	ln, err := server.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	c, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, ln
+}
+
+// TestConcurrentCallsInterleaved drives many parallel calls through one
+// client while the server completes them in effectively random order
+// (later requests finish sooner). Every call must receive exactly its
+// own response — the whole point of ID-keyed demultiplexing.
+func TestConcurrentCallsInterleaved(t *testing.T) {
+	c, ln := dialPair(t, 0)
+	// Invert completion order: request i sleeps (N-i) units, so the
+	// last request's response comes back first.
+	const calls = 32
+	echoServe(t, ln, func(rarid string) time.Duration {
+		i, _ := strconv.Atoi(rarid)
+		return time.Duration(calls-i) * time.Millisecond
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := strconv.Itoa(i)
+			resp, err := c.Call(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: id}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Result.Handle != id {
+				errs <- fmt.Errorf("call %s got response for %q", id, resp.Result.Handle)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := c.LateDropped(); n != 0 {
+		t.Errorf("dropped %d responses on a healthy exchange", n)
+	}
+	if n := c.Pending(); n != 0 {
+		t.Errorf("%d waiters leaked after all calls returned", n)
+	}
+}
+
+// TestConcurrentTimeoutIsolation stalls one request far past its
+// deadline while its siblings answer promptly: the stalled call must
+// expire alone, with no collateral failure or connection teardown.
+func TestConcurrentTimeoutIsolation(t *testing.T) {
+	c, ln := dialPair(t, 0)
+	echoServe(t, ln, func(rarid string) time.Duration {
+		if rarid == "stall" {
+			return 2 * time.Second
+		}
+		return 0
+	})
+
+	var wg sync.WaitGroup
+	stallErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "stall"}}, 50*time.Millisecond)
+		stallErr <- err
+	}()
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := strconv.Itoa(i)
+			resp, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: id}}, time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("healthy call %s: %w", id, err)
+				return
+			}
+			if resp.Result.Handle != id {
+				errs <- fmt.Errorf("call %s got response for %q", id, resp.Result.Handle)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	err := <-stallErr
+	if err == nil {
+		t.Fatal("stalled call did not time out")
+	}
+	if !transport.IsTimeout(err) {
+		t.Fatalf("stalled call failed with %v, want timeout", err)
+	}
+	if !c.Alive() {
+		t.Fatalf("one timed-out call killed the connection: %v", c.Err())
+	}
+	// The connection must still carry new calls after the expiry.
+	resp, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "after"}}, time.Second)
+	if err != nil || resp.Result.Handle != "after" {
+		t.Fatalf("call after timeout: resp=%v err=%v", resp, err)
+	}
+}
+
+// TestConcurrentCloseInFlight closes the client while calls are
+// blocked on a silent server: every call must fail promptly with the
+// terminal error instead of hanging until its own deadline.
+func TestConcurrentCloseInFlight(t *testing.T) {
+	c, ln := dialPair(t, 0)
+	silentServer(t, ln)
+
+	const calls = 8
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	started := make(chan struct{}, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			_, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: strconv.Itoa(i)}}, 10*time.Second)
+			if err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < calls; i++ {
+		<-started
+	}
+	time.Sleep(20 * time.Millisecond) // let the calls reach their select
+	c.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight calls hung after Close")
+	}
+	if n := failed.Load(); n != calls {
+		t.Errorf("%d of %d in-flight calls failed after Close", n, calls)
+	}
+	if c.Alive() {
+		t.Error("client still reports alive after Close")
+	}
+	if _, err := c.Call(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "post"}}); err == nil {
+		t.Error("call on closed client succeeded")
+	}
+}
+
+// TestConcurrentLateResponseDropped lets a call expire just before its
+// response lands: the demux loop must drop the orphaned response,
+// count it, and leave the connection fully usable.
+func TestConcurrentLateResponseDropped(t *testing.T) {
+	c, ln := dialPair(t, 0)
+	echoServe(t, ln, func(rarid string) time.Duration {
+		if rarid == "slow" {
+			return 150 * time.Millisecond
+		}
+		return 0
+	})
+
+	_, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "slow"}}, 30*time.Millisecond)
+	if !transport.IsTimeout(err) {
+		t.Fatalf("slow call: err=%v, want timeout", err)
+	}
+	// Wait for the orphaned response to arrive and be discarded.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.LateDropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late response never counted as dropped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.Alive() {
+		t.Fatalf("late response killed the connection: %v", c.Err())
+	}
+	resp, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "next"}}, time.Second)
+	if err != nil || resp.Result.Handle != "next" {
+		t.Fatalf("call after late drop: resp=%v err=%v", resp, err)
+	}
+	if n := c.LateDropped(); n != 1 {
+		t.Errorf("LateDropped = %d, want 1", n)
+	}
+}
+
+// TestConcurrentCloseWhenIdleDrains verifies drain-close: after
+// CloseWhenIdle new calls are refused, but calls already in flight
+// complete normally, and the connection closes once they settle.
+func TestConcurrentCloseWhenIdleDrains(t *testing.T) {
+	c, ln := dialPair(t, 0)
+	echoServe(t, ln, func(rarid string) time.Duration { return 80 * time.Millisecond })
+
+	respC := make(chan *Message, 1)
+	errC := make(chan error, 1)
+	go func() {
+		resp, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "inflight"}}, time.Second)
+		respC <- resp
+		errC <- err
+	}()
+	// Wait until the call is registered before draining.
+	deadline := time.Now().Add(time.Second)
+	for c.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight call never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.CloseWhenIdle()
+
+	if _, err := c.Call(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "refused"}}); err == nil {
+		t.Fatal("call accepted after CloseWhenIdle")
+	}
+	resp, err := <-respC, <-errC
+	if err != nil {
+		t.Fatalf("in-flight call failed during drain: %v", err)
+	}
+	if resp.Result.Handle != "inflight" {
+		t.Fatalf("in-flight call got response for %q", resp.Result.Handle)
+	}
+	// With the last waiter drained the connection must actually close.
+	deadline = time.Now().Add(2 * time.Second)
+	for c.Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("connection stayed open after drain completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConcurrentServerShutdown kills a server with established
+// connections: clients observe the death promptly, and a fresh server
+// can re-listen on the same address afterwards.
+func TestConcurrentServerShutdown(t *testing.T) {
+	net := transport.NewNetwork(0)
+	server := net.NewEndpoint("/CN=server", nil)
+	client := net.NewEndpoint("/CN=client", nil)
+	ln, err := server.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(HandlerFunc(func(_ Peer, msg *Message) *Message {
+		return OKResult(msg.Status.RARID)
+	}), nil)
+	go srv.Serve(ln)
+
+	c, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "pre"}}, time.Second); err != nil {
+		t.Fatalf("call before shutdown: %v", err)
+	}
+
+	srv.Shutdown()
+	if _, err := c.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "during"}}, time.Second); err == nil {
+		t.Fatal("call succeeded against a shut-down server")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never observed the server shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The address must be reusable — this is what a broker restart
+	// looks like to the rest of the testbed.
+	ln2, err := server.Listen("srv")
+	if err != nil {
+		t.Fatalf("re-listen after shutdown: %v", err)
+	}
+	defer ln2.Close()
+	srv2 := NewServer(HandlerFunc(func(_ Peer, msg *Message) *Message {
+		return OKResult(msg.Status.RARID)
+	}), nil)
+	go srv2.Serve(ln2)
+	defer srv2.Shutdown()
+
+	c2, err := Dial(client, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	resp, err := c2.CallTimeout(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "post"}}, time.Second)
+	if err != nil || resp.Result.Handle != "post" {
+		t.Fatalf("call after restart: resp=%v err=%v", resp, err)
+	}
+}

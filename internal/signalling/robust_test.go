@@ -1,7 +1,6 @@
 package signalling
 
 import (
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -115,7 +114,7 @@ func TestCallDoesNotMutateCallerMessage(t *testing.T) {
 	}
 }
 
-func TestCallBoundsMismatchedIDSkip(t *testing.T) {
+func TestCallDropsMismatchedIDs(t *testing.T) {
 	net := transport.NewNetwork(0)
 	server := net.NewEndpoint("/CN=server", nil)
 	client := net.NewEndpoint("/CN=client", nil)
@@ -125,7 +124,8 @@ func TestCallBoundsMismatchedIDSkip(t *testing.T) {
 	}
 	defer ln.Close()
 	// A misbehaving peer floods responses that never match the request
-	// ID; Call must error out instead of spinning forever.
+	// ID. The demux loop must drop and count them — never deliver one
+	// to the waiting call — and the call fails by its own deadline.
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -149,6 +149,7 @@ func TestCallBoundsMismatchedIDSkip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	c.Timeout = 100 * time.Millisecond
 	done := make(chan error, 1)
 	go func() {
 		_, err := c.Call(&Message{Type: MsgStatus, Status: &StatusPayload{RARID: "r"}})
@@ -159,10 +160,16 @@ func TestCallBoundsMismatchedIDSkip(t *testing.T) {
 		if err == nil {
 			t.Fatal("call against id-flooding peer succeeded")
 		}
-		if !strings.Contains(err.Error(), "mismatched ids") {
-			t.Errorf("error = %v, want mismatched-id diagnosis", err)
+		if !transport.IsTimeout(err) {
+			t.Errorf("error = %v, want deadline expiry", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Call spun on mismatched responses instead of bailing")
+	}
+	if c.LateDropped() == 0 {
+		t.Error("no mismatched responses counted as dropped")
+	}
+	if !c.Alive() {
+		t.Errorf("connection died on mismatched IDs: %v", c.Err())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"log/slog"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"e2eqos/internal/identity"
@@ -20,7 +21,8 @@ type Peer struct {
 }
 
 // Handler processes one request message and returns the response.
-// Implementations must be safe for concurrent use.
+// Implementations must be safe for concurrent use: requests arriving
+// on one connection are dispatched concurrently.
 type Handler interface {
 	Handle(peer Peer, msg *Message) *Message
 }
@@ -31,12 +33,100 @@ type HandlerFunc func(peer Peer, msg *Message) *Message
 // Handle calls f.
 func (f HandlerFunc) Handle(peer Peer, msg *Message) *Message { return f(peer, msg) }
 
-// Serve accepts connections from ln and dispatches inbound messages
-// to h until the listener closes. Each connection gets its own
-// goroutine; requests on one connection are processed sequentially,
-// preserving ordering. Handler panics are reported through the
-// default logger with a stack trace; use ServeWith to direct them to
-// a structured logger.
+// Server accepts connections and dispatches inbound requests to a
+// Handler. Unlike the bare Serve helpers it tracks its live
+// connections, so Shutdown can tear down the listener and every
+// established channel — the way a crashed broker looks to its peers.
+type Server struct {
+	h      Handler
+	logger *slog.Logger
+
+	mu    sync.Mutex
+	ln    transport.Listener
+	conns map[transport.Conn]struct{}
+	shut  bool
+}
+
+// NewServer builds a server around h. A nil logger falls back to
+// slog.Default.
+func NewServer(h Handler, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{h: h, logger: logger, conns: make(map[transport.Conn]struct{})}
+}
+
+// Serve accepts connections from ln until the listener closes or
+// Shutdown is called. Each connection gets its own goroutine, and each
+// request on a connection is handled in its own goroutine: responses
+// are matched to requests by message ID, not by ordering, so a slow
+// request never blocks the ones behind it.
+func (s *Server) Serve(ln transport.Listener) {
+	s.mu.Lock()
+	if s.shut {
+		s.mu.Unlock()
+		ln.Close()
+		return
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		go func() {
+			serveConn(conn, s.h, s.logger)
+			s.untrack(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn transport.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shut {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn transport.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Shutdown closes the listener and every established connection. Peers
+// observe it as a transport failure on their next operation — the test
+// harness uses it to model a broker crash, and a later Serve on a fresh
+// listener models the restart.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.shut = true
+	ln := s.ln
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Serve accepts connections from ln and dispatches inbound messages to
+// h until the listener closes. Handler panics are reported through the
+// default logger with a stack trace; use ServeWith to direct them to a
+// structured logger.
 func Serve(ln transport.Listener, h Handler) {
 	ServeWith(ln, h, nil)
 }
@@ -45,21 +135,14 @@ func Serve(ln transport.Listener, h Handler) {
 // errors and handler panics (nil falls back to slog.Default, which
 // writes through the standard log package).
 func ServeWith(ln transport.Listener, h Handler, logger *slog.Logger) {
-	if logger == nil {
-		logger = slog.Default()
-	}
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go serveConn(conn, h, logger)
-	}
+	NewServer(h, logger).Serve(ln)
 }
 
 func serveConn(conn transport.Conn, h Handler, logger *slog.Logger) {
 	defer conn.Close()
 	peer := Peer{DN: conn.PeerDN(), CertDER: conn.PeerCertDER()}
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		data, err := conn.Recv()
 		if err != nil {
@@ -71,24 +154,32 @@ func serveConn(conn transport.Conn, h Handler, logger *slog.Logger) {
 				obs.AttrPeer, string(peer.DN), "err", err)
 			return
 		}
-		resp := safeHandle(h, peer, msg, logger)
-		if resp == nil {
-			resp = ErrorResult("internal: no response")
-		}
-		// Copy before stamping the ID: handlers may return a shared
-		// message (e.g. a recorded outcome replayed to duplicate
-		// requests), and two connections must not race on its ID field.
-		stamped := *resp
-		stamped.ID = msg.ID
-		out, err := stamped.Encode()
-		if err != nil {
-			logger.Error("signalling: encoding response failed",
-				obs.AttrPeer, string(peer.DN), "type", string(msg.Type), "err", err)
-			return
-		}
-		if err := conn.Send(out); err != nil {
-			return
-		}
+		// One goroutine per request: the transport's Send is safe for
+		// concurrent use on both implementations, and the mux client
+		// matches responses by ID, so out-of-order completion is fine.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := safeHandle(h, peer, msg, logger)
+			if resp == nil {
+				resp = ErrorResult("internal: no response")
+			}
+			// Copy before stamping the ID: handlers may return a shared
+			// message (e.g. a recorded outcome replayed to duplicate
+			// requests), and two requests must not race on its ID field.
+			stamped := *resp
+			stamped.ID = msg.ID
+			out, err := stamped.Encode()
+			if err != nil {
+				logger.Error("signalling: encoding response failed",
+					obs.AttrPeer, string(peer.DN), "type", string(msg.Type), "err", err)
+				conn.Close()
+				return
+			}
+			if err := conn.Send(out); err != nil {
+				conn.Close()
+			}
+		}()
 	}
 }
 
@@ -120,29 +211,46 @@ func OKResult(handle string) *Message {
 	return &Message{Type: MsgResult, Result: &ResultPayload{Granted: true, Handle: handle}}
 }
 
-// maxStaleResponses bounds how many mismatched-ID responses one call
-// will skip before giving up on the connection: earlier timed-out
-// calls can leave a few stale responses in flight, but an unbounded
-// skip loop would spin forever against a misbehaving peer.
-const maxStaleResponses = 32
-
-// Client is a synchronous request/response client over one
-// authenticated connection. One request is outstanding at a time;
-// concurrent callers serialise.
+// Client is a multiplexed request/response client over one
+// authenticated connection: any number of Calls may be outstanding at
+// once, each with its own deadline. A single demux goroutine reads
+// responses and routes each to the waiting call by message ID; a
+// response whose call already gave up (deadline expiry) finds no
+// waiter and is dropped, counted by LateDropped. When the demux loop
+// exits — transport error, peer crash, Close — every in-flight and
+// future call fails with the terminal error and Alive reports false,
+// so a connection owner (the broker's peer pool) can evict and redial.
 type Client struct {
-	mu     sync.Mutex
-	conn   transport.Conn
-	nextID uint64
+	conn transport.Conn
 
 	// Timeout bounds each Call (send plus wait for the matching
 	// response) when positive; zero waits forever. It may be set any
-	// time before a call.
+	// time before the first call.
 	Timeout time.Duration
+
+	sendMu sync.Mutex // serializes Send and send-deadline handling
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan *Message
+	err     error // terminal fault, set exactly once when the demux loop exits
+	closing bool  // CloseWhenIdle called: refuse new calls, close at drain
+
+	done chan struct{} // closed when the demux loop exits
+
+	late atomic.Int64 // responses dropped because their waiter was gone
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection and starts its demux
+// goroutine.
 func NewClient(conn transport.Conn) *Client {
-	return &Client{conn: conn}
+	c := &Client{
+		conn:    conn,
+		waiters: make(map[uint64]chan *Message),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c
 }
 
 // Dial connects to addr with the dialer and wraps the connection.
@@ -160,6 +268,88 @@ func (c *Client) PeerDN() identity.DN { return c.conn.PeerDN() }
 // PeerCertDER reports the remote certificate.
 func (c *Client) PeerCertDER() []byte { return c.conn.PeerCertDER() }
 
+// Alive reports whether the demux loop is still running, i.e. the
+// connection has not hit a terminal fault. A false return means every
+// call will fail until the owner redials.
+func (c *Client) Alive() bool {
+	select {
+	case <-c.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Err returns the terminal fault that stopped the demux loop (nil
+// while the client is alive).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// LateDropped counts responses that arrived after their call had
+// already given up — the demux analogue of the old stale-response
+// skip, now an accounting detail instead of a failure mode.
+func (c *Client) LateDropped() int64 { return c.late.Load() }
+
+// Pending reports the number of in-flight calls.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// demux is the reader loop: it routes each inbound response to the
+// call that registered its ID and drops (counting) responses whose
+// caller already gave up. Any receive or decode failure is terminal —
+// the framing may be desynchronized — so the loop records the fault,
+// wakes every waiter, and exits.
+func (c *Client) demux() {
+	for {
+		raw, err := c.conn.Recv()
+		if err != nil {
+			c.fail(fmt.Errorf("signalling: recv from %s: %w", c.conn.PeerDN(), err))
+			return
+		}
+		resp, err := DecodeMessage(raw)
+		if err != nil {
+			c.fail(fmt.Errorf("signalling: undecodable response from %s: %w", c.conn.PeerDN(), err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[resp.ID]
+		if ok {
+			delete(c.waiters, resp.ID)
+		}
+		drained := c.closing && len(c.waiters) == 0
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered: never blocks the loop
+		} else {
+			c.late.Add(1)
+		}
+		if drained {
+			// Last in-flight call settled after CloseWhenIdle: the next
+			// Recv fails and the loop exits through fail.
+			c.conn.Close()
+		}
+	}
+}
+
+// fail records the terminal error, wakes every in-flight call, and
+// marks the client dead. Called exactly once, by the demux loop.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.waiters = make(map[uint64]chan *Message)
+	c.mu.Unlock()
+	close(c.done) // waiters and Alive observe the death through done
+	c.conn.Close()
+}
+
 // Call sends msg and blocks for the matching response, honouring the
 // client's Timeout. The caller's message is never mutated, so one
 // message value may safely be shared across clients and retries.
@@ -169,52 +359,109 @@ func (c *Client) Call(msg *Message) (*Message, error) {
 
 // CallTimeout is Call with an explicit per-call deadline (0 = wait
 // forever). A deadline expiry surfaces as an error matched by
-// transport.IsTimeout; the connection state is then unknown (the
-// request may still be processed remotely), so callers should treat
-// the connection as dead and clean up any remote state separately.
+// transport.IsTimeout; unlike the pre-mux client the connection
+// itself stays usable — other in-flight calls are unaffected, and the
+// late response (if it ever arrives) is dropped and counted. The
+// request may still be processed remotely, so callers owning remote
+// state should clean it up separately.
 func (c *Client) CallTimeout(msg *Message, timeout time.Duration) (*Message, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closing {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("signalling: client to %s is draining", c.conn.PeerDN())
+	}
 	c.nextID++
+	id := c.nextID
+	ch := make(chan *Message, 1)
+	c.waiters[id] = ch
+	c.mu.Unlock()
+
 	// Copy before assigning the ID: the caller may reuse msg across
 	// clients or retries, and a shared mutation would corrupt the
 	// request/response matching of concurrent calls.
 	m := *msg
-	m.ID = c.nextID
+	m.ID = id
 	data, err := m.Encode()
 	if err != nil {
+		c.unregister(id)
 		return nil, err
 	}
-	if timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, fmt.Errorf("signalling: deadline on %s: %w", c.conn.PeerDN(), err)
-		}
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := c.conn.Send(data); err != nil {
+	if err := c.send(data, timeout); err != nil {
+		c.unregister(id)
 		return nil, fmt.Errorf("signalling: send to %s: %w", c.conn.PeerDN(), err)
 	}
-	stale := 0
-	for {
-		raw, err := c.conn.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("signalling: recv from %s: %w", c.conn.PeerDN(), err)
-		}
-		resp, err := DecodeMessage(raw)
-		if err != nil {
-			return nil, err
-		}
-		if resp.ID != m.ID {
-			// Stale response from an earlier timed-out call; skip a
-			// bounded number before declaring the peer broken.
-			if stale++; stale > maxStaleResponses {
-				return nil, fmt.Errorf("signalling: %s sent %d responses with mismatched ids", c.conn.PeerDN(), stale)
-			}
-			continue
-		}
+
+	var expiry <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expiry = t.C
+	}
+	select {
+	case resp := <-ch:
 		return resp, nil
+	case <-c.done:
+		select {
+		case resp := <-ch: // response raced the connection death
+			return resp, nil
+		default:
+		}
+		return nil, c.Err()
+	case <-expiry:
+		c.unregister(id)
+		select {
+		case resp := <-ch: // delivered in the instant before unregister
+			return resp, nil
+		default:
+		}
+		return nil, fmt.Errorf("signalling: call %d to %s: %w", id, c.conn.PeerDN(), transport.ErrTimeout)
 	}
 }
 
-// Close tears the connection down.
+// send transmits one frame under the send mutex, bounding the write
+// with a send-only deadline so a concurrent demux Recv is unaffected.
+func (c *Client) send(data []byte, timeout time.Duration) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if timeout > 0 {
+		if err := c.conn.SetSendDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer c.conn.SetSendDeadline(time.Time{})
+	}
+	return c.conn.Send(data)
+}
+
+// unregister withdraws a waiter (deadline expiry, send failure) and
+// completes a pending CloseWhenIdle if this was the last one.
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	drained := c.closing && len(c.waiters) == 0
+	c.mu.Unlock()
+	if drained {
+		c.conn.Close()
+	}
+}
+
+// CloseWhenIdle refuses new calls and closes the connection as soon as
+// every in-flight call has settled. The broker's pool uses it to evict
+// a suspect connection without killing the healthy calls still
+// multiplexed on it; a hard Close remains available for shutdown.
+func (c *Client) CloseWhenIdle() {
+	c.mu.Lock()
+	c.closing = true
+	drained := len(c.waiters) == 0
+	c.mu.Unlock()
+	if drained {
+		c.conn.Close()
+	}
+}
+
+// Close tears the connection down immediately; in-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }

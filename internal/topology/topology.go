@@ -49,6 +49,11 @@ type Topology struct {
 	domains map[string]*Domain
 	// adj maps domain -> neighbor -> link.
 	adj map[string]map[string]Link
+	// byBB is the reverse index from a broker DN to its domain name,
+	// maintained by AddDomain so DomainOfBB is a map lookup instead of
+	// a scan over every domain (it sits on the per-request signalling
+	// path, where brokers resolve the authenticated upstream hop).
+	byBB map[identity.DN]string
 }
 
 // New creates an empty topology.
@@ -56,6 +61,7 @@ func New() *Topology {
 	return &Topology{
 		domains: make(map[string]*Domain),
 		adj:     make(map[string]map[string]Link),
+		byBB:    make(map[identity.DN]string),
 	}
 }
 
@@ -66,12 +72,26 @@ func (t *Topology) AddDomain(d Domain) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if old := t.domains[d.Name]; old != nil && old.BBDN != "" && t.byBB[old.BBDN] == d.Name {
+		delete(t.byBB, old.BBDN)
+	}
 	dd := d
 	t.domains[d.Name] = &dd
+	if d.BBDN != "" {
+		t.byBB[d.BBDN] = d.Name
+	}
 	if t.adj[d.Name] == nil {
 		t.adj[d.Name] = make(map[string]Link)
 	}
 	return nil
+}
+
+// DomainOfBB resolves a broker DN to the domain it controls.
+func (t *Topology) DomainOfBB(dn identity.DN) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	name, ok := t.byBB[dn]
+	return name, ok
 }
 
 // AddLink connects two registered domains.

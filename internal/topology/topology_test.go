@@ -190,3 +190,37 @@ func TestLinearPathProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDomainOfBB(t *testing.T) {
+	tp, err := Linear(4, units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tp.Domains() {
+		d, _ := tp.Domain(name)
+		got, ok := tp.DomainOfBB(d.BBDN)
+		if !ok || got != name {
+			t.Errorf("DomainOfBB(%s) = %q, %v; want %q", d.BBDN, got, ok, name)
+		}
+	}
+	if _, ok := tp.DomainOfBB("/O=Grid/OU=Nowhere/CN=bb-x"); ok {
+		t.Error("unknown BB DN resolved")
+	}
+}
+
+func TestDomainOfBBTracksReplacement(t *testing.T) {
+	tp := New()
+	if err := tp.AddDomain(Domain{Name: "A", BBDN: "/CN=old"}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding the domain with a new broker must drop the old mapping.
+	if err := tp.AddDomain(Domain{Name: "A", BBDN: "/CN=new"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tp.DomainOfBB("/CN=old"); ok {
+		t.Error("stale BB mapping survived domain replacement")
+	}
+	if got, ok := tp.DomainOfBB("/CN=new"); !ok || got != "A" {
+		t.Errorf("DomainOfBB(new) = %q, %v; want A", got, ok)
+	}
+}

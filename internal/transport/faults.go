@@ -106,14 +106,16 @@ func (d *FaultyDialer) Dial(addr string) (Conn, error) {
 }
 
 // faultyConn injects faults around an underlying Conn. It tracks the
-// deadline itself so an injected hang still honours SetDeadline.
+// deadlines itself so an injected hang still honours SetDeadline /
+// SetSendDeadline.
 type faultyConn struct {
 	inner Conn
 	d     *FaultyDialer
 	msgs  atomic.Int64
 
-	dlMu     sync.Mutex
-	deadline time.Time
+	dlMu         sync.Mutex
+	sendDeadline time.Time
+	recvDeadline time.Time
 
 	once   sync.Once
 	closed chan struct{}
@@ -121,16 +123,28 @@ type faultyConn struct {
 
 func (c *faultyConn) SetDeadline(t time.Time) error {
 	c.dlMu.Lock()
-	c.deadline = t
+	c.sendDeadline = t
+	c.recvDeadline = t
 	c.dlMu.Unlock()
 	return c.inner.SetDeadline(t)
 }
 
-// hang blocks until the deadline passes or the connection closes.
-func (c *faultyConn) hang() error {
+func (c *faultyConn) SetSendDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.sendDeadline = t
+	c.dlMu.Unlock()
+	return c.inner.SetSendDeadline(t)
+}
+
+// hang blocks until the relevant deadline passes or the connection
+// closes.
+func (c *faultyConn) hang(send bool) error {
 	c.d.stats.Hangs.Add(1)
 	c.dlMu.Lock()
-	d := c.deadline
+	d := c.recvDeadline
+	if send {
+		d = c.sendDeadline
+	}
 	c.dlMu.Unlock()
 	var timeout <-chan time.Time
 	if !d.IsZero() {
@@ -164,7 +178,7 @@ func (c *faultyConn) Send(msg []byte) error {
 		c.Close()
 		return fmt.Errorf("transport: injected connection reset")
 	case c.d.roll(c.d.cfg.HangProb):
-		return c.hang()
+		return c.hang(true)
 	case c.d.roll(c.d.cfg.SendDropProb):
 		c.d.stats.SendDrops.Add(1)
 		return nil
@@ -188,7 +202,7 @@ func (c *faultyConn) Recv() ([]byte, error) {
 			c.Close()
 			return nil, fmt.Errorf("transport: injected connection reset")
 		case c.d.roll(c.d.cfg.HangProb):
-			return nil, c.hang()
+			return nil, c.hang(false)
 		case c.d.roll(c.d.cfg.DelayProb):
 			c.d.stats.Delays.Add(1)
 			time.Sleep(c.d.cfg.Delay)

@@ -203,8 +203,9 @@ type memConn struct {
 	pair     *pairState
 	done     chan struct{}
 
-	dlMu     sync.Mutex
-	deadline time.Time
+	dlMu         sync.Mutex
+	sendDeadline time.Time
+	recvDeadline time.Time
 }
 
 // newMemPair wires two half-connections together.
@@ -220,17 +221,30 @@ func newMemPair(n *Network, client, server *Endpoint) (*memConn, *memConn) {
 // SetDeadline bounds subsequent Send and Recv calls.
 func (c *memConn) SetDeadline(t time.Time) error {
 	c.dlMu.Lock()
-	c.deadline = t
+	c.sendDeadline = t
+	c.recvDeadline = t
 	c.dlMu.Unlock()
 	return nil
 }
 
-// expiry arms a timer for the current deadline. The returned channel
-// is nil (never fires) when no deadline is set; stop releases the
-// timer and is safe to call either way.
-func (c *memConn) expiry() (<-chan time.Time, func()) {
+// SetSendDeadline bounds subsequent Send calls only; a concurrent or
+// later Recv keeps its own deadline (or none).
+func (c *memConn) SetSendDeadline(t time.Time) error {
 	c.dlMu.Lock()
-	d := c.deadline
+	c.sendDeadline = t
+	c.dlMu.Unlock()
+	return nil
+}
+
+// expiry arms a timer for the requested deadline (send or recv). The
+// returned channel is nil (never fires) when no deadline is set; stop
+// releases the timer and is safe to call either way.
+func (c *memConn) expiry(send bool) (<-chan time.Time, func()) {
+	c.dlMu.Lock()
+	d := c.recvDeadline
+	if send {
+		d = c.sendDeadline
+	}
 	c.dlMu.Unlock()
 	if d.IsZero() {
 		return nil, func() {}
@@ -247,7 +261,7 @@ func (c *memConn) Send(msg []byte) error {
 		return ErrClosed
 	default:
 	}
-	timeout, stop := c.expiry()
+	timeout, stop := c.expiry(true)
 	defer stop()
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
@@ -266,7 +280,7 @@ func (c *memConn) Send(msg []byte) error {
 }
 
 func (c *memConn) Recv() ([]byte, error) {
-	timeout, stop := c.expiry()
+	timeout, stop := c.expiry(false)
 	defer stop()
 	select {
 	case m := <-c.in:

@@ -142,6 +142,10 @@ func (c *tlsConn) Recv() ([]byte, error) {
 // as a net.Error with Timeout() == true (matched by IsTimeout).
 func (c *tlsConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
+// SetSendDeadline bounds writes only, so the mux client's blocked
+// reader keeps waiting while a caller bounds its own send.
+func (c *tlsConn) SetSendDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
+
 func (c *tlsConn) PeerDN() identity.DN { return c.peerDN }
 func (c *tlsConn) PeerCertDER() []byte { return c.peerCert }
 func (c *tlsConn) Close() error        { return c.conn.Close() }

@@ -48,6 +48,12 @@ type Conn interface {
 	// that would block past t fails with a timeout error (IsTimeout).
 	// The zero time clears the deadline.
 	SetDeadline(t time.Time) error
+	// SetSendDeadline bounds subsequent Send calls only, leaving Recv
+	// unaffected. The multiplexed signalling client depends on this
+	// split: its demux goroutine blocks in Recv indefinitely while
+	// callers bound their own sends, so a send deadline must never
+	// make a concurrent Recv expire. The zero time clears it.
+	SetSendDeadline(t time.Time) error
 	// PeerDN is the authenticated identity of the remote side.
 	PeerDN() identity.DN
 	// PeerCertDER is the remote identity certificate (nil if the

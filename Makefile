@@ -3,12 +3,20 @@
 #   make build             compile everything
 #   make test              tier-1: full test suite
 #   make verify            tier-2: go vet + metrics lint + concurrency
-#                          race smoke + race-detector run over the whole
-#                          tree (the concurrent control plane — transport,
-#                          signalling, bb — plus the bench world setup all
-#                          run under -race)
+#                          race smoke + journal crash-recovery under -race
+#                          + short fuzz pass + race-detector run over the
+#                          whole tree (the concurrent control plane —
+#                          transport, signalling, bb — plus the bench
+#                          world setup all run under -race)
 #   make race-concurrency  fast -race smoke over the multiplexed-client
 #                          and broker concurrency tests only
+#   make race-recovery     journal, crash-replay and broker recovery
+#                          tests under -race (the durability layer's
+#                          correctness battery)
+#   make fuzz-short        ~10s per fuzz target over every Fuzz* in the
+#                          tree (envelope decode, signalling decode,
+#                          policy parse, journal record decode), seeded
+#                          from the checked-in corpora
 #   make metrics-lint      metric-name rules: every registered name is
 #                          lowercase_snake, counters end in _total, and each
 #                          name registers exactly once (obs registry panics
@@ -19,7 +27,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-concurrency metrics-lint race-concurrency
+.PHONY: build test verify bench bench-concurrency metrics-lint race-concurrency race-recovery fuzz-short
 
 build:
 	$(GO) build ./...
@@ -27,12 +35,22 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint race-concurrency
+verify: build metrics-lint race-concurrency race-recovery fuzz-short
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 race-concurrency:
 	$(GO) test -race -run 'Concurrent' ./internal/signalling ./internal/bb
+
+race-recovery:
+	$(GO) test -race ./internal/journal
+	$(GO) test -race -run 'Journal|Snapshot|Recovery|Restart' ./internal/resv ./internal/bb
+
+fuzz-short:
+	$(GO) test -run NONE -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/envelope
+	$(GO) test -run NONE -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s ./internal/signalling
+	$(GO) test -run NONE -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/policy
+	$(GO) test -run NONE -fuzz '^FuzzDecodeRecord$$' -fuzztime 10s ./internal/journal
 
 metrics-lint:
 	$(GO) test -run 'TestMetricsLint' ./internal/obs ./internal/experiment

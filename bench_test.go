@@ -20,6 +20,7 @@ import (
 	"e2eqos/internal/experiment"
 	"e2eqos/internal/gara"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/journal"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
 	"e2eqos/internal/resv"
@@ -480,5 +481,62 @@ func BenchmarkCoreRARConstruction(b *testing.B) {
 		if _, err := w.User.BuildRAR(spec, w.Certs[0]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Durability: journaled admission overhead ------------------------------
+
+// BenchmarkJournaledAdmit measures what the write-ahead journal adds to
+// the admission hot path, per fsync policy, against the in-memory
+// baseline (the numbers recorded in BENCH_journal.json). The clock sits
+// a day past every admitted window so the automatic sweep keeps the
+// table bounded at sweep-interval size — the steady state of a
+// long-running broker, not an ever-growing table.
+func BenchmarkJournaledAdmit(b *testing.B) {
+	base := time.Date(2001, 8, 7, 9, 0, 0, 0, time.UTC)
+	now := base.Add(24 * time.Hour)
+	win := units.Window{Start: base, End: base.Add(time.Minute)}
+	newBenchTable := func(b *testing.B) *resv.Table {
+		tab, err := resv.NewTable("net-bench", 1000*units.Gbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab.SetClock(func() time.Time { return now })
+		return tab
+	}
+	admitLoop := func(b *testing.B, tab *resv.Table) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tab.Admit(resv.AdmitRequest{Bandwidth: units.Mbps, Window: win}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("memory", func(b *testing.B) {
+		admitLoop(b, newBenchTable(b))
+	})
+	for _, pol := range []struct {
+		name  string
+		fsync journal.Policy
+	}{
+		{"batch", journal.FsyncBatch},
+		{"always", journal.FsyncAlways},
+		{"never", journal.FsyncNever},
+	} {
+		b.Run("journal-"+pol.name, func(b *testing.B) {
+			tab := newBenchTable(b)
+			j, _, err := journal.Open(b.TempDir(), journal.Options{Fsync: pol.fsync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jt := resv.NewJournaledTable(tab, j)
+			admitLoop(b, jt.Table)
+			b.StopTimer()
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"e2eqos/internal/bb"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/journal"
 	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
@@ -57,6 +58,17 @@ type FileConfig struct {
 	// circuit for BreakerCooldown (e.g. "5s"). Zero disables.
 	BreakerThreshold int    `json:"breaker_threshold,omitempty"`
 	BreakerCooldown  string `json:"breaker_cooldown,omitempty"`
+
+	// StateDir, when set, makes the broker durable: reservation and
+	// RAR-cache mutations are journaled there and recovered on boot, so
+	// a restart (or crash) no longer forgets granted reservations.
+	// Overridable with -state-dir. Default "" = memory-only.
+	StateDir string `json:"state_dir,omitempty"`
+	// FsyncPolicy selects when journal records reach stable storage:
+	// "batch" (group-commit, the default), "always" (fsync per record)
+	// or "never" (OS write-through only). Overridable with
+	// -fsync-policy.
+	FsyncPolicy string `json:"fsync_policy,omitempty"`
 
 	// AdminAddr, when set (e.g. "127.0.0.1:7101"), serves the broker's
 	// admin HTTP endpoint: Prometheus metrics on /metrics and the pprof
@@ -263,6 +275,11 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	metrics := obs.NewRegistry()
 	dialer.Metrics = transport.NewMetrics(metrics)
 
+	fsync, err := journal.ParsePolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bbd: %w", err)
+	}
+
 	bbCfg := bb.Config{
 		Domain:           cfg.Domain,
 		Key:              key,
@@ -282,6 +299,8 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 		BreakerCooldown:  breakerCooldown,
 		Logger:           logger,
 		Metrics:          metrics,
+		StateDir:         cfg.StateDir,
+		Fsync:            fsync,
 	}
 	if cfg.CPUs > 0 {
 		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)

@@ -34,6 +34,8 @@ func main() {
 	retryBackoff := flag.String("retry-backoff", "", "override retry_backoff, e.g. 50ms")
 	breakerThreshold := flag.Int("breaker-threshold", -1, "override breaker_threshold (0 disables the circuit breaker)")
 	breakerCooldown := flag.String("breaker-cooldown", "", "override breaker_cooldown, e.g. 5s")
+	stateDir := flag.String("state-dir", "", "override state_dir: journal broker state here and recover it on boot (empty = memory-only)")
+	fsyncPolicy := flag.String("fsync-policy", "", "override fsync_policy: batch, always or never (default batch)")
 	adminAddr := flag.String("admin-addr", "", "override admin_addr: serve /metrics and /debug/pprof/ here (empty disables)")
 	logLevel := flag.String("log-level", "", "override log_level: debug, info, warn or error (default info)")
 	logFormat := flag.String("log-format", "", "override log_format: text or json (default text)")
@@ -60,6 +62,12 @@ func main() {
 	}
 	if *breakerCooldown != "" {
 		cfg.BreakerCooldown = *breakerCooldown
+	}
+	if *stateDir != "" {
+		cfg.StateDir = *stateDir
+	}
+	if *fsyncPolicy != "" {
+		cfg.FsyncPolicy = *fsyncPolicy
 	}
 	if *adminAddr != "" {
 		cfg.AdminAddr = *adminAddr

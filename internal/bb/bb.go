@@ -16,6 +16,7 @@ import (
 	"e2eqos/internal/cpusched"
 	"e2eqos/internal/disksched"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/journal"
 	"e2eqos/internal/netsim"
 	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
@@ -107,6 +108,16 @@ type Config struct {
 	// The registry must be dedicated to this broker (metric names are
 	// registered exactly once). Nil disables metrics at no cost.
 	Metrics *obs.Registry
+
+	// StateDir, when set, makes the broker durable: reservation-table
+	// mutations and settled RAR outcomes are written to an append-only
+	// journal in this directory, and New recovers whatever a previous
+	// incarnation persisted there before serving. Empty keeps the
+	// broker memory-only (the pre-durability behaviour).
+	StateDir string
+	// Fsync selects the journal's durability policy (default
+	// journal.FsyncBatch). Only meaningful with StateDir set.
+	Fsync journal.Policy
 }
 
 // rarState remembers what a reserve created locally, for cancellation
@@ -125,6 +136,10 @@ type rarState struct {
 	// upstream hop retries after losing the response; re-admitting
 	// would double-book, denying a granted chain would strand it).
 	outcome *signalling.Message
+	// epoch uniquely identifies this registration of the RAR id in the
+	// journal (ids may reappear after a cancel; epochs never repeat).
+	// Immutable after registration.
+	epoch int64
 }
 
 // BB is a bandwidth broker.
@@ -143,6 +158,16 @@ type BB struct {
 	mu       sync.Mutex
 	routes   map[string]*rarState
 	breakers map[identity.DN]*breaker
+	// rarEpoch mints a unique epoch per route registration (under mu);
+	// journal records carry it so replay can tell re-registrations of a
+	// reused RAR id apart.
+	rarEpoch int64
+
+	// journal is the broker's write-ahead log (nil when Config.StateDir
+	// is empty; every method on a nil journal no-ops). ckptMu coalesces
+	// concurrent checkpoint triggers.
+	journal *journal.Journal
+	ckptMu  sync.Mutex
 
 	tunnels *tunnelRegistry
 }
@@ -183,6 +208,14 @@ func New(cfg Config) (*BB, error) {
 		tunnels:  newTunnelRegistry(),
 	}
 	b.pool = newClientPool(b.dialPeer, func() { b.m.clientEvictions.Inc() })
+	if cfg.StateDir != "" {
+		// Recover-on-boot: load the snapshot + record tail persisted by
+		// a previous incarnation (possibly replacing the fresh table),
+		// then start journaling new mutations.
+		if err := b.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	b.registerGauges(cfg.Metrics)
 	return b, nil
 }
@@ -243,9 +276,22 @@ func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
 	return b.pool.get(dn)
 }
 
-// Close tears down all outbound clients.
+// Close tears down all outbound clients and, when the broker is
+// durable, flushes and closes its journal — the graceful shutdown.
 func (b *BB) Close() {
 	b.pool.closeAll()
+	if err := b.journal.Close(); err != nil {
+		b.log.Error("journal: close failed", "err", err)
+	}
+}
+
+// Crash tears the broker down the way a dying process would: outbound
+// clients drop and the journal is abandoned without a flush, so
+// records still in the fsync batch buffer are lost. Crash-recovery
+// tests and the experiment World use it; production code wants Close.
+func (b *BB) Crash() {
+	b.pool.closeAll()
+	b.journal.Crash()
 }
 
 // syncDataPlane pushes the currently committed aggregate into the

@@ -134,7 +134,8 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	b.mu.Lock()
 	st, dup := b.routes[spec.RARID]
 	if !dup {
-		st = &rarState{spec: spec, done: make(chan struct{})}
+		b.rarEpoch++
+		st = &rarState{spec: spec, done: make(chan struct{}), epoch: b.rarEpoch}
 		b.routes[spec.RARID] = st
 	}
 	b.mu.Unlock()
@@ -177,7 +178,11 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	b.mu.Lock()
 	st.outcome = resp
 	b.mu.Unlock()
+	// Journal the settled entry before releasing waiters, so a cancel
+	// that was blocked on done always journals after this record.
+	b.journalRAR(spec.RARID, st)
 	close(st.done)
+	b.maybeCheckpoint()
 	return resp
 }
 
@@ -472,6 +477,10 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	}
 	delete(b.routes, payload.RARID)
 	b.mu.Unlock()
+	// Journal the route removal even if the table cancel below fails:
+	// the entry is gone from the live map either way, and a recovered
+	// broker must agree.
+	b.journalRARCancel(payload.RARID, st.epoch)
 	if err := b.table.Cancel(st.handle); err != nil {
 		return signalling.ErrorResult(fmt.Sprintf("%s: %v", b.cfg.Domain, err))
 	}
@@ -492,6 +501,7 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	}
 	b.log.Info("cancel: released reservation",
 		obs.AttrRAR, payload.RARID, obs.AttrPeer, string(peer.DN), "handle", st.handle)
+	b.maybeCheckpoint()
 	return signalling.OKResult(st.handle)
 }
 

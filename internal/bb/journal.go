@@ -1,0 +1,264 @@
+package bb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/journal"
+	"e2eqos/internal/resv"
+	"e2eqos/internal/signalling"
+)
+
+// Journal record vocabulary for the broker's own durable state: the
+// RAR route/replay cache. Reservation-table mutations use the "resv."
+// vocabulary emitted by the table itself (resv.AttachJournal); both
+// interleave in one journal per broker.
+const (
+	opRAR       = "bb.rar"
+	opRARCancel = "bb.rar_cancel"
+)
+
+// rarRec journals one settled RAR entry: the route bookkeeping plus
+// the outcome message replayed verbatim when an upstream hop
+// retransmits. Epoch disambiguates re-registrations of a RAR id after
+// a cancel (ids come from requesters and may legitimately reappear),
+// so replay never lets a stale cancel remove a fresh entry.
+type rarRec struct {
+	RARID    string              `json:"rar_id"`
+	Epoch    int64               `json:"epoch"`
+	Handle   string              `json:"handle,omitempty"`
+	Next     identity.DN         `json:"next,omitempty"`
+	Tunnel   bool                `json:"tunnel,omitempty"`
+	SourceBB identity.DN         `json:"source_bb,omitempty"`
+	Outcome  *signalling.Message `json:"outcome,omitempty"`
+}
+
+// rarCancelRec journals the removal of a RAR entry.
+type rarCancelRec struct {
+	RARID string `json:"rar_id"`
+	Epoch int64  `json:"epoch"`
+}
+
+// brokerState is the rotated snapshot: the reservation table plus
+// every settled RAR entry, with the epoch counter so recovered brokers
+// keep minting unique epochs.
+type brokerState struct {
+	Table json.RawMessage `json:"table"`
+	RARs  []rarRec        `json:"rars,omitempty"`
+	Epoch int64           `json:"epoch"`
+}
+
+// openJournal opens (or creates) the broker's journal directory,
+// recovers persisted state into the table and route cache, wires the
+// table's emission hook, and rotates so the WAL restarts empty on a
+// snapshot reflecting everything just recovered. Called from New
+// before the broker is shared; mutates b without locks.
+func (b *BB) openJournal() error {
+	t0 := time.Now()
+	j, rec, err := journal.Open(b.cfg.StateDir, journal.Options{
+		Fsync: b.cfg.Fsync,
+		OnAppend: func(d time.Duration) {
+			b.m.journalAppends.Inc()
+			b.m.journalAppendSeconds.Observe(d.Seconds())
+		},
+		OnFsync: func() { b.m.journalFsyncBatches.Inc() },
+		OnError: func(err error) {
+			b.m.journalErrors.Inc()
+			b.log.Error("journal: write failed", "err", err)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("bb %s: %w", b.cfg.Domain, err)
+	}
+	applied, err := b.recoverState(rec)
+	if err != nil {
+		j.Close()
+		return fmt.Errorf("bb %s: journal recovery: %w", b.cfg.Domain, err)
+	}
+	b.journal = j
+	resv.AttachJournal(b.table, j)
+	if rec.Snapshot != nil || len(rec.Records) > 0 {
+		if err := j.Rotate(b.snapshotState); err != nil {
+			b.log.Error("journal: post-recovery checkpoint failed", "err", err)
+		} else {
+			b.m.checkpoints.Inc()
+		}
+	}
+	took := time.Since(t0)
+	b.m.recoverySeconds.Set(took.Seconds())
+	b.m.recoveredRecords.Add(int64(applied))
+	if rec.Torn {
+		b.log.Warn("journal: discarded torn record tail from a previous crash")
+	}
+	if rec.Snapshot != nil || applied > 0 {
+		b.log.Info("journal: recovered broker state",
+			"records", applied, "reservations", b.table.Len(), "took", took)
+	}
+	return nil
+}
+
+// recoverState rebuilds the table and route cache from a recovered
+// snapshot + record tail, returning how many records applied. Runs
+// before the broker is shared, so it reads and writes b lock-free.
+func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
+	if rec.Snapshot != nil {
+		var st brokerState
+		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+			return 0, fmt.Errorf("decoding snapshot: %w", err)
+		}
+		if len(st.Table) > 0 {
+			tbl, err := resv.RestoreTable(st.Table)
+			if err != nil {
+				return 0, err
+			}
+			tbl.SetClock(b.cfg.Clock)
+			b.table = tbl
+		}
+		b.rarEpoch = st.Epoch
+		for _, r := range st.RARs {
+			b.routes[r.RARID] = recoveredRARState(r)
+		}
+	}
+	applied, err := resv.Replay(b.table, rec.Records)
+	if err != nil {
+		return applied, err
+	}
+	for _, r := range rec.Records {
+		switch r.Op {
+		case opRAR:
+			var rr rarRec
+			if err := r.Decode(&rr); err != nil {
+				return applied, err
+			}
+			if rr.Epoch > b.rarEpoch {
+				b.rarEpoch = rr.Epoch
+			}
+			// Concurrent emission can reorder records for a reused RAR
+			// id; the higher epoch is always the later registration.
+			if cur, ok := b.routes[rr.RARID]; ok && cur.epoch > rr.Epoch {
+				break
+			}
+			b.routes[rr.RARID] = recoveredRARState(rr)
+			applied++
+		case opRARCancel:
+			var cr rarCancelRec
+			if err := r.Decode(&cr); err != nil {
+				return applied, err
+			}
+			if cr.Epoch > b.rarEpoch {
+				b.rarEpoch = cr.Epoch
+			}
+			// Remove only the registration this cancel actually ended: a
+			// stale cancel must not evict a fresh re-registration.
+			if cur, ok := b.routes[cr.RARID]; ok && cur.epoch == cr.Epoch {
+				delete(b.routes, cr.RARID)
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// recoveredRARState rebuilds an in-memory route entry from its record.
+// The done channel comes pre-closed: the reserve settled in a previous
+// life, so duplicates and cancels must not wait on it.
+func recoveredRARState(r rarRec) *rarState {
+	done := make(chan struct{})
+	close(done)
+	return &rarState{
+		handle:   r.Handle,
+		next:     r.Next,
+		tunnel:   r.Tunnel,
+		sourceBB: r.SourceBB,
+		outcome:  r.Outcome,
+		epoch:    r.Epoch,
+		done:     done,
+	}
+}
+
+// snapshotState serialises the broker's durable state for rotation.
+// Entries still in flight (no outcome yet) are skipped: they journal
+// themselves when they settle, after the rotation completes. Called by
+// journal.Rotate with appends blocked; takes table.mu then b.mu, which
+// is safe because no appender holds either while appending.
+func (b *BB) snapshotState() ([]byte, error) {
+	tbl, err := b.table.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	st := brokerState{Table: tbl, Epoch: b.rarEpoch}
+	for id, rs := range b.routes {
+		if rs.outcome == nil {
+			continue
+		}
+		st.RARs = append(st.RARs, rarRec{
+			RARID:    id,
+			Epoch:    rs.epoch,
+			Handle:   rs.handle,
+			Next:     rs.next,
+			Tunnel:   rs.tunnel,
+			SourceBB: rs.sourceBB,
+			Outcome:  rs.outcome,
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(st.RARs, func(i, j int) bool { return st.RARs[i].RARID < st.RARs[j].RARID })
+	return json.Marshal(st)
+}
+
+// journalRAR appends the settled route entry for rarID. Called after
+// the outcome is recorded and with no locks held.
+func (b *BB) journalRAR(rarID string, st *rarState) {
+	if b.journal == nil {
+		return
+	}
+	b.mu.Lock()
+	rec := rarRec{
+		RARID:    rarID,
+		Epoch:    st.epoch,
+		Handle:   st.handle,
+		Next:     st.next,
+		Tunnel:   st.tunnel,
+		SourceBB: st.sourceBB,
+		Outcome:  st.outcome,
+	}
+	b.mu.Unlock()
+	_ = b.journal.Append(opRAR, rec)
+}
+
+// journalRARCancel appends the removal of a route entry.
+func (b *BB) journalRARCancel(rarID string, epoch int64) {
+	if b.journal == nil {
+		return
+	}
+	_ = b.journal.Append(opRARCancel, rarCancelRec{RARID: rarID, Epoch: epoch})
+}
+
+// maybeCheckpoint rotates the journal when enough records accumulated.
+// TryLock coalesces concurrent triggers into one rotation; callers
+// hold no locks.
+func (b *BB) maybeCheckpoint() {
+	if b.journal == nil || !b.journal.NeedRotate() {
+		return
+	}
+	if !b.ckptMu.TryLock() {
+		return
+	}
+	defer b.ckptMu.Unlock()
+	t0 := time.Now()
+	if err := b.journal.Rotate(b.snapshotState); err != nil {
+		b.m.journalErrors.Inc()
+		b.log.Error("journal: checkpoint failed", "err", err)
+		return
+	}
+	b.m.checkpoints.Inc()
+	b.log.Info("journal: checkpointed broker state", "took", time.Since(t0))
+}
+
+// Journal exposes the broker's journal (nil when durability is
+// disabled); tests and the daemon's shutdown path use it.
+func (b *BB) Journal() *journal.Journal { return b.journal }

@@ -20,10 +20,20 @@ type bbMetrics struct {
 	breakerOpens    *obs.Counter // circuit-breaker open transitions
 	replays         *obs.Counter // idempotent replays of recorded outcomes
 	clientEvictions *obs.Counter // pooled peer clients retired after faults
+	// Durability-layer counters.
+	journalAppends      *obs.Counter // records appended to the journal
+	journalFsyncBatches *obs.Counter // fsyncs (one per batch under FsyncBatch)
+	journalErrors       *obs.Counter // journal write-path failures
+	checkpoints         *obs.Counter // snapshot+truncate rotations
+	recoveredRecords    *obs.Counter // records replayed at boot
 	// Latency histograms (seconds).
-	handleSeconds     *obs.Histogram // per-hop reserve handling time
-	downstreamSeconds *obs.Histogram // downstream round trip incl. retries
-	grantSeconds      *obs.Histogram // end-to-end grant time at the source hop
+	handleSeconds        *obs.Histogram // per-hop reserve handling time
+	downstreamSeconds    *obs.Histogram // downstream round trip incl. retries
+	grantSeconds         *obs.Histogram // end-to-end grant time at the source hop
+	journalAppendSeconds *obs.Histogram // journal append latency (buffer or disk)
+	// recoverySeconds is how long the boot-time journal recovery took
+	// (0 on a memory-only broker).
+	recoverySeconds *obs.Gauge
 }
 
 // newBBMetrics registers the broker's counters and histograms on r.
@@ -45,9 +55,18 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		clientEvictions: r.Counter("bb_client_evictions_total",
 			"pooled peer clients retired after transport faults or dead demux loops"),
 
-		handleSeconds:     r.Histogram("bb_handle_seconds", "per-hop reserve handling time", nil),
-		downstreamSeconds: r.Histogram("bb_downstream_seconds", "downstream call round trip including retries and backoff", nil),
-		grantSeconds:      r.Histogram("bb_grant_seconds", "end-to-end grant time observed at the source hop", nil),
+		journalAppends:      r.Counter("bb_journal_appends_total", "records appended to the write-ahead journal"),
+		journalFsyncBatches: r.Counter("bb_journal_fsync_batches_total", "journal fsyncs (one per group-commit batch under the batch policy)"),
+		journalErrors:       r.Counter("bb_journal_errors_total", "journal write-path failures (durability degraded until restart)"),
+		checkpoints:         r.Counter("bb_checkpoints_total", "journal snapshot+truncate rotations"),
+		recoveredRecords:    r.Counter("bb_recovered_records_total", "journal records replayed during boot-time recovery"),
+
+		handleSeconds:        r.Histogram("bb_handle_seconds", "per-hop reserve handling time", nil),
+		downstreamSeconds:    r.Histogram("bb_downstream_seconds", "downstream call round trip including retries and backoff", nil),
+		grantSeconds:         r.Histogram("bb_grant_seconds", "end-to-end grant time observed at the source hop", nil),
+		journalAppendSeconds: r.Histogram("bb_journal_append_seconds", "journal append latency as seen by the mutating call", nil),
+
+		recoverySeconds: r.Gauge("bb_recovery_seconds", "boot-time journal recovery duration (0 when memory-only)"),
 	}
 }
 

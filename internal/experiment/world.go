@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"time"
 
 	"e2eqos/internal/bb"
@@ -16,6 +17,7 @@ import (
 	"e2eqos/internal/disksched"
 	"e2eqos/internal/group"
 	"e2eqos/internal/identity"
+	"e2eqos/internal/journal"
 	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
@@ -81,6 +83,16 @@ type WorldConfig struct {
 	// in-memory network. Off by default: most experiments and the
 	// benchmarks measure the uninstrumented baseline.
 	EnableObs bool
+
+	// StateDir, when set, makes every broker durable: each journals to
+	// its own subdirectory StateDir/<domain>, and
+	// RestartDomainFromJournal can rebuild a crashed broker from it.
+	// Empty keeps brokers memory-only.
+	StateDir string
+	// FsyncPolicy selects the journal durability policy for every
+	// broker: "batch" (default), "always" or "never". Only meaningful
+	// with StateDir set.
+	FsyncPolicy string
 	// Logger, when set, receives every broker's structured log records
 	// (each stamped with its domain). Nil keeps brokers silent.
 	Logger *slog.Logger
@@ -107,9 +119,13 @@ type World struct {
 	Metrics    map[string]*obs.Registry
 	NetMetrics *obs.Registry
 
-	servers     map[string]*signalling.Server
-	endpoints   map[string]*transport.Endpoint
-	addrs       map[identity.DN]string
+	servers   map[string]*signalling.Server
+	endpoints map[string]*transport.Endpoint
+	addrs     map[identity.DN]string
+	// brokerCfgs remembers each broker's assembly config so
+	// RestartDomainFromJournal can rebuild it from scratch.
+	brokerCfgs  map[string]bb.Config
+	enableObs   bool
 	clock       func() time.Time
 	callTimeout time.Duration
 }
@@ -143,21 +159,27 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		}
 	}
 	w := &World{
-		Net:     transport.NewNetwork(cfg.Latency),
-		Topo:    topo,
-		Domains: topo.Domains(),
-		BBs:     make(map[string]*bb.BB),
-		BBCerts: make(map[string]*pki.Certificate),
-		Policy:  make(map[string]*policysrv.Server),
-		CPU:     make(map[string]*cpusched.Manager),
-		Disk:    make(map[string]*disksched.Manager),
-		Planes:  make(map[string]*bb.DataPlane),
-		Metrics: make(map[string]*obs.Registry),
+		Net:         transport.NewNetwork(cfg.Latency),
+		Topo:        topo,
+		Domains:     topo.Domains(),
+		BBs:         make(map[string]*bb.BB),
+		BBCerts:     make(map[string]*pki.Certificate),
+		Policy:      make(map[string]*policysrv.Server),
+		CPU:         make(map[string]*cpusched.Manager),
+		Disk:        make(map[string]*disksched.Manager),
+		Planes:      make(map[string]*bb.DataPlane),
+		Metrics:     make(map[string]*obs.Registry),
 		servers:     make(map[string]*signalling.Server),
 		endpoints:   make(map[string]*transport.Endpoint),
 		addrs:       make(map[identity.DN]string),
+		brokerCfgs:  make(map[string]bb.Config),
+		enableObs:   cfg.EnableObs,
 		clock:       cfg.Clock,
 		callTimeout: cfg.CallTimeout,
+	}
+	fsync, err := journal.ParsePolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	if cfg.EnableObs {
 		w.NetMetrics = obs.NewRegistry()
@@ -295,7 +317,7 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			reg = obs.NewRegistry()
 			w.Metrics[name] = reg
 		}
-		broker, err := bb.New(bb.Config{
+		bcfg := bb.Config{
 			Domain:           name,
 			Key:              m.key,
 			Cert:             m.cert,
@@ -318,10 +340,16 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			BreakerCooldown:  cfg.BreakerCooldown,
 			Logger:           cfg.Logger,
 			Metrics:          reg,
-		})
+		}
+		if cfg.StateDir != "" {
+			bcfg.StateDir = filepath.Join(cfg.StateDir, name)
+			bcfg.Fsync = fsync
+		}
+		broker, err := bb.New(bcfg)
 		if err != nil {
 			return nil, err
 		}
+		w.brokerCfgs[name] = bcfg
 		w.BBs[name] = broker
 		w.endpoints[name] = endpoint
 		if err := w.startDomain(name); err != nil {
@@ -368,6 +396,54 @@ func (w *World) RestartDomain(name string) error {
 	if _, running := w.servers[name]; running {
 		return fmt.Errorf("experiment: domain %q is already running", name)
 	}
+	return w.startDomain(name)
+}
+
+// CrashDomain kills a domain the hard way: the frontend drops (like
+// StopDomain) and the broker itself dies mid-flight — outbound clients
+// close and its journal is abandoned without a flush, exactly as a
+// killed process would leave it. Only RestartDomainFromJournal can
+// bring the domain back.
+func (w *World) CrashDomain(name string) error {
+	if err := w.StopDomain(name); err != nil {
+		return err
+	}
+	w.BBs[name].Crash()
+	return nil
+}
+
+// RestartDomainFromJournal rebuilds a stopped (or crashed) domain's
+// broker from scratch and brings its frontend back: the new broker
+// recovers its reservation table and RAR replay cache from the journal
+// directory the old one wrote. Requires WorldConfig.StateDir. The
+// rebuilt broker gets a fresh metrics registry (metric names register
+// exactly once per registry), which replaces the domain's entry in
+// World.Metrics.
+func (w *World) RestartDomainFromJournal(name string) error {
+	if _, running := w.servers[name]; running {
+		return fmt.Errorf("experiment: domain %q is already running", name)
+	}
+	bcfg, ok := w.brokerCfgs[name]
+	if !ok {
+		return fmt.Errorf("experiment: unknown domain %q", name)
+	}
+	if bcfg.StateDir == "" {
+		return fmt.Errorf("experiment: domain %q has no journal (WorldConfig.StateDir unset)", name)
+	}
+	if old, ok := w.BBs[name]; ok {
+		old.Close() // idempotent after Crash; releases any leftover clients
+	}
+	if w.enableObs {
+		reg := obs.NewRegistry()
+		w.Metrics[name] = reg
+		bcfg.Metrics = reg
+	}
+	broker, err := bb.New(bcfg)
+	if err != nil {
+		return fmt.Errorf("experiment: rebuilding %q from journal: %w", name, err)
+	}
+	w.brokerCfgs[name] = bcfg
+	w.BBs[name] = broker
 	return w.startDomain(name)
 }
 

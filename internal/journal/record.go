@@ -1,0 +1,112 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record is one typed journal entry. Op names the mutation (the owning
+// layer defines the vocabulary: "resv.admit", "bb.rar", ...) and Data
+// carries its payload verbatim. Records must be absolute — they state
+// the resulting value, not a delta — so that replaying a record on top
+// of a snapshot that already reflects it is a no-op.
+type Record struct {
+	Op   string          `json:"op"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Framing: every record is length-prefixed and checksummed so recovery
+// can tell a torn tail from good data without trusting file size.
+//
+//	uint32 LE  payload length n (1 .. MaxRecordSize)
+//	uint32 LE  CRC-32C (Castagnoli) of the payload
+//	n bytes    JSON-encoded Record
+const headerSize = 8
+
+// MaxRecordSize bounds one record's payload. A length field above it
+// is treated as corruption, which stops a garbage frame from making
+// the decoder attempt a multi-gigabyte read.
+const MaxRecordSize = 1 << 24
+
+// Decode errors. Both end a replay; ErrTruncated is the expected shape
+// of a torn final write, ErrCorrupt means the frame is complete but
+// lies (bad length, checksum or payload).
+var (
+	ErrTruncated = errors.New("journal: truncated record")
+	ErrCorrupt   = errors.New("journal: corrupt record")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeRecord frames op+data (data is JSON-marshalled) into the
+// append-ready wire form.
+func EncodeRecord(op string, data any) ([]byte, error) {
+	if op == "" {
+		return nil, fmt.Errorf("journal: record without op")
+	}
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return nil, fmt.Errorf("journal: encoding %s payload: %w", op, err)
+		}
+		raw = b
+	}
+	payload, err := json.Marshal(Record{Op: op, Data: raw})
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding %s record: %w", op, err)
+	}
+	if len(payload) > MaxRecordSize {
+		return nil, fmt.Errorf("journal: %s record is %d bytes, above the %d limit", op, len(payload), MaxRecordSize)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[headerSize:], payload)
+	return frame, nil
+}
+
+// DecodeRecord parses one framed record from the front of buf,
+// returning the record and the number of bytes consumed. io.EOF means
+// buf is empty (clean end); ErrTruncated means buf ends mid-frame;
+// ErrCorrupt means the frame is malformed. DecodeRecord never reads
+// past len(buf) and never panics on arbitrary input.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) == 0 {
+		return Record{}, 0, io.EOF
+	}
+	if len(buf) < headerSize {
+		return Record{}, 0, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n == 0 || n > MaxRecordSize {
+		return Record{}, 0, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n)
+	}
+	if uint64(len(buf)) < headerSize+uint64(n) {
+		return Record{}, 0, ErrTruncated
+	}
+	payload := buf[headerSize : headerSize+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if rec.Op == "" {
+		return Record{}, 0, fmt.Errorf("%w: record without op", ErrCorrupt)
+	}
+	return rec, headerSize + int(n), nil
+}
+
+// Decode unmarshals a record's payload into out.
+func (r Record) Decode(out any) error {
+	if err := json.Unmarshal(r.Data, out); err != nil {
+		return fmt.Errorf("journal: decoding %s payload: %w", r.Op, err)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package resv
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"e2eqos/internal/journal"
+	"e2eqos/internal/units"
+)
+
+// Journal record vocabulary for reservation-table mutations. Every
+// record is absolute — it states the resulting value, never a delta —
+// so replaying a record over a snapshot that already reflects it is a
+// no-op, the idempotency the journal's rotation protocol depends on.
+const (
+	opAdmit   = "resv.admit"
+	opModify  = "resv.modify"
+	opCancel  = "resv.cancel"
+	opCompact = "resv.compact"
+)
+
+// event is one pending journal emission, collected under Table.mu and
+// delivered after it is released.
+type event struct {
+	op   string
+	data any
+}
+
+// admitRec journals a successful admission: the full reservation copy
+// plus the sequence counter it advanced to. Carrying the whole
+// reservation (not the request) makes replay exact — handle, creation
+// stamp and all.
+type admitRec struct {
+	Resv Reservation `json:"resv"`
+	Seq  int64       `json:"seq"`
+}
+
+// modifyRec journals a bandwidth change as the absolute new value.
+type modifyRec struct {
+	Handle    string          `json:"handle"`
+	Bandwidth units.Bandwidth `json:"bandwidth"`
+}
+
+// cancelRec journals a withdrawal with its retirement stamp.
+type cancelRec struct {
+	Handle      string    `json:"handle"`
+	CancelledAt time.Time `json:"cancelled_at"`
+}
+
+// compactRec journals the exact handle set a compaction removed.
+// Handles are never reused, so removal commutes with admissions of
+// other handles during replay.
+type compactRec struct {
+	Removed []string `json:"removed"`
+}
+
+func admitEvent(r *Reservation, seq int64) event {
+	return event{opAdmit, admitRec{Resv: *r, Seq: seq}}
+}
+
+func modifyEvent(handle string, bw units.Bandwidth) event {
+	return event{opModify, modifyRec{Handle: handle, Bandwidth: bw}}
+}
+
+func cancelEvent(handle string, at time.Time) event {
+	return event{opCancel, cancelRec{Handle: handle, CancelledAt: at}}
+}
+
+func compactEvent(removed []string) event {
+	return event{opCompact, compactRec{Removed: removed}}
+}
+
+// emitAll delivers pending events to the emit hook. Called with t.mu
+// released; events is non-empty only when a hook is installed.
+func (t *Table) emitAll(events []event) {
+	for _, e := range events {
+		t.emit(e.op, e.data)
+	}
+}
+
+// setEmit installs the journal emission hook. Must be called before
+// the table is shared between goroutines (broker construction time):
+// the hook pointer itself is read without the table lock.
+func (t *Table) setEmit(fn func(op string, data any)) {
+	t.mu.Lock()
+	t.emit = fn
+	t.mu.Unlock()
+}
+
+// JournaledTable pairs a Table with the write-ahead journal recording
+// its mutations. All Table methods are promoted unchanged; the pairing
+// wires the table's emission hook to journal appends and adds the
+// snapshot+truncate checkpoint.
+type JournaledTable struct {
+	*Table
+	Journal *journal.Journal
+}
+
+// AttachJournal wires t's emission hook to j: every subsequent
+// successful Admit, Modify, Cancel and Compact (including the
+// automatic sweep piggybacked on Admit) appends one typed record.
+// Attach before sharing t between goroutines. A nil journal detaches.
+func AttachJournal(t *Table, j *journal.Journal) {
+	if j == nil {
+		t.setEmit(nil)
+		return
+	}
+	t.setEmit(func(op string, data any) {
+		// Durability errors are sticky in the journal (Stats.Err /
+		// OnError); admission itself must not fail on a full disk.
+		_ = j.Append(op, data)
+	})
+}
+
+// NewJournaledTable attaches j to t (see AttachJournal) and returns
+// the pairing. A nil journal yields a functioning but unjournaled
+// pairing.
+func NewJournaledTable(t *Table, j *journal.Journal) *JournaledTable {
+	if j != nil {
+		AttachJournal(t, j)
+	}
+	return &JournaledTable{Table: t, Journal: j}
+}
+
+// Checkpoint rotates the journal: persists a fresh table snapshot and
+// truncates the record tail.
+func (jt *JournaledTable) Checkpoint() error {
+	return jt.Journal.Rotate(jt.Table.Snapshot)
+}
+
+// Replay applies journaled table records on top of t, which holds the
+// snapshot state (or is empty when no snapshot was ever rotated). It
+// returns the number of records applied. Records with ops outside the
+// "resv." vocabulary are ignored so callers can feed a mixed broker
+// journal straight through; unknown "resv." ops are an error (a
+// version-skew tripwire, not a tolerable torn write).
+//
+// Replay is deliberately forgiving about interleavings that concurrent
+// emission can produce: an admit whose handle a later compact record
+// removes is suppressed (handles are never reused, so the tombstone is
+// unambiguous), and modify/cancel records for absent handles are
+// skipped rather than failed — the entry was compacted, making the
+// mutation moot.
+func Replay(t *Table, recs []journal.Record) (int, error) {
+	// Tombstone pre-scan: emission order can place a compact record
+	// before the admit record of a handle it removed (the admitter was
+	// preempted between applying and emitting). Collect every removed
+	// handle first so such admits are never resurrected.
+	tomb := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.Op != opCompact {
+			continue
+		}
+		var c compactRec
+		if err := rec.Decode(&c); err != nil {
+			return 0, err
+		}
+		for _, h := range c.Removed {
+			tomb[h] = true
+		}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	applied := 0
+	for _, rec := range recs {
+		if !strings.HasPrefix(rec.Op, "resv.") {
+			continue
+		}
+		switch rec.Op {
+		case opAdmit:
+			var a admitRec
+			if err := rec.Decode(&a); err != nil {
+				return applied, err
+			}
+			if a.Seq > t.seq {
+				t.seq = a.Seq
+			}
+			if tomb[a.Resv.Handle] {
+				break // compacted later in this very tail
+			}
+			if _, ok := t.resv[a.Resv.Handle]; ok {
+				break // snapshot already reflects it
+			}
+			r := a.Resv
+			t.resv[r.Handle] = &r
+		case opModify:
+			var m modifyRec
+			if err := rec.Decode(&m); err != nil {
+				return applied, err
+			}
+			if r, ok := t.resv[m.Handle]; ok && r.Status == Granted {
+				r.Bandwidth = m.Bandwidth
+			}
+		case opCancel:
+			var c cancelRec
+			if err := rec.Decode(&c); err != nil {
+				return applied, err
+			}
+			if r, ok := t.resv[c.Handle]; ok && r.Status == Granted {
+				r.Status = Cancelled
+				r.CancelledAt = c.CancelledAt
+			}
+		case opCompact:
+			var c compactRec
+			if err := rec.Decode(&c); err != nil {
+				return applied, err
+			}
+			for _, h := range c.Removed {
+				delete(t.resv, h)
+			}
+		default:
+			return applied, fmt.Errorf("resv: replay: unknown record op %q", rec.Op)
+		}
+		applied++
+	}
+	return applied, nil
+}

@@ -96,6 +96,11 @@ type Table struct {
 	clock     func() time.Time
 	// admits counts admissions since the last automatic sweep.
 	admits int
+	// emit, when set, receives one typed journal event per applied
+	// mutation (see journaled.go). Mutators collect events under mu and
+	// invoke emit after releasing it, so the hook may block on I/O or
+	// take locks of its own without stalling the table.
+	emit func(op string, data any)
 }
 
 // NewTable creates a table managing the given capacity.
@@ -204,23 +209,32 @@ type AdmitRequest struct {
 // Admit runs admission control and, on success, commits the
 // reservation and returns it.
 func (t *Table) Admit(req AdmitRequest) (*Reservation, error) {
+	r, events, err := t.admit(req)
+	t.emitAll(events)
+	return r, err
+}
+
+func (t *Table) admit(req AdmitRequest) (*Reservation, []event, error) {
 	if req.Bandwidth <= 0 {
-		return nil, fmt.Errorf("resv: non-positive bandwidth %v", req.Bandwidth)
+		return nil, nil, fmt.Errorf("resv: non-positive bandwidth %v", req.Bandwidth)
 	}
 	if !req.Window.Valid() {
-		return nil, fmt.Errorf("resv: invalid window %v", req.Window)
+		return nil, nil, fmt.Errorf("resv: invalid window %v", req.Window)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.clock()
+	var events []event
 	t.admits++
 	if t.admits >= sweepEvery {
 		t.admits = 0
-		t.compactLocked(now)
+		if swept := t.compactLocked(now); len(swept) > 0 && t.emit != nil {
+			events = append(events, compactEvent(swept))
+		}
 	}
 	peak := t.maxCommittedLocked(req.Window, "")
 	if peak+req.Bandwidth > t.capacity {
-		return nil, fmt.Errorf("resv: %s: insufficient capacity: peak committed %v + request %v > capacity %v",
+		return nil, events, fmt.Errorf("resv: %s: insufficient capacity: peak committed %v + request %v > capacity %v",
 			t.name, peak, req.Bandwidth, t.capacity)
 	}
 	t.seq++
@@ -236,23 +250,35 @@ func (t *Table) Admit(req AdmitRequest) (*Reservation, error) {
 		Created:   now,
 	}
 	t.resv[r.Handle] = r
-	return r, nil
+	if t.emit != nil {
+		events = append(events, admitEvent(r, t.seq))
+	}
+	return r, events, nil
 }
 
 // Cancel withdraws a reservation, releasing its capacity.
 func (t *Table) Cancel(handle string) error {
+	events, err := t.cancel(handle)
+	t.emitAll(events)
+	return err
+}
+
+func (t *Table) cancel(handle string) ([]event, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r, ok := t.resv[handle]
 	if !ok {
-		return fmt.Errorf("resv: unknown handle %q", handle)
+		return nil, fmt.Errorf("resv: unknown handle %q", handle)
 	}
 	if r.Status == Cancelled {
-		return fmt.Errorf("resv: handle %q already cancelled", handle)
+		return nil, fmt.Errorf("resv: handle %q already cancelled", handle)
 	}
 	r.Status = Cancelled
 	r.CancelledAt = t.clock()
-	return nil
+	if t.emit != nil {
+		return []event{cancelEvent(handle, r.CancelledAt)}, nil
+	}
+	return nil, nil
 }
 
 // Compact removes reservations that have been dead — cancelled, or
@@ -263,18 +289,24 @@ func (t *Table) Cancel(handle string) error {
 // long-idle table).
 func (t *Table) Compact(now time.Time) int {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.compactLocked(now)
+	removed := t.compactLocked(now)
+	var events []event
+	if len(removed) > 0 && t.emit != nil {
+		events = append(events, compactEvent(removed))
+	}
+	t.mu.Unlock()
+	t.emitAll(events)
+	return len(removed)
 }
 
 // compactLocked removes entries dead since before the retention
-// horizon. Caller holds t.mu.
-func (t *Table) compactLocked(now time.Time) int {
+// horizon and returns their handles. Caller holds t.mu.
+func (t *Table) compactLocked(now time.Time) []string {
 	if t.retention <= 0 {
-		return 0
+		return nil
 	}
 	horizon := now.Add(-t.retention)
-	removed := 0
+	var removed []string
 	for h, r := range t.resv {
 		var deadSince time.Time
 		switch {
@@ -290,7 +322,7 @@ func (t *Table) compactLocked(now time.Time) int {
 		}
 		if deadSince.Before(horizon) {
 			delete(t.resv, h)
-			removed++
+			removed = append(removed, h)
 		}
 	}
 	return removed
@@ -307,22 +339,31 @@ func (t *Table) Len() int {
 // Modify atomically changes the bandwidth of an existing reservation,
 // re-running admission for the delta. Used by tunnel resizing.
 func (t *Table) Modify(handle string, bw units.Bandwidth) error {
+	events, err := t.modify(handle, bw)
+	t.emitAll(events)
+	return err
+}
+
+func (t *Table) modify(handle string, bw units.Bandwidth) ([]event, error) {
 	if bw <= 0 {
-		return fmt.Errorf("resv: non-positive bandwidth %v", bw)
+		return nil, fmt.Errorf("resv: non-positive bandwidth %v", bw)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r, ok := t.resv[handle]
 	if !ok || r.Status != Granted {
-		return fmt.Errorf("resv: no granted reservation %q", handle)
+		return nil, fmt.Errorf("resv: no granted reservation %q", handle)
 	}
 	peak := t.maxCommittedLocked(r.Window, handle)
 	if peak+bw > t.capacity {
-		return fmt.Errorf("resv: %s: cannot grow %q to %v: peak committed %v, capacity %v",
+		return nil, fmt.Errorf("resv: %s: cannot grow %q to %v: peak committed %v, capacity %v",
 			t.name, handle, bw, peak, t.capacity)
 	}
 	r.Bandwidth = bw
-	return nil
+	if t.emit != nil {
+		return []event{modifyEvent(handle, bw)}, nil
+	}
+	return nil, nil
 }
 
 // Lookup returns a copy of the reservation for handle.

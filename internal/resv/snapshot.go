@@ -3,6 +3,7 @@ package resv
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"e2eqos/internal/units"
 )
@@ -18,6 +19,9 @@ type snapshot struct {
 // Snapshot serialises the table so a restarting broker can restore its
 // committed state. Reservations removed by compaction are absent: a
 // snapshot captures the table's live admission state, not its history.
+// Output is deterministic — reservations are sorted by handle — so two
+// tables holding the same state snapshot to identical bytes, the
+// property the journal's crash-recovery tests assert on.
 func (t *Table) Snapshot() ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -25,6 +29,9 @@ func (t *Table) Snapshot() ([]byte, error) {
 	for _, r := range t.resv {
 		s.Reservations = append(s.Reservations, *r)
 	}
+	sort.Slice(s.Reservations, func(i, j int) bool {
+		return s.Reservations[i].Handle < s.Reservations[j].Handle
+	})
 	data, err := json.Marshal(s)
 	if err != nil {
 		return nil, fmt.Errorf("resv: snapshot: %w", err)

@@ -21,13 +21,18 @@
 #                          lowercase_snake, counters end in _total, and each
 #                          name registers exactly once (obs registry panics
 #                          plus a walk over the live world registries)
+#   make race-subflow      tunnel sub-flow battery under -race: the
+#                          endpoint property/invariant tests, the batch
+#                          handlers and the tunnel crash-recovery tests
 #   make bench             benchmark harness
 #   make bench-concurrency reserve throughput vs parallel requesters
 #                          (the numbers recorded in BENCH_concurrency.json)
+#   make bench-subflow     sub-flow admission throughput, per-RPC vs
+#                          batched (the numbers in BENCH_subflow.json)
 
 GO ?= go
 
-.PHONY: build test verify bench bench-concurrency metrics-lint race-concurrency race-recovery fuzz-short
+.PHONY: build test verify bench bench-concurrency bench-subflow metrics-lint race-concurrency race-recovery race-subflow fuzz-short
 
 build:
 	$(GO) build ./...
@@ -35,7 +40,7 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint race-concurrency race-recovery fuzz-short
+verify: build metrics-lint race-concurrency race-recovery race-subflow fuzz-short
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -45,6 +50,10 @@ race-concurrency:
 race-recovery:
 	$(GO) test -race ./internal/journal
 	$(GO) test -race -run 'Journal|Snapshot|Recovery|Restart' ./internal/resv ./internal/bb
+
+race-subflow:
+	$(GO) test -race ./internal/tunnel
+	$(GO) test -race -run 'Tunnel' ./internal/bb
 
 fuzz-short:
 	$(GO) test -run NONE -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/envelope
@@ -60,3 +69,6 @@ bench:
 
 bench-concurrency:
 	$(GO) test -run NONE -bench 'ConcurrentReserveChain' -benchtime 2s .
+
+bench-subflow:
+	$(GO) test -run NONE -bench 'SubFlowThroughput' -benchtime 150000x .

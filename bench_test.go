@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"e2eqos/internal/core"
 	"e2eqos/internal/envelope"
 	"e2eqos/internal/experiment"
 	"e2eqos/internal/gara"
@@ -24,6 +25,7 @@ import (
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
 	"e2eqos/internal/resv"
+	"e2eqos/internal/signalling"
 	"e2eqos/internal/units"
 )
 
@@ -262,6 +264,98 @@ func BenchmarkTunnelVsPerFlow(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSubFlowThroughput measures the tunnel sub-flow hot path:
+// the per-RPC seed path (one MsgTunnelAlloc round trip per sub-flow)
+// against MsgTunnelBatch at increasing batch sizes. b.N counts
+// *allocations* in every arm — the batch arms step the loop by the
+// batch size — so ns/op is directly comparable and allocations/sec is
+// the inverse. BENCH_subflow.json records the measured numbers; the
+// acceptance bar is >=5x allocations/sec at batch=64.
+func BenchmarkSubFlowThroughput(b *testing.B) {
+	setup := func(b *testing.B) (*experiment.World, *experiment.User, *core.Spec) {
+		w, u, _ := benchWorld(b, 5, false)
+		spec := u.NewSpec(experiment.SpecOptions{
+			DestDomain: "Domain4",
+			Bandwidth:  units.Bandwidth(100) * units.Gbps,
+			Tunnel:     true,
+		})
+		res, err := u.ReserveE2E(spec)
+		if err != nil || !res.Granted {
+			b.Fatalf("tunnel establishment failed: %v %+v", err, res)
+		}
+		return w, u, spec
+	}
+	// Sub-flow churn is steady-state in deployment — flows come and go,
+	// the live set stays bounded — so every window of allocations is
+	// drained off-timer: the arms measure admission cost, not the cost
+	// of growing one endpoint's shard maps without bound.
+	const window = 4096
+	drain := func(b *testing.B, w *experiment.World, u *experiment.User, rarID string, lo, hi int) {
+		b.StopTimer()
+		src := w.BBs[w.SourceDomain()]
+		for start := lo; start < hi; start += 256 {
+			end := start + 256
+			if end > hi {
+				end = hi
+			}
+			ops := make([]signalling.TunnelOp, 0, end-start)
+			for j := start; j < end; j++ {
+				ops = append(ops, signalling.TunnelOp{Action: signalling.OpRelease, SubFlowID: fmt.Sprintf("sub-%d", j)})
+			}
+			if _, err := src.TunnelBatch(rarID, ops, u.DN()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+	b.Run("per-rpc/domains=5", func(b *testing.B) {
+		w, u, spec := setup(b)
+		src := w.BBs[w.SourceDomain()]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%window == 0 {
+				drain(b, w, u, spec.RARID, i-window, i)
+			}
+			if err := src.AllocateTunnelFlow(spec.RARID, fmt.Sprintf("sub-%d", i), units.Kbps, u.DN()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, size := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d/domains=5", size), func(b *testing.B) {
+			w, u, spec := setup(b)
+			src := w.BBs[w.SourceDomain()]
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				if i > 0 && i%window == 0 {
+					drain(b, w, u, spec.RARID, i-window, i)
+				}
+				n := size
+				if rest := b.N - i; n > rest {
+					n = rest
+				}
+				ops := make([]signalling.TunnelOp, n)
+				for j := range ops {
+					ops[j] = signalling.TunnelOp{
+						Action:    signalling.OpAlloc,
+						SubFlowID: fmt.Sprintf("sub-%d", i+j),
+						Bandwidth: int64(units.Kbps),
+					}
+				}
+				results, err := src.TunnelBatch(spec.RARID, ops, u.DN())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.Granted {
+						b.Fatalf("op %s denied: %s", r.SubFlowID, r.Reason)
+					}
+				}
+			}
+		})
+	}
 }
 
 // --- Observability overhead ------------------------------------------------

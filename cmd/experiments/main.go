@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, keydist, billing, diffserv, faults, all")
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, keydist, billing, diffserv, faults, all")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
@@ -96,6 +96,15 @@ func main() {
 		t, err := experiment.RunTunnelScaling(nil, 5, *hopLatency)
 		if err != nil {
 			fail("tunnel", err)
+		}
+		emit(t)
+	}
+	if run("subflows") {
+		t, err := experiment.RunSubFlowLoad(experiment.SubFlowLoadConfig{
+			Latency: *hopLatency / 10, // sub-flow signalling skips the chain: two ends, one hop
+		})
+		if err != nil {
+			fail("subflows", err)
 		}
 		emit(t)
 	}

@@ -43,7 +43,7 @@ func main() {
 		die("-key, -cert and -roots are required")
 	}
 	if flag.NArg() < 1 {
-		die("usage: qosctl [flags] reserve|cancel|status [command flags]")
+		die("usage: qosctl [flags] reserve|cancel|status|tunnel-alloc|tunnel-release|tunnel-batch-alloc|tunnel-batch-release [command flags]")
 	}
 
 	cert, err := pki.LoadCertFile(*certFile)
@@ -82,6 +82,10 @@ func main() {
 		runTunnelAlloc(client, key, flag.Args()[1:])
 	case "tunnel-release":
 		runTunnelRelease(client, flag.Args()[1:])
+	case "tunnel-batch-alloc":
+		runTunnelBatch(client, key, signalling.OpAlloc, flag.Args()[1:])
+	case "tunnel-batch-release":
+		runTunnelBatch(client, key, signalling.OpRelease, flag.Args()[1:])
 	default:
 		die("unknown command %q", flag.Arg(0))
 	}
@@ -136,6 +140,69 @@ func runTunnelRelease(client *signalling.Client, args []string) {
 		die("%v", err)
 	}
 	printResult(*rar+"/"+*sub, resp)
+}
+
+// runTunnelBatch allocates or releases many sub-flows in one round
+// trip. The batch id is printed so a user whose connection died can
+// retransmit the identical batch with -batch-id and get the recorded
+// answer instead of a double admission.
+func runTunnelBatch(client *signalling.Client, key *identity.KeyPair, action signalling.TunnelOpAction, args []string) {
+	fs := flag.NewFlagSet("tunnel-batch-"+string(action), flag.ExitOnError)
+	rar := fs.String("rar", "", "tunnel RAR id (required)")
+	subs := fs.String("subs", "", "comma-separated sub-flow ids (required)")
+	bwStr := fs.String("bw", "1Mb/s", "per-sub-flow bandwidth (alloc only)")
+	batchID := fs.String("batch-id", "", "batch id to reuse when retransmitting (default: fresh)")
+	_ = fs.Parse(args)
+	if *rar == "" || *subs == "" {
+		die("tunnel-batch-%s: -rar and -subs are required", action)
+	}
+	var bw units.Bandwidth
+	if action == signalling.OpAlloc {
+		var err error
+		if bw, err = units.ParseBandwidth(*bwStr); err != nil {
+			die("%v", err)
+		}
+	}
+	payload := &signalling.TunnelBatchPayload{
+		TunnelRARID: *rar,
+		BatchID:     *batchID,
+		User:        key.DN,
+	}
+	if payload.BatchID == "" {
+		payload.BatchID = signalling.NewBatchID()
+	}
+	for _, sub := range strings.Split(*subs, ",") {
+		op := signalling.TunnelOp{Action: action, SubFlowID: strings.TrimSpace(sub)}
+		if action == signalling.OpAlloc {
+			op.Bandwidth = int64(bw)
+		}
+		payload.Ops = append(payload.Ops, op)
+	}
+	if err := payload.Validate(); err != nil {
+		die("tunnel-batch-%s: %v", action, err)
+	}
+	resp, err := client.Call(&signalling.Message{Type: signalling.MsgTunnelBatch, TunnelBatch: payload})
+	if err != nil {
+		die("%v", err)
+	}
+	if resp.Result == nil {
+		die("broker sent no result")
+	}
+	fmt.Printf("batch %s: %d ops, granted=%t", payload.BatchID, len(payload.Ops), resp.Result.Granted)
+	if !resp.Result.Granted {
+		fmt.Printf(" (%s)", resp.Result.Reason)
+	}
+	fmt.Println()
+	for _, r := range resp.Result.BatchResults {
+		status := "granted"
+		if !r.Granted {
+			status = "denied: " + r.Reason
+		}
+		fmt.Printf("  %s/%s %s\n", *rar, r.SubFlowID, status)
+	}
+	if !resp.Result.Granted {
+		os.Exit(1)
+	}
 }
 
 func runReserve(client *signalling.Client, key *identity.KeyPair, cert *pki.Certificate, args []string) {

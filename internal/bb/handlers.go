@@ -2,6 +2,8 @@ package bb
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"e2eqos/internal/core"
@@ -15,13 +17,112 @@ import (
 	"e2eqos/internal/units"
 )
 
-// tunnelRegistry wraps the tunnel package registry.
+// tunnelRegistry wraps the tunnel package registry and keeps the batch
+// replay cache: per-batch outcomes keyed (tunnel RAR, batch id), with
+// the same in-flight dedup scheme the RAR cache uses — a concurrent
+// retransmission finds the first copy's placeholder and waits for its
+// done channel instead of re-applying ops.
 type tunnelRegistry struct {
 	reg *tunnel.Registry
+
+	mu      sync.Mutex
+	batches map[string]*batchState
 }
 
+// batchState is one batch's replay-cache entry.
+type batchState struct {
+	// done is closed once the batch has been applied and its outcome
+	// recorded; duplicates arriving mid-flight wait on it.
+	done chan struct{}
+	// outcome is replayed verbatim on retransmission.
+	outcome *signalling.Message
+	// epoch pins the entry to a specific registration of the tunnel
+	// RAR id, so snapshots and teardown can tell stale entries apart.
+	epoch int64
+	rarID string
+	id    string
+}
+
+func batchKey(rarID, batchID string) string { return rarID + "\x00" + batchID }
+
 func newTunnelRegistry() *tunnelRegistry {
-	return &tunnelRegistry{reg: tunnel.NewRegistry()}
+	return &tunnelRegistry{reg: tunnel.NewRegistry(), batches: make(map[string]*batchState)}
+}
+
+// begin registers a batch placeholder, or returns the existing entry
+// with dup=true.
+func (t *tunnelRegistry) begin(rarID, batchID string, epoch int64) (st *batchState, dup bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.batches[batchKey(rarID, batchID)]; ok {
+		return st, true
+	}
+	st = &batchState{done: make(chan struct{}), epoch: epoch, rarID: rarID, id: batchID}
+	t.batches[batchKey(rarID, batchID)] = st
+	return st, false
+}
+
+// settle records a batch outcome and releases any waiting duplicates.
+func (t *tunnelRegistry) settle(st *batchState, outcome *signalling.Message) {
+	t.mu.Lock()
+	st.outcome = outcome
+	t.mu.Unlock()
+	close(st.done)
+}
+
+// outcomeOf reads a settled outcome (nil while in flight).
+func (t *tunnelRegistry) outcomeOf(st *batchState) *signalling.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return st.outcome
+}
+
+// restoreBatch repopulates a replay-cache entry during journal
+// recovery; done comes pre-closed because the batch settled in a
+// previous life.
+func (t *tunnelRegistry) restoreBatch(rarID string, epoch int64, batchID string, outcome *signalling.Message) {
+	done := make(chan struct{})
+	close(done)
+	t.mu.Lock()
+	t.batches[batchKey(rarID, batchID)] = &batchState{
+		done: done, outcome: outcome, epoch: epoch, rarID: rarID, id: batchID,
+	}
+	t.mu.Unlock()
+}
+
+// dropBatches evicts replay-cache entries for a torn-down tunnel
+// registration (matching epoch only — a re-established tunnel keeps
+// its own batches).
+func (t *tunnelRegistry) dropBatches(rarID string, epoch int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, st := range t.batches {
+		if st.rarID == rarID && st.epoch == epoch {
+			delete(t.batches, k)
+		}
+	}
+}
+
+// settledBatches snapshots the replay cache for journal rotation,
+// sorted for deterministic bytes. In-flight entries are skipped: they
+// journal themselves when they settle, after the rotation completes.
+func (t *tunnelRegistry) settledBatches() []tunnelBatchSnap {
+	t.mu.Lock()
+	out := make([]tunnelBatchSnap, 0, len(t.batches))
+	for _, st := range t.batches {
+		if st.outcome == nil {
+			continue
+		}
+		out = append(out, tunnelBatchSnap{RARID: st.rarID, Epoch: st.epoch, BatchID: st.id, Outcome: st.outcome})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RARID != out[j].RARID {
+			return out[i].RARID < out[j].RARID
+		}
+		return out[i].BatchID < out[j].BatchID
+	})
+	return out
 }
 
 // Handle implements signalling.Handler: the broker's message dispatch.
@@ -47,6 +148,11 @@ func (b *BB) Handle(peer signalling.Peer, msg *signalling.Message) *signalling.M
 			return signalling.ErrorResult("tunnel-release message without payload")
 		}
 		return b.handleTunnelRelease(peer, msg.TunnelRelease)
+	case signalling.MsgTunnelBatch:
+		if msg.TunnelBatch == nil {
+			return signalling.ErrorResult("tunnel-batch message without payload")
+		}
+		return b.handleTunnelBatch(peer, msg.TunnelBatch)
 	case signalling.MsgStatus:
 		if msg.Status == nil {
 			return signalling.ErrorResult("status message without payload")
@@ -374,15 +480,23 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		return resp
 	}
 
+	// Tunnel registration happens before the grant is recorded: a RAR
+	// id colliding with a live tunnel must surface as a denial (with the
+	// admission rolled back and the downstream chain cancelled), not
+	// silently shadow the existing endpoint.
+	if fromUser && spec.Tunnel {
+		if err := b.registerTunnelSource(spec, downstream.Result); err != nil {
+			b.rollback(r.Handle, spec.RARID, "tunnel registration failed")
+			b.cancelDownstream(nd.BBDN, spec.RARID)
+			return b.deny(spec.RARID, fmt.Sprintf("%s: tunnel registration: %v", b.cfg.Domain, err))
+		}
+	}
 	// Grant: record state, configure the data plane, stack our signed
 	// approval on top of the downstream ones.
 	b.recordRoute(spec, r.Handle, nd.BBDN, fromUser, peer)
 	if fromUser {
 		// Source domain: program the per-flow edge marker.
 		b.installEdgeFlow(spec)
-		if spec.Tunnel {
-			b.registerTunnelSource(spec, downstream.Result)
-		}
 	}
 	b.syncDataPlane()
 	resp := &signalling.Message{Type: signalling.MsgResult, Result: &signalling.ResultPayload{
@@ -402,12 +516,17 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 // local-mode reservation).
 func (b *BB) finishGrant(peer signalling.Peer, verified *core.VerifiedRequest, r *resv.Reservation, fromUser, isDest bool) *signalling.Message {
 	spec := verified.Spec
+	if isDest && spec.Tunnel {
+		// Register before granting: a duplicate tunnel RAR id is a
+		// denial, not a silent shadow of the live endpoint.
+		if err := b.registerTunnelDest(verified, peer); err != nil {
+			b.rollback(r.Handle, spec.RARID, "tunnel registration failed")
+			return b.deny(spec.RARID, fmt.Sprintf("%s: tunnel registration: %v", b.cfg.Domain, err))
+		}
+	}
 	b.recordRoute(spec, r.Handle, "", fromUser, peer)
 	if fromUser {
 		b.installEdgeFlow(spec)
-	}
-	if isDest && spec.Tunnel {
-		b.registerTunnelDest(verified, peer)
 	}
 	b.syncDataPlane()
 	resp := signalling.OKResult(r.Handle)
@@ -481,11 +600,18 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	// the entry is gone from the live map either way, and a recovered
 	// broker must agree.
 	b.journalRARCancel(payload.RARID, st.epoch)
+	// Tear the tunnel endpoint down before the table cancel can bail
+	// out: the route entry is already gone, and a stale endpoint left
+	// behind would collide with a re-establishment of the same RAR id.
+	if ep, live := b.tunnels.reg.Get(payload.RARID); live {
+		b.tunnels.reg.Remove(payload.RARID)
+		b.tunnels.dropBatches(payload.RARID, ep.Epoch)
+		b.journalTunnelRemove(payload.RARID, ep.Epoch)
+	}
+	b.removeEdgeFlow(payload.RARID)
 	if err := b.table.Cancel(st.handle); err != nil {
 		return signalling.ErrorResult(fmt.Sprintf("%s: %v", b.cfg.Domain, err))
 	}
-	b.removeEdgeFlow(payload.RARID)
-	b.tunnels.reg.Remove(payload.RARID)
 	b.syncDataPlane()
 	// Propagate downstream along the recorded path (best effort, under
 	// the call deadline: a dead hop must not wedge the cancel chain).
@@ -528,8 +654,10 @@ func (b *BB) handleStatus(payload *signalling.StatusPayload) *signalling.Message
 // registerTunnelDest records the tunnel endpoint at the destination
 // domain; the authenticated source broker (the first BB on the path)
 // is the only entity allowed to drive sub-flow allocations over the
-// direct channel.
-func (b *BB) registerTunnelDest(verified *core.VerifiedRequest, peer signalling.Peer) {
+// direct channel. A duplicate RAR id — the establishing reservation of
+// a still-live tunnel — is an error the caller must surface as a
+// denial, not swallow.
+func (b *BB) registerTunnelDest(verified *core.VerifiedRequest, peer signalling.Peer) error {
 	spec := verified.Spec
 	sourceBB := peer.DN
 	if len(verified.Path) > 1 {
@@ -537,15 +665,15 @@ func (b *BB) registerTunnelDest(verified *core.VerifiedRequest, peer signalling.
 	}
 	ep, err := tunnel.NewEndpoint(spec.RARID, spec.Bandwidth, spec.Window, sourceBB, spec.User)
 	if err != nil {
-		return
+		return err
 	}
-	_ = b.tunnels.reg.Add(ep)
+	return b.registerTunnel(ep)
 }
 
 // registerTunnelSource records the tunnel endpoint at the source
 // domain, remembering the destination broker from the signed
 // approvals so sub-flow requests can go directly to it.
-func (b *BB) registerTunnelSource(spec *core.Spec, result *signalling.ResultPayload) {
+func (b *BB) registerTunnelSource(spec *core.Spec, result *signalling.ResultPayload) error {
 	var destBB identity.DN
 	for _, a := range result.Approvals {
 		if a.Domain == spec.DestDomain && a.Granted {
@@ -555,41 +683,157 @@ func (b *BB) registerTunnelSource(spec *core.Spec, result *signalling.ResultPayl
 	}
 	ep, err := tunnel.NewEndpoint(spec.RARID, spec.Bandwidth, spec.Window, destBB, spec.User)
 	if err != nil {
-		return
+		return err
 	}
-	_ = b.tunnels.reg.Add(ep)
+	return b.registerTunnel(ep)
+}
+
+// registerTunnel stamps the endpoint with a fresh registration epoch,
+// adds it to the registry (duplicate RAR ids are refused) and journals
+// the establishment.
+func (b *BB) registerTunnel(ep *tunnel.Endpoint) error {
+	b.mu.Lock()
+	b.rarEpoch++
+	ep.Epoch = b.rarEpoch
+	b.mu.Unlock()
+	if err := b.tunnels.reg.Add(ep); err != nil {
+		return err
+	}
+	b.journalTunnel(ep)
+	return nil
+}
+
+// RegisterTunnelEndpoint registers a pre-provisioned tunnel endpoint at
+// this broker (an out-of-band established aggregate); the registration
+// is journaled like one created through the signalling path. Duplicate
+// RAR ids are refused.
+func (b *BB) RegisterTunnelEndpoint(ep *tunnel.Endpoint) error {
+	return b.registerTunnel(ep)
+}
+
+// tunnelFor resolves a tunnel endpoint and checks that the peer is
+// authorized on it: only the broker authenticated during establishment
+// (or the tunnel owner, for the source side) may drive sub-flows.
+func (b *BB) tunnelFor(peer signalling.Peer, rarID string) (*tunnel.Endpoint, string) {
+	ep, ok := b.tunnels.reg.Get(rarID)
+	if !ok {
+		return nil, fmt.Sprintf("%s: no tunnel %s", b.cfg.Domain, rarID)
+	}
+	if peer.DN != ep.PeerBB && peer.DN != ep.Owner {
+		return nil, fmt.Sprintf("%s: %s is not authorized on tunnel %s", b.cfg.Domain, peer.DN, rarID)
+	}
+	return ep, ""
 }
 
 func (b *BB) handleTunnelAlloc(peer signalling.Peer, payload *signalling.TunnelAllocPayload) *signalling.Message {
-	ep, ok := b.tunnels.reg.Get(payload.TunnelRARID)
-	if !ok {
-		return signalling.ErrorResult(fmt.Sprintf("%s: no tunnel %s", b.cfg.Domain, payload.TunnelRARID))
+	ep, reason := b.tunnelFor(peer, payload.TunnelRARID)
+	if ep == nil {
+		return signalling.ErrorResult(reason)
 	}
-	// Only the peer broker authenticated during tunnel establishment
-	// (or the tunnel owner, for the source side) may allocate.
-	if peer.DN != ep.PeerBB && peer.DN != ep.Owner {
-		return signalling.ErrorResult(fmt.Sprintf("%s: %s is not authorized on tunnel %s",
-			b.cfg.Domain, peer.DN, payload.TunnelRARID))
-	}
-	if err := ep.Allocate(payload.SubFlowID, units.Bandwidth(payload.Bandwidth)); err != nil {
+	gen, err := ep.Allocate(payload.SubFlowID, units.Bandwidth(payload.Bandwidth))
+	if err != nil {
+		b.m.tunnelDenied.Inc()
 		return signalling.ErrorResult(err.Error())
 	}
+	b.m.tunnelAllocs.Inc()
+	b.journalTunnelAlloc(ep, payload.SubFlowID, units.Bandwidth(payload.Bandwidth), gen)
 	return signalling.OKResult(payload.SubFlowID)
 }
 
 func (b *BB) handleTunnelRelease(peer signalling.Peer, payload *signalling.TunnelReleasePayload) *signalling.Message {
-	ep, ok := b.tunnels.reg.Get(payload.TunnelRARID)
-	if !ok {
-		return signalling.ErrorResult(fmt.Sprintf("%s: no tunnel %s", b.cfg.Domain, payload.TunnelRARID))
+	ep, reason := b.tunnelFor(peer, payload.TunnelRARID)
+	if ep == nil {
+		return signalling.ErrorResult(reason)
 	}
-	if peer.DN != ep.PeerBB && peer.DN != ep.Owner {
-		return signalling.ErrorResult(fmt.Sprintf("%s: %s is not authorized on tunnel %s",
-			b.cfg.Domain, peer.DN, payload.TunnelRARID))
-	}
-	if err := ep.Release(payload.SubFlowID); err != nil {
+	_, gen, err := ep.Release(payload.SubFlowID)
+	if err != nil {
+		b.m.tunnelDenied.Inc()
 		return signalling.ErrorResult(err.Error())
 	}
+	b.m.tunnelReleases.Inc()
+	b.journalTunnelRelease(ep, payload.SubFlowID, gen)
 	return signalling.OKResult(payload.SubFlowID)
+}
+
+// handleTunnelBatch applies many sub-flow ops in one RPC. Batches are
+// idempotent: the first copy applies the ops, journals one record
+// (applied ops + outcome) and caches the outcome; a retransmission with
+// the same batch id — including one racing the original mid-flight —
+// gets the recorded outcome instead of a second application.
+func (b *BB) handleTunnelBatch(peer signalling.Peer, payload *signalling.TunnelBatchPayload) *signalling.Message {
+	t0 := time.Now()
+	if err := payload.Validate(); err != nil {
+		return signalling.ErrorResult(err.Error())
+	}
+	ep, reason := b.tunnelFor(peer, payload.TunnelRARID)
+	if ep == nil {
+		return signalling.ErrorResult(reason)
+	}
+	st, dup := b.tunnels.begin(payload.TunnelRARID, payload.BatchID, ep.Epoch)
+	if dup {
+		<-st.done
+		b.m.tunnelBatchReplays.Inc()
+		b.log.Info("tunnel: replaying recorded batch outcome",
+			obs.AttrRAR, payload.TunnelRARID, obs.AttrPeer, string(peer.DN), "batch", payload.BatchID)
+		if outcome := b.tunnels.outcomeOf(st); outcome != nil {
+			resp := *outcome // shallow copy: Serve stamps the per-call ID
+			return &resp
+		}
+		return signalling.ErrorResult(fmt.Sprintf("%s: batch %s settled without outcome", b.cfg.Domain, payload.BatchID))
+	}
+	results := make([]signalling.TunnelOpResult, len(payload.Ops))
+	applied := make([]tunnelOpRec, 0, len(payload.Ops))
+	granted := true
+	for i, op := range payload.Ops {
+		results[i].SubFlowID = op.SubFlowID
+		switch op.Action {
+		case signalling.OpAlloc:
+			gen, err := ep.Allocate(op.SubFlowID, units.Bandwidth(op.Bandwidth))
+			if err != nil {
+				results[i].Reason = err.Error()
+				granted = false
+				b.m.tunnelDenied.Inc()
+				continue
+			}
+			results[i].Granted = true
+			b.m.tunnelAllocs.Inc()
+			applied = append(applied, tunnelOpRec{Action: "alloc", SubFlowID: op.SubFlowID, Bandwidth: op.Bandwidth, Gen: gen})
+		case signalling.OpRelease:
+			_, gen, err := ep.Release(op.SubFlowID)
+			if err != nil {
+				results[i].Reason = err.Error()
+				granted = false
+				b.m.tunnelDenied.Inc()
+				continue
+			}
+			results[i].Granted = true
+			b.m.tunnelReleases.Inc()
+			applied = append(applied, tunnelOpRec{Action: "release", SubFlowID: op.SubFlowID, Gen: gen})
+		}
+	}
+	// Dense success path: a fully-granted batch answers with the single
+	// granted bit — the sender knows its own op list, so per-op results
+	// only enumerate when some op was denied. On large batches the
+	// results array would otherwise dominate the response frame.
+	resp := &signalling.Message{Type: signalling.MsgResult, Result: &signalling.ResultPayload{Granted: granted}}
+	if !granted {
+		denied := 0
+		for _, r := range results {
+			if !r.Granted {
+				denied++
+			}
+		}
+		resp.Result.BatchResults = results
+		resp.Result.Reason = fmt.Sprintf("%s: %d/%d ops denied", b.cfg.Domain, denied, len(results))
+	}
+	// Journal the outcome before releasing duplicate waiters, so a
+	// retransmission never observes an unjournaled application.
+	b.journalTunnelBatch(ep, payload.BatchID, applied, resp)
+	b.tunnels.settle(st, resp)
+	b.m.tunnelBatches.Inc()
+	b.m.tunnelBatchSeconds.ObserveSince(t0)
+	b.maybeCheckpoint()
+	return resp
 }
 
 // AllocateTunnelFlow is the source-side API: allocate a sub-flow
@@ -600,7 +844,8 @@ func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidt
 	if !ok {
 		return fmt.Errorf("bb %s: no tunnel %s", b.cfg.Domain, tunnelRARID)
 	}
-	if err := ep.Allocate(subFlowID, bw); err != nil {
+	if err := b.localAlloc(ep, subFlowID, bw); err != nil {
+		b.m.tunnelDenied.Inc()
 		return err
 	}
 	resp, _, err := b.callPeer(ep.PeerBB, &signalling.Message{
@@ -615,7 +860,7 @@ func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidt
 	if err != nil {
 		// Roll back the local half; the destination may or may not
 		// have allocated, so best-effort release there too.
-		_ = ep.Release(subFlowID)
+		b.localRelease(ep, subFlowID)
 		go func() {
 			if client, cerr := b.clientFor(ep.PeerBB); cerr == nil {
 				_, _ = client.CallTimeout(&signalling.Message{
@@ -627,13 +872,14 @@ func (b *BB) AllocateTunnelFlow(tunnelRARID, subFlowID string, bw units.Bandwidt
 		return fmt.Errorf("bb %s: tunnel alloc at destination: %w", b.cfg.Domain, err)
 	}
 	if resp.Result == nil || !resp.Result.Granted {
-		_ = ep.Release(subFlowID)
+		b.localRelease(ep, subFlowID)
 		reason := "no result"
 		if resp.Result != nil {
 			reason = resp.Result.Reason
 		}
 		return fmt.Errorf("bb %s: destination refused sub-flow: %s", b.cfg.Domain, reason)
 	}
+	b.m.tunnelAllocs.Inc()
 	return nil
 }
 
@@ -643,9 +889,12 @@ func (b *BB) ReleaseTunnelFlow(tunnelRARID, subFlowID string) error {
 	if !ok {
 		return fmt.Errorf("bb %s: no tunnel %s", b.cfg.Domain, tunnelRARID)
 	}
-	if err := ep.Release(subFlowID); err != nil {
+	_, gen, err := ep.Release(subFlowID)
+	if err != nil {
 		return err
 	}
+	b.journalTunnelRelease(ep, subFlowID, gen)
+	b.m.tunnelReleases.Inc()
 	resp, _, err := b.callPeer(ep.PeerBB, &signalling.Message{
 		Type:          signalling.MsgTunnelRelease,
 		TunnelRelease: &signalling.TunnelReleasePayload{TunnelRARID: tunnelRARID, SubFlowID: subFlowID},
@@ -657,6 +906,131 @@ func (b *BB) ReleaseTunnelFlow(tunnelRARID, subFlowID string) error {
 		return fmt.Errorf("bb %s: destination refused release", b.cfg.Domain)
 	}
 	return nil
+}
+
+// localAlloc / localRelease mutate the local endpoint half of a
+// two-ended sub-flow operation and journal the mutation; rollbacks go
+// through them too, so a recovered broker always agrees with the live
+// one.
+func (b *BB) localAlloc(ep *tunnel.Endpoint, subID string, bw units.Bandwidth) error {
+	gen, err := ep.Allocate(subID, bw)
+	if err != nil {
+		return err
+	}
+	b.journalTunnelAlloc(ep, subID, bw, gen)
+	return nil
+}
+
+func (b *BB) localRelease(ep *tunnel.Endpoint, subID string) {
+	if _, gen, err := ep.Release(subID); err == nil {
+		b.journalTunnelRelease(ep, subID, gen)
+	}
+}
+
+// TunnelBatch is the batched source-side API: apply many alloc/release
+// ops locally, ship the locally-successful subset to the destination in
+// one MsgTunnelBatch, and reconcile — an op succeeds only when both
+// ends applied it; local halves of remotely-denied ops are rolled back
+// (a denied alloc is released, a denied release is re-admitted with its
+// original bandwidth). A transport failure rolls back every local op;
+// the destination's replay cache makes the retransmitted batch id safe.
+// The returned results are in op order.
+func (b *BB) TunnelBatch(tunnelRARID string, ops []signalling.TunnelOp, user identity.DN) ([]signalling.TunnelOpResult, error) {
+	ep, ok := b.tunnels.reg.Get(tunnelRARID)
+	if !ok {
+		return nil, fmt.Errorf("bb %s: no tunnel %s", b.cfg.Domain, tunnelRARID)
+	}
+	payload := &signalling.TunnelBatchPayload{
+		TunnelRARID: tunnelRARID,
+		BatchID:     signalling.NewBatchID(),
+		User:        user,
+		Ops:         ops,
+	}
+	if err := payload.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]signalling.TunnelOpResult, len(ops))
+	// Local halves first; only locally-admitted ops travel to the peer.
+	remote := make([]signalling.TunnelOp, 0, len(ops))
+	remoteIdx := make([]int, 0, len(ops))
+	released := make(map[string]units.Bandwidth, len(ops)) // undo data for remote-denied releases
+	for i, op := range ops {
+		results[i].SubFlowID = op.SubFlowID
+		switch op.Action {
+		case signalling.OpAlloc:
+			if err := b.localAlloc(ep, op.SubFlowID, units.Bandwidth(op.Bandwidth)); err != nil {
+				results[i].Reason = err.Error()
+				b.m.tunnelDenied.Inc()
+				continue
+			}
+		case signalling.OpRelease:
+			bw, gen, err := ep.Release(op.SubFlowID)
+			if err != nil {
+				results[i].Reason = err.Error()
+				b.m.tunnelDenied.Inc()
+				continue
+			}
+			b.journalTunnelRelease(ep, op.SubFlowID, gen)
+			released[op.SubFlowID] = bw
+		}
+		remote = append(remote, op)
+		remoteIdx = append(remoteIdx, i)
+	}
+	if len(remote) == 0 {
+		return results, nil
+	}
+	payload.Ops = remote
+	resp, _, err := b.callPeer(ep.PeerBB, &signalling.Message{Type: signalling.MsgTunnelBatch, TunnelBatch: payload})
+	if err != nil || resp.Result == nil {
+		// Unknown destination state: undo every local half. The batch id
+		// in the destination's replay cache keeps any successful
+		// application there answerable; a fresh batch must use a fresh id.
+		for _, i := range remoteIdx {
+			b.undoLocalOp(ep, ops[i], released)
+		}
+		if err == nil {
+			err = fmt.Errorf("destination sent no result")
+		}
+		return nil, fmt.Errorf("bb %s: tunnel batch at destination: %w", b.cfg.Domain, err)
+	}
+	for k, i := range remoteIdx {
+		var rr *signalling.TunnelOpResult
+		if k < len(resp.Result.BatchResults) {
+			rr = &resp.Result.BatchResults[k]
+		}
+		if resp.Result.Granted || (rr != nil && rr.Granted) {
+			results[i].Granted = true
+			if ops[i].Action == signalling.OpAlloc {
+				b.m.tunnelAllocs.Inc()
+			} else {
+				b.m.tunnelReleases.Inc()
+			}
+			continue
+		}
+		// Destination refused (or the whole batch was refused before any
+		// op ran, leaving no per-op results): roll the local half back.
+		results[i].Reason = resp.Result.Reason
+		if rr != nil && rr.Reason != "" {
+			results[i].Reason = rr.Reason
+		}
+		b.m.tunnelDenied.Inc()
+		b.undoLocalOp(ep, ops[i], released)
+	}
+	b.m.tunnelBatches.Inc()
+	return results, nil
+}
+
+// undoLocalOp reverses the local half of a batch op whose remote half
+// failed.
+func (b *BB) undoLocalOp(ep *tunnel.Endpoint, op signalling.TunnelOp, released map[string]units.Bandwidth) {
+	switch op.Action {
+	case signalling.OpAlloc:
+		b.localRelease(ep, op.SubFlowID)
+	case signalling.OpRelease:
+		if bw, ok := released[op.SubFlowID]; ok {
+			_ = b.localAlloc(ep, op.SubFlowID, bw)
+		}
+	}
 }
 
 // Tunnel exposes a tunnel endpoint for inspection.

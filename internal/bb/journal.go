@@ -10,6 +10,8 @@ import (
 	"e2eqos/internal/journal"
 	"e2eqos/internal/resv"
 	"e2eqos/internal/signalling"
+	"e2eqos/internal/tunnel"
+	"e2eqos/internal/units"
 )
 
 // Journal record vocabulary for the broker's own durable state: the
@@ -19,6 +21,17 @@ import (
 const (
 	opRAR       = "bb.rar"
 	opRARCancel = "bb.rar_cancel"
+	// Tunnel vocabulary: endpoint lifecycle plus the per-sub-flow hot
+	// path. Sub-flow records carry the endpoint generation minted under
+	// the mutated flow's shard lock; emit-after-unlock means the WAL
+	// interleaving of records for *different* sub-flows can disagree
+	// with generation order, so recovery re-sorts by generation before
+	// applying (see applyTunnelOps).
+	opTunnel        = "bb.tunnel"
+	opTunnelRemove  = "bb.tunnel_remove"
+	opTunnelAlloc   = "bb.tunnel_alloc"
+	opTunnelRelease = "bb.tunnel_release"
+	opTunnelBatch   = "bb.tunnel_batch"
 )
 
 // rarRec journals one settled RAR entry: the route bookkeeping plus
@@ -42,13 +55,56 @@ type rarCancelRec struct {
 	Epoch int64  `json:"epoch"`
 }
 
+// tunnelOpRec is one applied sub-flow mutation. Bandwidth is set for
+// allocations only.
+type tunnelOpRec struct {
+	Action    string `json:"action"` // "alloc" or "release"
+	SubFlowID string `json:"sub_flow_id"`
+	Bandwidth int64  `json:"bandwidth,omitempty"`
+	Gen       int64  `json:"gen"`
+}
+
+// tunnelOpRecord journals one sub-flow mutation outside a batch. Epoch
+// pins the op to a specific registration of the tunnel RAR id, exactly
+// like rarCancelRec does for routes.
+type tunnelOpRecord struct {
+	RARID string `json:"rar_id"`
+	Epoch int64  `json:"epoch"`
+	tunnelOpRec
+}
+
+// tunnelBatchRec journals an applied batch atomically: the ops that
+// actually mutated the endpoint (with their generations) plus the
+// outcome message replayed verbatim on retransmission. One record per
+// batch is what makes batching cheap on the journal too.
+type tunnelBatchRec struct {
+	RARID   string              `json:"rar_id"`
+	Epoch   int64               `json:"epoch"`
+	BatchID string              `json:"batch_id"`
+	Ops     []tunnelOpRec       `json:"ops,omitempty"`
+	Outcome *signalling.Message `json:"outcome,omitempty"`
+}
+
+// tunnelBatchSnap is the snapshot form of a settled batch: the ops are
+// already reflected in the endpoint snapshot, only the replay-cache
+// entry survives.
+type tunnelBatchSnap struct {
+	RARID   string              `json:"rar_id"`
+	Epoch   int64               `json:"epoch"`
+	BatchID string              `json:"batch_id"`
+	Outcome *signalling.Message `json:"outcome,omitempty"`
+}
+
 // brokerState is the rotated snapshot: the reservation table plus
-// every settled RAR entry, with the epoch counter so recovered brokers
-// keep minting unique epochs.
+// every settled RAR entry, the tunnel endpoints with their live
+// sub-flows, the batch replay cache, and the epoch counter so
+// recovered brokers keep minting unique epochs.
 type brokerState struct {
-	Table json.RawMessage `json:"table"`
-	RARs  []rarRec        `json:"rars,omitempty"`
-	Epoch int64           `json:"epoch"`
+	Table         json.RawMessage           `json:"table"`
+	RARs          []rarRec                  `json:"rars,omitempty"`
+	Tunnels       []tunnel.EndpointSnapshot `json:"tunnels,omitempty"`
+	TunnelBatches []tunnelBatchSnap         `json:"tunnel_batches,omitempty"`
+	Epoch         int64                     `json:"epoch"`
 }
 
 // openJournal opens (or creates) the broker's journal directory,
@@ -121,11 +177,28 @@ func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 		for _, r := range st.RARs {
 			b.routes[r.RARID] = recoveredRARState(r)
 		}
+		for _, ts := range st.Tunnels {
+			ep, err := tunnel.Restore(ts)
+			if err != nil {
+				return 0, fmt.Errorf("restoring tunnel %s: %w", ts.RARID, err)
+			}
+			b.tunnels.reg.Replace(ep)
+		}
+		for _, bs := range st.TunnelBatches {
+			b.tunnels.restoreBatch(bs.RARID, bs.Epoch, bs.BatchID, bs.Outcome)
+		}
 	}
 	applied, err := resv.Replay(b.table, rec.Records)
 	if err != nil {
 		return applied, err
 	}
+	// Sub-flow mutations are collected during the scan and applied per
+	// endpoint in generation order afterwards: emit-after-unlock lets
+	// WAL order scramble records for distinct sub-flows, and establish /
+	// remove records interleave with them. The epoch filter in
+	// applyTunnelOps discards ops against registrations that did not
+	// survive the scan.
+	var tunnelOps []tunnelOpRecord
 	for _, r := range rec.Records {
 		switch r.Op {
 		case opRAR:
@@ -157,9 +230,99 @@ func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 				delete(b.routes, cr.RARID)
 			}
 			applied++
+		case opTunnel:
+			var ts tunnel.EndpointSnapshot
+			if err := r.Decode(&ts); err != nil {
+				return applied, err
+			}
+			if ts.Epoch > b.rarEpoch {
+				b.rarEpoch = ts.Epoch
+			}
+			// The higher epoch is always the later registration of a
+			// reused tunnel RAR id.
+			if cur, ok := b.tunnels.reg.Get(ts.RARID); ok && cur.Epoch > ts.Epoch {
+				break
+			}
+			ep, err := tunnel.Restore(ts)
+			if err != nil {
+				return applied, fmt.Errorf("restoring tunnel %s: %w", ts.RARID, err)
+			}
+			b.tunnels.reg.Replace(ep)
+			applied++
+		case opTunnelRemove:
+			var cr rarCancelRec
+			if err := r.Decode(&cr); err != nil {
+				return applied, err
+			}
+			if cr.Epoch > b.rarEpoch {
+				b.rarEpoch = cr.Epoch
+			}
+			if cur, ok := b.tunnels.reg.Get(cr.RARID); ok && cur.Epoch == cr.Epoch {
+				b.tunnels.reg.Remove(cr.RARID)
+			}
+			applied++
+		case opTunnelAlloc, opTunnelRelease:
+			var tr tunnelOpRecord
+			if err := r.Decode(&tr); err != nil {
+				return applied, err
+			}
+			tunnelOps = append(tunnelOps, tr)
+			applied++
+		case opTunnelBatch:
+			var br tunnelBatchRec
+			if err := r.Decode(&br); err != nil {
+				return applied, err
+			}
+			for _, op := range br.Ops {
+				tunnelOps = append(tunnelOps, tunnelOpRecord{RARID: br.RARID, Epoch: br.Epoch, tunnelOpRec: op})
+			}
+			b.tunnels.restoreBatch(br.RARID, br.Epoch, br.BatchID, br.Outcome)
+			applied++
 		}
 	}
+	if err := b.applyTunnelOps(tunnelOps); err != nil {
+		return applied, err
+	}
 	return applied, nil
+}
+
+// applyTunnelOps replays collected sub-flow mutations: grouped per
+// tunnel, filtered to the registration (epoch) that survived the scan,
+// sorted by generation, applied through the endpoint's idempotent
+// replay entry points (which skip anything already reflected in the
+// snapshot the endpoint was restored from).
+func (b *BB) applyTunnelOps(ops []tunnelOpRecord) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	byRAR := make(map[string][]tunnelOpRecord)
+	for _, op := range ops {
+		byRAR[op.RARID] = append(byRAR[op.RARID], op)
+	}
+	for rarID, group := range byRAR {
+		ep, ok := b.tunnels.reg.Get(rarID)
+		if !ok {
+			continue // tunnel removed later in the log
+		}
+		live := group[:0]
+		for _, op := range group {
+			if op.Epoch == ep.Epoch {
+				live = append(live, op)
+			}
+		}
+		sort.Slice(live, func(i, j int) bool { return live[i].Gen < live[j].Gen })
+		for _, op := range live {
+			switch op.Action {
+			case "alloc":
+				if err := ep.ReplayAlloc(op.SubFlowID, units.Bandwidth(op.Bandwidth), op.Gen); err != nil {
+					return err
+				}
+			case "release":
+				ep.ReplayRelease(op.SubFlowID, op.Gen)
+			}
+		}
+	}
+	return nil
 }
 
 // recoveredRARState rebuilds an in-memory route entry from its record.
@@ -207,7 +370,64 @@ func (b *BB) snapshotState() ([]byte, error) {
 	}
 	b.mu.Unlock()
 	sort.Slice(st.RARs, func(i, j int) bool { return st.RARs[i].RARID < st.RARs[j].RARID })
+	// Registry.All is sorted by RAR id and Endpoint.Snapshot sorts
+	// sub-flows, so identical state always marshals identically.
+	for _, ep := range b.tunnels.reg.All() {
+		st.Tunnels = append(st.Tunnels, ep.Snapshot())
+	}
+	st.TunnelBatches = b.tunnels.settledBatches()
 	return json.Marshal(st)
+}
+
+// journalTunnel appends a tunnel-establishment record: the endpoint's
+// full descriptor (no sub-flows yet). Called after registration with no
+// locks held.
+func (b *BB) journalTunnel(ep *tunnel.Endpoint) {
+	if b.journal == nil {
+		return
+	}
+	_ = b.journal.Append(opTunnel, ep.Snapshot())
+}
+
+// journalTunnelRemove appends the teardown of a tunnel registration.
+func (b *BB) journalTunnelRemove(rarID string, epoch int64) {
+	if b.journal == nil {
+		return
+	}
+	_ = b.journal.Append(opTunnelRemove, rarCancelRec{RARID: rarID, Epoch: epoch})
+}
+
+// journalTunnelAlloc appends one admitted sub-flow (non-batch path).
+func (b *BB) journalTunnelAlloc(ep *tunnel.Endpoint, subID string, bw units.Bandwidth, gen int64) {
+	if b.journal == nil {
+		return
+	}
+	_ = b.journal.Append(opTunnelAlloc, tunnelOpRecord{
+		RARID: ep.RARID, Epoch: ep.Epoch,
+		tunnelOpRec: tunnelOpRec{Action: "alloc", SubFlowID: subID, Bandwidth: int64(bw), Gen: gen},
+	})
+}
+
+// journalTunnelRelease appends one released sub-flow (non-batch path).
+func (b *BB) journalTunnelRelease(ep *tunnel.Endpoint, subID string, gen int64) {
+	if b.journal == nil {
+		return
+	}
+	_ = b.journal.Append(opTunnelRelease, tunnelOpRecord{
+		RARID: ep.RARID, Epoch: ep.Epoch,
+		tunnelOpRec: tunnelOpRec{Action: "release", SubFlowID: subID, Gen: gen},
+	})
+}
+
+// journalTunnelBatch appends an applied batch: every op that mutated
+// the endpoint plus the replayable outcome, in one record.
+func (b *BB) journalTunnelBatch(ep *tunnel.Endpoint, batchID string, ops []tunnelOpRec, outcome *signalling.Message) {
+	if b.journal == nil {
+		return
+	}
+	_ = b.journal.Append(opTunnelBatch, tunnelBatchRec{
+		RARID: ep.RARID, Epoch: ep.Epoch, BatchID: batchID, Ops: ops, Outcome: outcome,
+	})
 }
 
 // journalRAR appends the settled route entry for rarID. Called after

@@ -20,6 +20,12 @@ type bbMetrics struct {
 	breakerOpens    *obs.Counter // circuit-breaker open transitions
 	replays         *obs.Counter // idempotent replays of recorded outcomes
 	clientEvictions *obs.Counter // pooled peer clients retired after faults
+	// Tunnel sub-flow hot-path counters.
+	tunnelAllocs       *obs.Counter // sub-flow allocations admitted
+	tunnelReleases     *obs.Counter // sub-flow releases applied
+	tunnelBatches      *obs.Counter // tunnel batches applied
+	tunnelBatchReplays *obs.Counter // batch retransmissions answered from the replay cache
+	tunnelDenied       *obs.Counter // sub-flow ops denied (capacity, duplicates, rollbacks)
 	// Durability-layer counters.
 	journalAppends      *obs.Counter // records appended to the journal
 	journalFsyncBatches *obs.Counter // fsyncs (one per batch under FsyncBatch)
@@ -31,6 +37,7 @@ type bbMetrics struct {
 	downstreamSeconds    *obs.Histogram // downstream round trip incl. retries
 	grantSeconds         *obs.Histogram // end-to-end grant time at the source hop
 	journalAppendSeconds *obs.Histogram // journal append latency (buffer or disk)
+	tunnelBatchSeconds   *obs.Histogram // destination-side batch application time
 	// recoverySeconds is how long the boot-time journal recovery took
 	// (0 on a memory-only broker).
 	recoverySeconds *obs.Gauge
@@ -55,6 +62,12 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		clientEvictions: r.Counter("bb_client_evictions_total",
 			"pooled peer clients retired after transport faults or dead demux loops"),
 
+		tunnelAllocs:       r.Counter("bb_tunnel_allocs_total", "tunnel sub-flow allocations admitted"),
+		tunnelReleases:     r.Counter("bb_tunnel_releases_total", "tunnel sub-flow releases applied"),
+		tunnelBatches:      r.Counter("bb_tunnel_batches_total", "tunnel sub-flow batches applied"),
+		tunnelBatchReplays: r.Counter("bb_tunnel_batch_replays_total", "batch retransmissions answered from the replay cache"),
+		tunnelDenied:       r.Counter("bb_tunnel_ops_denied_total", "tunnel sub-flow operations denied or rolled back"),
+
 		journalAppends:      r.Counter("bb_journal_appends_total", "records appended to the write-ahead journal"),
 		journalFsyncBatches: r.Counter("bb_journal_fsync_batches_total", "journal fsyncs (one per group-commit batch under the batch policy)"),
 		journalErrors:       r.Counter("bb_journal_errors_total", "journal write-path failures (durability degraded until restart)"),
@@ -65,6 +78,7 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		downstreamSeconds:    r.Histogram("bb_downstream_seconds", "downstream call round trip including retries and backoff", nil),
 		grantSeconds:         r.Histogram("bb_grant_seconds", "end-to-end grant time observed at the source hop", nil),
 		journalAppendSeconds: r.Histogram("bb_journal_append_seconds", "journal append latency as seen by the mutating call", nil),
+		tunnelBatchSeconds:   r.Histogram("bb_tunnel_batch_seconds", "destination-side tunnel batch application time", nil),
 
 		recoverySeconds: r.Gauge("bb_recovery_seconds", "boot-time journal recovery duration (0 when memory-only)"),
 	}

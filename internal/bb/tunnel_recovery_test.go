@@ -1,0 +1,215 @@
+package bb_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"e2eqos/internal/experiment"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/units"
+)
+
+// tunnelSnapshot grabs a domain's endpoint snapshot bytes for the
+// byte-identical recovery assertions (EndpointSnapshot is sorted and
+// value-typed, so equal state marshals equally).
+func tunnelSnapshot(t *testing.T, w *experiment.World, domain, rarID string) []byte {
+	t.Helper()
+	ep, ok := w.BBs[domain].Tunnel(rarID)
+	if !ok {
+		t.Fatalf("%s: no tunnel %s", domain, rarID)
+	}
+	data, err := json.Marshal(ep.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTunnelCrashRecoveryFromJournal is the sub-flow analogue of the
+// reservation-table kill-and-recover regression: establish a tunnel,
+// mutate it through both the batched source API and a direct
+// destination batch, crash the destination broker hard, rebuild it
+// from its journal alone, and require (a) a byte-identical recovered
+// endpoint and (b) that a retransmitted batch is answered from the
+// recovered replay cache without double admission.
+func TestTunnelCrashRecoveryFromJournal(t *testing.T) {
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains:  3,
+		Capacity:    1000 * units.Mbps,
+		CallTimeout: 2 * time.Second,
+		StateDir:    t.TempDir(),
+		FsyncPolicy: "always",
+		EnableObs:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+
+	spec := u.NewSpec(experiment.SpecOptions{
+		DestDomain: w.DestDomain(), Bandwidth: 100 * units.Mbps, Tunnel: true,
+	})
+	if res, err := u.ReserveE2E(spec); err != nil || !res.Granted {
+		t.Fatalf("tunnel establishment: res=%+v err=%v", res, err)
+	}
+	src, dest := w.SourceDomain(), w.DestDomain()
+
+	// Populate the tunnel through the batched two-endpoint path.
+	var ops []signalling.TunnelOp
+	for i := 0; i < 8; i++ {
+		ops = append(ops, signalling.TunnelOp{
+			Action: signalling.OpAlloc, SubFlowID: fmt.Sprintf("sub-%d", i), Bandwidth: int64(5 * units.Mbps),
+		})
+	}
+	results, err := w.BBs[src].TunnelBatch(spec.RARID, ops, u.DN())
+	if err != nil {
+		t.Fatalf("source batch: %v", err)
+	}
+	for _, r := range results {
+		if !r.Granted {
+			t.Fatalf("source batch denied %s: %s", r.SubFlowID, r.Reason)
+		}
+	}
+
+	// One more batch sent straight to the destination with a pinned
+	// batch id — the retransmission vehicle. It churns existing flows
+	// (release + re-style alloc) so replay ordering matters.
+	batch := &signalling.TunnelBatchPayload{
+		TunnelRARID: spec.RARID,
+		BatchID:     "B-pinned-retransmit",
+		User:        u.DN(),
+		Ops: []signalling.TunnelOp{
+			{Action: signalling.OpRelease, SubFlowID: "sub-3"},
+			{Action: signalling.OpAlloc, SubFlowID: "sub-9", Bandwidth: int64(20 * units.Mbps)},
+			{Action: signalling.OpRelease, SubFlowID: "sub-5"},
+		},
+	}
+	res1, err := u.TunnelBatch(dest, batch)
+	if err != nil || !res1.Granted {
+		t.Fatalf("direct destination batch: res=%+v err=%v", res1, err)
+	}
+
+	epPre, ok := w.BBs[dest].Tunnel(spec.RARID)
+	if !ok {
+		t.Fatal("destination lost the tunnel endpoint")
+	}
+	usedPre := epPre.Used()
+	want := tunnelSnapshot(t, w, dest, spec.RARID)
+
+	// Kill the destination the hard way and rebuild it from disk.
+	if err := w.CrashDomain(dest); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RestartDomainFromJournal(dest); err != nil {
+		t.Fatal(err)
+	}
+
+	got := tunnelSnapshot(t, w, dest, spec.RARID)
+	if !bytes.Equal(want, got) {
+		t.Errorf("recovered tunnel endpoint differs from pre-crash state\n want: %s\n  got: %s", want, got)
+	}
+
+	// Retransmit the settled batch verbatim. The user's pooled
+	// connection died with the broker; drop it and redial. The rebuilt
+	// broker must answer from its recovered replay cache — identical
+	// per-op results, not a single op re-applied.
+	u.Close()
+	res2, err := u.TunnelBatch(dest, batch)
+	if err != nil {
+		t.Fatalf("retransmitted batch after recovery: %v", err)
+	}
+	r1, _ := json.Marshal(res1.BatchResults)
+	r2, _ := json.Marshal(res2.BatchResults)
+	if res2.Granted != res1.Granted || !bytes.Equal(r1, r2) {
+		t.Errorf("retransmission results differ\n want: granted=%t %s\n  got: granted=%t %s",
+			res1.Granted, r1, res2.Granted, r2)
+	}
+	epPost, ok := w.BBs[dest].Tunnel(spec.RARID)
+	if !ok {
+		t.Fatal("tunnel endpoint vanished after retransmission")
+	}
+	if epPost.Used() != usedPre {
+		t.Errorf("retransmission changed the allocated total: %v, want %v", epPost.Used(), usedPre)
+	}
+	if got := tunnelSnapshot(t, w, dest, spec.RARID); !bytes.Equal(want, got) {
+		t.Errorf("tunnel state changed after retransmitted batch")
+	}
+	if n := w.Metrics[dest].Snapshot()["bb_tunnel_batch_replays_total"]; n < 1 {
+		t.Errorf("bb_tunnel_batch_replays_total = %v, want >= 1", n)
+	}
+
+	// The source side keeps working against the recovered destination:
+	// a fresh batch over the healed channel must apply at both ends.
+	more := []signalling.TunnelOp{
+		{Action: signalling.OpAlloc, SubFlowID: "post-crash", Bandwidth: int64(units.Mbps)},
+	}
+	results, err = w.BBs[src].TunnelBatch(spec.RARID, more, u.DN())
+	if err != nil || !results[0].Granted {
+		t.Fatalf("post-recovery batch: results=%+v err=%v", results, err)
+	}
+	if _, ok := epPost.Lookup("post-crash"); !ok {
+		t.Error("post-recovery allocation missing at the destination")
+	}
+}
+
+// TestTunnelGracefulRestartKeepsSubFlows covers the group-commit path:
+// a graceful stop (journal flushed on Close) followed by a rebuild must
+// reproduce the endpoint exactly, including sub-flows journaled through
+// the non-batched single-op handlers.
+func TestTunnelGracefulRestartKeepsSubFlows(t *testing.T) {
+	w, err := experiment.BuildWorld(experiment.WorldConfig{
+		NumDomains:  2,
+		Capacity:    1000 * units.Mbps,
+		CallTimeout: 2 * time.Second,
+		StateDir:    t.TempDir(),
+		FsyncPolicy: "batch",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+
+	spec := u.NewSpec(experiment.SpecOptions{
+		DestDomain: w.DestDomain(), Bandwidth: 50 * units.Mbps, Tunnel: true,
+	})
+	if res, err := u.ReserveE2E(spec); err != nil || !res.Granted {
+		t.Fatalf("tunnel establishment: res=%+v err=%v", res, err)
+	}
+	src := w.BBs[w.SourceDomain()]
+	for i := 0; i < 4; i++ {
+		if err := src.AllocateTunnelFlow(spec.RARID, fmt.Sprintf("f-%d", i), 10*units.Mbps, u.DN()); err != nil {
+			t.Fatalf("sub-flow %d: %v", i, err)
+		}
+	}
+	if err := src.ReleaseTunnelFlow(spec.RARID, "f-2"); err != nil {
+		t.Fatal(err)
+	}
+	want := tunnelSnapshot(t, w, w.DestDomain(), spec.RARID)
+
+	if err := w.StopDomain(w.DestDomain()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RestartDomainFromJournal(w.DestDomain()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tunnelSnapshot(t, w, w.DestDomain(), spec.RARID); !bytes.Equal(want, got) {
+		t.Errorf("restarted endpoint differs after graceful stop\n want: %s\n  got: %s", want, got)
+	}
+	ep, _ := w.BBs[w.DestDomain()].Tunnel(spec.RARID)
+	if ep.Used() != 30*units.Mbps || ep.Len() != 3 {
+		t.Errorf("recovered endpoint: used=%v len=%d, want 30Mb/s over 3 sub-flows", ep.Used(), ep.Len())
+	}
+}

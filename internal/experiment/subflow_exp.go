@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/units"
+)
+
+// SubFlowLoadConfig parameterises the sub-flow hot-path load generator.
+type SubFlowLoadConfig struct {
+	// Users is the number of concurrent workers hammering the tunnel.
+	Users int
+	// OpsPerUser is how many sub-flows each worker allocates.
+	OpsPerUser int
+	// BatchSizes are the arms of the sweep; 1 is the per-RPC baseline
+	// (one MsgTunnelAlloc round trip per sub-flow).
+	BatchSizes []int
+	// Domains is the path length of the establishing reservation (the
+	// sub-flow path always touches just the two ends).
+	Domains int
+	// Latency is the modelled one-way signalling latency per hop.
+	Latency time.Duration
+}
+
+// SubFlowSample is one arm of the sweep.
+type SubFlowSample struct {
+	Batch    int
+	Users    int
+	Ops      int
+	Took     time.Duration
+	PerSec   float64
+	Messages int64
+}
+
+// MeasureSubFlowLoad runs one arm: establish a tunnel over a fresh
+// world, then drive cfg.Users concurrent workers through the source
+// broker — per-RPC when batch is 1, MsgTunnelBatch otherwise — until
+// every worker has allocated cfg.OpsPerUser sub-flows.
+func MeasureSubFlowLoad(cfg SubFlowLoadConfig, batch int) (SubFlowSample, error) {
+	out := SubFlowSample{Batch: batch, Users: cfg.Users, Ops: cfg.Users * cfg.OpsPerUser}
+	need := units.Bandwidth(out.Ops+1) * units.Mbps
+	w, err := BuildWorld(WorldConfig{
+		NumDomains:  cfg.Domains,
+		Capacity:    need * 2,
+		Latency:     cfg.Latency,
+		CallTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return out, err
+	}
+	defer w.Close()
+	u, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		return out, err
+	}
+	defer u.Close()
+	spec := u.NewSpec(SpecOptions{DestDomain: w.DestDomain(), Bandwidth: need, Tunnel: true})
+	if res, err := u.ReserveE2E(spec); err != nil || !res.Granted {
+		return out, fmt.Errorf("tunnel establishment: %v %+v", err, res)
+	}
+	src := w.BBs[w.SourceDomain()]
+	w.Net.ResetCounters()
+
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	for wkr := 0; wkr < cfg.Users; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for done := 0; done < cfg.OpsPerUser; {
+				n := batch
+				if rest := cfg.OpsPerUser - done; n > rest {
+					n = rest
+				}
+				if n == 1 {
+					id := fmt.Sprintf("u%d-s%d", wkr, done)
+					if err := src.AllocateTunnelFlow(spec.RARID, id, units.Mbps, u.DN()); err != nil {
+						failed.Add(1)
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					done++
+					continue
+				}
+				ops := make([]signalling.TunnelOp, n)
+				for i := range ops {
+					ops[i] = signalling.TunnelOp{
+						Action:    signalling.OpAlloc,
+						SubFlowID: fmt.Sprintf("u%d-s%d", wkr, done+i),
+						Bandwidth: int64(units.Mbps),
+					}
+				}
+				results, err := src.TunnelBatch(spec.RARID, ops, u.DN())
+				if err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				for _, r := range results {
+					if !r.Granted {
+						failed.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("op %s denied: %s", r.SubFlowID, r.Reason))
+						return
+					}
+				}
+				done += n
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	out.Took = time.Since(start)
+	out.Messages = w.Net.Messages()
+	if n := failed.Load(); n > 0 {
+		return out, fmt.Errorf("%d workers failed, first: %v", n, firstErr.Load())
+	}
+	ep, ok := src.Tunnel(spec.RARID)
+	if !ok || ep.Len() != out.Ops {
+		return out, fmt.Errorf("source endpoint holds %d sub-flows, want %d", ep.Len(), out.Ops)
+	}
+	out.PerSec = float64(out.Ops) / out.Took.Seconds()
+	return out, nil
+}
+
+// RunSubFlowLoad sweeps batch sizes over the tunnel sub-flow hot path:
+// the ROADMAP's millions-of-users argument lives or dies on how many
+// per-user admissions the two end domains sustain, so the table shows
+// allocations/sec per batch size against the per-RPC baseline.
+func RunSubFlowLoad(cfg SubFlowLoadConfig) (*Table, error) {
+	if cfg.Users <= 0 {
+		cfg.Users = 8
+	}
+	if cfg.OpsPerUser <= 0 {
+		cfg.OpsPerUser = 256
+	}
+	if len(cfg.BatchSizes) == 0 {
+		cfg.BatchSizes = []int{1, 8, 64}
+	}
+	if cfg.Domains < 2 {
+		cfg.Domains = 5
+	}
+	t := &Table{
+		ID: "subflows",
+		Title: fmt.Sprintf("Tunnel sub-flow throughput (%d workers x %d allocs, %d domains, %v hop latency)",
+			cfg.Users, cfg.OpsPerUser, cfg.Domains, cfg.Latency),
+		Claim:   "batched two-endpoint signalling turns the per-user admission path into the control plane's fast path",
+		Columns: []string{"batch", "allocs", "msgs", "time", "allocs/sec", "speedup"},
+	}
+	var base float64
+	for _, batch := range cfg.BatchSizes {
+		s, err := MeasureSubFlowLoad(cfg, batch)
+		if err != nil {
+			return nil, fmt.Errorf("batch=%d: %w", batch, err)
+		}
+		if base == 0 {
+			base = s.PerSec
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", s.Batch),
+			fmt.Sprintf("%d", s.Ops),
+			fmt.Sprintf("%d", s.Messages),
+			fmt.Sprintf("%.1fms", float64(s.Took.Microseconds())/1000),
+			fmt.Sprintf("%.0f", s.PerSec),
+			fmt.Sprintf("%.2fx", s.PerSec/base),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"batch=1 is the per-RPC baseline: one MsgTunnelAlloc round trip per sub-flow",
+		"all arms touch only the two end domains; intermediate brokers see none of this traffic",
+	)
+	return t, nil
+}

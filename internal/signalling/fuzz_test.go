@@ -5,13 +5,24 @@ import (
 )
 
 // FuzzDecodeMessage ensures arbitrary wire bytes never panic the
-// decoder and that accepted messages re-encode.
+// decoder and that accepted messages re-encode. Batch payloads that
+// decode must additionally never panic Validate, and batches that
+// validate must be structurally sound (no duplicate sub-flow IDs, no
+// non-positive alloc bandwidth).
 func FuzzDecodeMessage(f *testing.F) {
 	seeds := [][]byte{
 		[]byte(`{"type":"reserve","id":1,"reserve":{"mode":"e2e","envelope":{}}}`),
 		[]byte(`{"type":"cancel","id":2,"cancel":{"rar_id":"RAR-1"}}`),
 		[]byte(`{"type":"result","id":3,"result":{"granted":true,"handle":"h"}}`),
 		[]byte(`{"type":"tunnel-alloc","tunnel_alloc":{"tunnel_rar_id":"r","sub_flow_id":"s","bandwidth":1}}`),
+		[]byte(`{"type":"tunnel-batch","id":4,"tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-1","user":"/O=Grid/CN=alice","ops":[{"a":"alloc","id":"s1","bw":1000000},{"a":"release","id":"s2"}]}}`),
+		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-2","ops":[{"a":"alloc","id":"dup","bw":1},{"a":"release","id":"dup"}]}}`),
+		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-3","ops":[{"a":"alloc","id":"s","bw":0}]}}`),
+		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-4","ops":[{"a":"alloc","id":"s","bw":-5}]}}`),
+		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"","batch_id":"","ops":[]}}`),
+		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-5","ops":[{"a":"flood","id":"s"}]}}`),
+		[]byte(`{"type":"result","id":6,"result":{"granted":false,"batch_results":[{"id":"s1","ok":true},{"id":"s2","err":"no capacity"}]}}`),
+		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-7","ops":[{"a":"all`),
 		[]byte(`{}`),
 		[]byte(`null`),
 		[]byte(`[1,2,3]`),
@@ -31,6 +42,20 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if _, err := msg.Encode(); err != nil {
 			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		if b := msg.TunnelBatch; b != nil {
+			if err := b.Validate(); err == nil {
+				seen := make(map[string]struct{}, len(b.Ops))
+				for _, op := range b.Ops {
+					if _, dup := seen[op.SubFlowID]; dup {
+						t.Fatalf("validated batch has duplicate sub-flow %q", op.SubFlowID)
+					}
+					seen[op.SubFlowID] = struct{}{}
+					if op.Action == OpAlloc && op.Bandwidth <= 0 {
+						t.Fatalf("validated batch allocs %d b/s", op.Bandwidth)
+					}
+				}
+			}
 		}
 	})
 }

@@ -7,6 +7,8 @@ package signalling
 
 import (
 	"crypto/ecdsa"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -29,6 +31,11 @@ const (
 	MsgTunnelAlloc MsgType = "tunnel-alloc"
 	// MsgTunnelRelease frees a sub-flow allocation.
 	MsgTunnelRelease MsgType = "tunnel-release"
+	// MsgTunnelBatch carries many sub-flow alloc/release operations in
+	// one RPC; the result reports a per-op verdict. Batches are
+	// idempotent: a retransmission with the same BatchID is answered
+	// from the receiver's replay cache.
+	MsgTunnelBatch MsgType = "tunnel-batch"
 	// MsgStatus queries a reservation handle.
 	MsgStatus MsgType = "status"
 	// MsgResult is the response to any request.
@@ -61,6 +68,7 @@ type Message struct {
 	Cancel        *CancelPayload        `json:"cancel,omitempty"`
 	TunnelAlloc   *TunnelAllocPayload   `json:"tunnel_alloc,omitempty"`
 	TunnelRelease *TunnelReleasePayload `json:"tunnel_release,omitempty"`
+	TunnelBatch   *TunnelBatchPayload   `json:"tunnel_batch,omitempty"`
 	Status        *StatusPayload        `json:"status,omitempty"`
 	Result        *ResultPayload        `json:"result,omitempty"`
 }
@@ -103,6 +111,89 @@ type TunnelReleasePayload struct {
 	SubFlowID   string `json:"sub_flow_id"`
 }
 
+// TunnelOpAction discriminates batch operations.
+type TunnelOpAction string
+
+// Batch operation actions.
+const (
+	// OpAlloc admits a new sub-flow.
+	OpAlloc TunnelOpAction = "alloc"
+	// OpRelease frees an existing sub-flow.
+	OpRelease TunnelOpAction = "release"
+)
+
+// TunnelOp is one alloc or release inside a batch. Bandwidth (bits per
+// second) is required for alloc and ignored for release.
+// The wire keys are deliberately terse: a batch carries hundreds of
+// ops and the arrays dominate the frame, so key bytes are hot-path
+// decode cost, not readability budget.
+type TunnelOp struct {
+	Action    TunnelOpAction `json:"a"`
+	SubFlowID string         `json:"id"`
+	Bandwidth int64          `json:"bw,omitempty"`
+}
+
+// TunnelBatchPayload applies Ops, in order, against the tunnel
+// established by TunnelRARID. BatchID keys the receiver's replay
+// cache: retransmissions with the same BatchID return the recorded
+// outcome instead of re-applying the ops.
+type TunnelBatchPayload struct {
+	TunnelRARID string      `json:"tunnel_rar_id"`
+	BatchID     string      `json:"batch_id"`
+	User        identity.DN `json:"user"`
+	Ops         []TunnelOp  `json:"ops"`
+}
+
+// Validate rejects structurally bad batches before any op is applied.
+func (p *TunnelBatchPayload) Validate() error {
+	if p.TunnelRARID == "" {
+		return fmt.Errorf("signalling: batch without tunnel rar id")
+	}
+	if p.BatchID == "" {
+		return fmt.Errorf("signalling: batch without batch id")
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("signalling: empty batch")
+	}
+	seen := make(map[string]struct{}, len(p.Ops))
+	for i, op := range p.Ops {
+		if op.SubFlowID == "" {
+			return fmt.Errorf("signalling: batch op %d without sub-flow id", i)
+		}
+		if _, dup := seen[op.SubFlowID]; dup {
+			return fmt.Errorf("signalling: batch op %d: duplicate sub-flow %q", i, op.SubFlowID)
+		}
+		seen[op.SubFlowID] = struct{}{}
+		switch op.Action {
+		case OpAlloc:
+			if op.Bandwidth <= 0 {
+				return fmt.Errorf("signalling: batch op %d: non-positive bandwidth %d", i, op.Bandwidth)
+			}
+		case OpRelease:
+		default:
+			return fmt.Errorf("signalling: batch op %d: unknown action %q", i, op.Action)
+		}
+	}
+	return nil
+}
+
+// TunnelOpResult is the per-op verdict inside a batch result, in the
+// same order as the request's Ops.
+type TunnelOpResult struct {
+	SubFlowID string `json:"id"`
+	Granted   bool   `json:"ok,omitempty"`
+	Reason    string `json:"err,omitempty"`
+}
+
+// NewBatchID mints a random batch identifier.
+func NewBatchID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("signalling: batch id entropy: %v", err))
+	}
+	return "B-" + hex.EncodeToString(b[:])
+}
+
 // StatusPayload queries the reservation created under RARID.
 type StatusPayload struct {
 	RARID string `json:"rar_id"`
@@ -127,6 +218,9 @@ type ResultPayload struct {
 	// Trace accumulates per-hop spans along the return path,
 	// destination first — the observability analogue of Approvals.
 	Trace []obs.Span `json:"trace,omitempty"`
+	// BatchResults carries the per-op verdicts for a tunnel batch, in
+	// request order. Granted above is the AND of all op verdicts.
+	BatchResults []TunnelOpResult `json:"batch_results,omitempty"`
 }
 
 // DomainApproval is one domain's signed statement about a RAR.

@@ -1,6 +1,8 @@
 package tunnel
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 	"time"
@@ -36,37 +38,62 @@ func TestNewEndpointValidation(t *testing.T) {
 func TestAllocateReleaseAccounting(t *testing.T) {
 	ep := newEndpoint(t, 50*units.Mbps)
 	for i, id := range []string{"a", "b", "c", "d", "e"} {
-		if err := ep.Allocate(id, 10*units.Mbps); err != nil {
+		if _, err := ep.Allocate(id, 10*units.Mbps); err != nil {
 			t.Fatalf("allocation %d: %v", i, err)
 		}
 	}
 	if ep.Free() != 0 || ep.Used() != 50*units.Mbps {
 		t.Errorf("used=%v free=%v", ep.Used(), ep.Free())
 	}
-	if err := ep.Allocate("overflow", units.Mbps); err == nil {
+	if _, err := ep.Allocate("overflow", units.Mbps); err == nil {
 		t.Fatal("over-allocation succeeded")
 	}
-	if err := ep.Release("c"); err != nil {
-		t.Fatal(err)
+	if bw, _, err := ep.Release("c"); err != nil || bw != 10*units.Mbps {
+		t.Fatalf("release: bw=%v err=%v", bw, err)
 	}
-	if err := ep.Allocate("refill", 10*units.Mbps); err != nil {
+	if _, err := ep.Allocate("refill", 10*units.Mbps); err != nil {
 		t.Fatalf("allocation after release: %v", err)
 	}
-	if err := ep.Release("ghost"); err == nil {
+	if _, _, err := ep.Release("ghost"); err == nil {
 		t.Fatal("release of unknown sub-flow succeeded")
 	}
-	if err := ep.Allocate("a", units.Mbps); err == nil {
+	if _, err := ep.Allocate("a", units.Mbps); err == nil {
 		t.Fatal("duplicate sub-flow id accepted")
 	}
-	if err := ep.Allocate("", units.Mbps); err == nil {
+	if _, err := ep.Allocate("", units.Mbps); err == nil {
 		t.Fatal("empty sub-flow id accepted")
 	}
-	if err := ep.Allocate("neg", -1); err == nil {
+	if _, err := ep.Allocate("neg", -1); err == nil {
 		t.Fatal("negative bandwidth accepted")
 	}
 	subs := ep.SubFlows()
-	if len(subs) != 5 {
-		t.Errorf("subflows = %v", subs)
+	if len(subs) != 5 || ep.Len() != 5 {
+		t.Errorf("subflows = %v len = %d", subs, ep.Len())
+	}
+	if bw, ok := ep.Lookup("a"); !ok || bw != 10*units.Mbps {
+		t.Errorf("lookup a = %v %t", bw, ok)
+	}
+}
+
+func TestGenerationsAreStrictlyIncreasing(t *testing.T) {
+	ep := newEndpoint(t, 100*units.Mbps)
+	g1, err := ep.Allocate("a", units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g2, err := ep.Release("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ep.Allocate("a", 2*units.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(g1 < g2 && g2 < g3) {
+		t.Errorf("generations not increasing: %d %d %d", g1, g2, g3)
+	}
+	if ep.Gen() != g3 {
+		t.Errorf("Gen() = %d, want %d", ep.Gen(), g3)
 	}
 }
 
@@ -78,7 +105,7 @@ func TestConcurrentAllocationsNeverOversubscribe(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := ep.Allocate(string(rune('a'+i%26))+string(rune('0'+i/26)), units.Mbps); err == nil {
+			if _, err := ep.Allocate(string(rune('a'+i%26))+string(rune('0'+i/26)), units.Mbps); err == nil {
 				granted <- struct{}{}
 			}
 		}(i)
@@ -97,6 +124,83 @@ func TestConcurrentAllocationsNeverOversubscribe(t *testing.T) {
 	}
 }
 
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	ep := newEndpoint(t, 100*units.Mbps)
+	ep.Epoch = 7
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		if _, err := ep.Allocate(id, 5*units.Mbps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ep.Release("mid"); err != nil {
+		t.Fatal(err)
+	}
+	snap := ep.Snapshot()
+	if len(snap.SubFlows) != 2 || snap.SubFlows[0].ID != "alpha" || snap.SubFlows[1].ID != "zeta" {
+		t.Fatalf("snapshot sub-flows not sorted: %+v", snap.SubFlows)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Used() != ep.Used() || restored.Len() != ep.Len() ||
+		restored.Gen() != ep.Gen() || restored.Epoch != ep.Epoch {
+		t.Errorf("restored endpoint differs: used=%v len=%d gen=%d epoch=%d",
+			restored.Used(), restored.Len(), restored.Gen(), restored.Epoch)
+	}
+	a, _ := json.Marshal(snap)
+	b, _ := json.Marshal(restored.Snapshot())
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshot not byte-identical after restore:\n a: %s\n b: %s", a, b)
+	}
+}
+
+func TestRestoreRejectsOvercommit(t *testing.T) {
+	snap := EndpointSnapshot{
+		RARID:     "RAR-over",
+		Aggregate: units.Mbps,
+		Window:    units.NewWindow(time.Now(), time.Hour),
+		SubFlows:  []SubFlow{{ID: "a", Bandwidth: units.Mbps}, {ID: "b", Bandwidth: units.Mbps}},
+	}
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("overcommitted snapshot accepted")
+	}
+	snap.SubFlows = []SubFlow{{ID: "", Bandwidth: units.Mbps}}
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("empty sub-flow id accepted")
+	}
+	snap.SubFlows = []SubFlow{{ID: "a", Bandwidth: units.Mbps}, {ID: "a", Bandwidth: units.Mbps}}
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("duplicate sub-flow accepted")
+	}
+}
+
+func TestReplayIsIdempotentAndOrdered(t *testing.T) {
+	ep := newEndpoint(t, 100*units.Mbps)
+	// gen 1: alloc a@10; gen 2: release a; gen 3: alloc a@20.
+	if err := ep.ReplayAlloc("a", 10*units.Mbps, 1); err != nil {
+		t.Fatal(err)
+	}
+	ep.ReplayRelease("a", 2)
+	if err := ep.ReplayAlloc("a", 20*units.Mbps, 3); err != nil {
+		t.Fatal(err)
+	}
+	if bw, ok := ep.Lookup("a"); !ok || bw != 20*units.Mbps {
+		t.Fatalf("after replay: a = %v %t", bw, ok)
+	}
+	// Stale records (gen already reflected) are no-ops.
+	ep.ReplayRelease("a", 2)
+	if err := ep.ReplayAlloc("a", 10*units.Mbps, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bw, _ := ep.Lookup("a"); bw != 20*units.Mbps || ep.Used() != 20*units.Mbps {
+		t.Fatalf("stale replay mutated state: %v used=%v", bw, ep.Used())
+	}
+	if ep.Gen() != 3 {
+		t.Errorf("gen = %d, want 3", ep.Gen())
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	r := NewRegistry()
 	ep := newEndpoint(t, 10*units.Mbps)
@@ -109,6 +213,14 @@ func TestRegistry(t *testing.T) {
 	got, ok := r.Get("RAR-1")
 	if !ok || got != ep {
 		t.Fatal("lookup failed")
+	}
+	if all := r.All(); len(all) != 1 || all[0] != ep {
+		t.Fatalf("All() = %v", all)
+	}
+	ep2 := newEndpoint(t, 20*units.Mbps)
+	r.Replace(ep2)
+	if got, _ := r.Get("RAR-1"); got != ep2 {
+		t.Fatal("Replace did not displace the old endpoint")
 	}
 	r.Remove("RAR-1")
 	if _, ok := r.Get("RAR-1"); ok {

@@ -24,7 +24,12 @@
 #   make race-subflow      tunnel sub-flow battery under -race: the
 #                          endpoint property/invariant tests, the batch
 #                          handlers and the tunnel crash-recovery tests
+#   make alloc-gate        allocs-per-op gates: binary frame encode and
+#                          journal record append must be allocation-free
+#                          (run without -race; the gates skip under it)
 #   make bench             benchmark harness
+#   make bench-codec       binary vs JSON codec micro-benchmarks with
+#                          -benchmem (the encode arm the alloc gate pins)
 #   make bench-concurrency reserve throughput vs parallel requesters
 #                          (the numbers recorded in BENCH_concurrency.json)
 #   make bench-subflow     sub-flow admission throughput, per-RPC vs
@@ -32,7 +37,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench bench-concurrency bench-subflow metrics-lint race-concurrency race-recovery race-subflow fuzz-short
+.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow metrics-lint race-concurrency race-recovery race-subflow fuzz-short
 
 build:
 	$(GO) build ./...
@@ -40,9 +45,12 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint race-concurrency race-recovery race-subflow fuzz-short
+verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow fuzz-short
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+alloc-gate:
+	$(GO) test -run 'AllocationFree' ./internal/signalling ./internal/journal
 
 race-concurrency:
 	$(GO) test -race -run 'Concurrent' ./internal/signalling ./internal/bb
@@ -66,6 +74,9 @@ metrics-lint:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+bench-codec: alloc-gate
+	$(GO) test -run NONE -bench 'BenchmarkCodec' -benchmem ./internal/signalling
 
 bench-concurrency:
 	$(GO) test -run NONE -bench 'ConcurrentReserveChain' -benchtime 2s .

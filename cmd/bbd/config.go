@@ -13,6 +13,7 @@ import (
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policy"
 	"e2eqos/internal/policysrv"
+	"e2eqos/internal/signalling"
 	"e2eqos/internal/sla"
 	"e2eqos/internal/topology"
 	"e2eqos/internal/transport"
@@ -69,6 +70,11 @@ type FileConfig struct {
 	// or "never" (OS write-through only). Overridable with
 	// -fsync-policy.
 	FsyncPolicy string `json:"fsync_policy,omitempty"`
+	// Wire selects the encoding of outbound signalling calls: "binary"
+	// (the default) or "json" (debug/interop). Peers always answer in
+	// the caller's encoding, so this never needs to match the peer's
+	// own setting. Overridable with -wire.
+	Wire string `json:"wire,omitempty"`
 
 	// AdminAddr, when set (e.g. "127.0.0.1:7101"), serves the broker's
 	// admin HTTP endpoint: Prometheus metrics on /metrics and the pprof
@@ -279,6 +285,10 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("bbd: %w", err)
 	}
+	wireMode, err := signalling.ParseWireMode(cfg.Wire)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bbd: %w", err)
+	}
 
 	bbCfg := bb.Config{
 		Domain:           cfg.Domain,
@@ -301,6 +311,7 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 		Metrics:          metrics,
 		StateDir:         cfg.StateDir,
 		Fsync:            fsync,
+		Wire:             wireMode,
 	}
 	if cfg.CPUs > 0 {
 		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)

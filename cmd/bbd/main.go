@@ -39,6 +39,7 @@ func main() {
 	adminAddr := flag.String("admin-addr", "", "override admin_addr: serve /metrics and /debug/pprof/ here (empty disables)")
 	logLevel := flag.String("log-level", "", "override log_level: debug, info, warn or error (default info)")
 	logFormat := flag.String("log-format", "", "override log_format: text or json (default text)")
+	wireMode := flag.String("wire", "", "override wire: binary or json signalling encoding for outbound calls (default binary)")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "bbd: -config is required")
@@ -77,6 +78,9 @@ func main() {
 	}
 	if *logFormat != "" {
 		cfg.LogFormat = *logFormat
+	}
+	if *wireMode != "" {
+		cfg.Wire = *wireMode
 	}
 	broker, ln, err := cfg.Build()
 	if err != nil {

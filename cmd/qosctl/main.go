@@ -38,6 +38,7 @@ func main() {
 	certFile := flag.String("cert", "", "user certificate PEM (required)")
 	roots := flag.String("roots", "", "comma-separated trusted CA certificate PEMs (required)")
 	timeout := flag.Duration("timeout", 30*time.Second, "bound on connecting and on each call (0 waits forever)")
+	wireFlag := flag.String("wire", "", "signalling encoding: binary (default) or json (debug/interop)")
 	flag.Parse()
 	if *keyFile == "" || *certFile == "" || *roots == "" {
 		die("-key, -cert and -roots are required")
@@ -70,6 +71,10 @@ func main() {
 	}
 	defer client.Close()
 	client.Timeout = *timeout
+	client.Wire, err = signalling.ParseWireMode(*wireFlag)
+	if err != nil {
+		die("%v", err)
+	}
 
 	switch flag.Arg(0) {
 	case "reserve":

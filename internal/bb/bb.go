@@ -118,6 +118,12 @@ type Config struct {
 	// Fsync selects the journal's durability policy (default
 	// journal.FsyncBatch). Only meaningful with StateDir set.
 	Fsync journal.Policy
+
+	// Wire selects the encoding for outbound signalling calls
+	// (default WireBinary). Servers always answer in the caller's
+	// encoding, so this only needs to match what the peer can parse;
+	// WireJSON is the debug/interop mode.
+	Wire signalling.WireMode
 }
 
 // rarState remembers what a reserve created locally, for cancellation
@@ -263,6 +269,7 @@ func (b *BB) dialPeer(dn identity.DN) (*signalling.Client, error) {
 		return nil, fmt.Errorf("bb %s: dialing %s: %w", b.cfg.Domain, dn, err)
 	}
 	c.Timeout = b.cfg.CallTimeout
+	c.Wire = b.cfg.Wire
 	if c.PeerDN() != dn {
 		c.Close()
 		return nil, fmt.Errorf("bb %s: dialed %s but authenticated peer is %s", b.cfg.Domain, dn, c.PeerDN())

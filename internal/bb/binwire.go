@@ -1,0 +1,307 @@
+package bb
+
+import (
+	"fmt"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/tunnel"
+	"e2eqos/internal/wire"
+)
+
+// Binary codecs for the broker's journal records and rotated snapshot
+// (DESIGN.md §6.6). Settled outcomes nest as complete signalling
+// frames (bytes fields holding Message.AppendBinary output), so the
+// replay cache round-trips through the same codec the wire uses.
+
+// appendOutcome encodes an optional outcome message as a bytes field.
+func appendOutcome(buf []byte, field uint32, m *signalling.Message) []byte {
+	if m == nil {
+		return buf
+	}
+	var start int
+	buf, start = wire.BeginNested(buf, field)
+	buf = m.AppendBinary(buf)
+	return wire.EndNested(buf, start)
+}
+
+func decodeOutcome(d *wire.Dec) (*signalling.Message, error) {
+	b := d.Bytes()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return signalling.DecodeMessage(b)
+}
+
+// rarRec: 1=rar_id 2=epoch 3=handle 4=next 5=tunnel 6=source_bb
+// 7=outcome.
+func (r rarRec) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.RARID)
+	buf = wire.AppendInt(buf, 2, r.Epoch)
+	buf = wire.AppendString(buf, 3, r.Handle)
+	buf = wire.AppendString(buf, 4, string(r.Next))
+	buf = wire.AppendBool(buf, 5, r.Tunnel)
+	buf = wire.AppendString(buf, 6, string(r.SourceBB))
+	return appendOutcome(buf, 7, r.Outcome)
+}
+
+func (r *rarRec) DecodeBinary(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.RARID = d.String()
+		case f == 2 && wt == wire.TVarint:
+			r.Epoch = d.Varint()
+		case f == 3 && wt == wire.TBytes:
+			r.Handle = d.String()
+		case f == 4 && wt == wire.TBytes:
+			r.Next = identity.DN(d.String())
+		case f == 5 && wt == wire.TVarint:
+			r.Tunnel = d.Bool()
+		case f == 6 && wt == wire.TBytes:
+			r.SourceBB = identity.DN(d.String())
+		case f == 7 && wt == wire.TBytes:
+			m, err := decodeOutcome(&d)
+			if err != nil {
+				return err
+			}
+			r.Outcome = m
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// rarCancelRec: 1=rar_id 2=epoch.
+func (r rarCancelRec) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.RARID)
+	return wire.AppendInt(buf, 2, r.Epoch)
+}
+
+func (r *rarCancelRec) DecodeBinary(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.RARID = d.String()
+		case f == 2 && wt == wire.TVarint:
+			r.Epoch = d.Varint()
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// tunnelOpRec: 1=action 2=sub_flow_id 3=bandwidth 4=gen.
+func (r tunnelOpRec) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.Action)
+	buf = wire.AppendString(buf, 2, r.SubFlowID)
+	buf = wire.AppendInt(buf, 3, r.Bandwidth)
+	return wire.AppendInt(buf, 4, r.Gen)
+}
+
+func (r *tunnelOpRec) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.Action = d.String()
+		case f == 2 && wt == wire.TBytes:
+			r.SubFlowID = d.String()
+		case f == 3 && wt == wire.TVarint:
+			r.Bandwidth = d.Varint()
+		case f == 4 && wt == wire.TVarint:
+			r.Gen = d.Varint()
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// tunnelOpRecord: 1=rar_id 2=epoch 3=op.
+func (r tunnelOpRecord) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.RARID)
+	buf = wire.AppendInt(buf, 2, r.Epoch)
+	var start int
+	buf, start = wire.BeginNested(buf, 3)
+	buf = r.tunnelOpRec.appendFields(buf)
+	return wire.EndNested(buf, start)
+}
+
+func (r *tunnelOpRecord) DecodeBinary(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.RARID = d.String()
+		case f == 2 && wt == wire.TVarint:
+			r.Epoch = d.Varint()
+		case f == 3 && wt == wire.TBytes:
+			sub := wire.Dec{Buf: d.Bytes()}
+			if err := r.tunnelOpRec.decodeFields(&sub); err != nil {
+				return err
+			}
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// tunnelBatchRec: 1=rar_id 2=epoch 3=batch_id 4=ops(repeated)
+// 5=outcome.
+func (r tunnelBatchRec) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.RARID)
+	buf = wire.AppendInt(buf, 2, r.Epoch)
+	buf = wire.AppendString(buf, 3, r.BatchID)
+	for i := range r.Ops {
+		var start int
+		buf, start = wire.BeginNested(buf, 4)
+		buf = r.Ops[i].appendFields(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	return appendOutcome(buf, 5, r.Outcome)
+}
+
+func (r *tunnelBatchRec) DecodeBinary(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.RARID = d.String()
+		case f == 2 && wt == wire.TVarint:
+			r.Epoch = d.Varint()
+		case f == 3 && wt == wire.TBytes:
+			r.BatchID = d.String()
+		case f == 4 && wt == wire.TBytes:
+			sub := wire.Dec{Buf: d.Bytes()}
+			var op tunnelOpRec
+			if err := op.decodeFields(&sub); err != nil {
+				return err
+			}
+			r.Ops = append(r.Ops, op)
+		case f == 5 && wt == wire.TBytes:
+			m, err := decodeOutcome(&d)
+			if err != nil {
+				return err
+			}
+			r.Outcome = m
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// tunnelBatchSnap: 1=rar_id 2=epoch 3=batch_id 4=outcome.
+func (r tunnelBatchSnap) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.RARID)
+	buf = wire.AppendInt(buf, 2, r.Epoch)
+	buf = wire.AppendString(buf, 3, r.BatchID)
+	return appendOutcome(buf, 4, r.Outcome)
+}
+
+func (r *tunnelBatchSnap) DecodeBinary(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.RARID = d.String()
+		case f == 2 && wt == wire.TVarint:
+			r.Epoch = d.Varint()
+		case f == 3 && wt == wire.TBytes:
+			r.BatchID = d.String()
+		case f == 4 && wt == wire.TBytes:
+			m, err := decodeOutcome(&d)
+			if err != nil {
+				return err
+			}
+			r.Outcome = m
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// Broker snapshot binary layout: bbSnapMagic, bbSnapVersion, then
+// 1=table(the resv snapshot bytes) 2=rars 3=tunnels 4=tunnel_batches
+// 5=epoch. recoverState still accepts the JSON form written before
+// the binary codec existed.
+const (
+	bbSnapMagic   = 0xB3
+	bbSnapVersion = 1
+)
+
+func (st *brokerState) appendBinary(buf []byte) []byte {
+	buf = append(buf, bbSnapMagic, bbSnapVersion)
+	buf = wire.AppendBytes(buf, 1, st.Table)
+	for i := range st.RARs {
+		var start int
+		buf, start = wire.BeginNested(buf, 2)
+		buf = st.RARs[i].AppendBinary(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	for i := range st.Tunnels {
+		var start int
+		buf, start = wire.BeginNested(buf, 3)
+		buf = st.Tunnels[i].AppendBinary(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	for i := range st.TunnelBatches {
+		var start int
+		buf, start = wire.BeginNested(buf, 4)
+		buf = st.TunnelBatches[i].AppendBinary(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	return wire.AppendInt(buf, 5, st.Epoch)
+}
+
+func (st *brokerState) decodeBinary(data []byte) error {
+	if len(data) < 2 || data[0] != bbSnapMagic {
+		return fmt.Errorf("bb: not a binary snapshot")
+	}
+	if data[1] != bbSnapVersion {
+		return fmt.Errorf("bb: unsupported snapshot version %d", data[1])
+	}
+	d := wire.Dec{Buf: data[2:]}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			st.Table = append([]byte(nil), d.Bytes()...)
+		case f == 2 && wt == wire.TBytes:
+			var r rarRec
+			if err := r.DecodeBinary(d.Bytes()); err != nil {
+				return err
+			}
+			st.RARs = append(st.RARs, r)
+		case f == 3 && wt == wire.TBytes:
+			var ts tunnel.EndpointSnapshot
+			if err := ts.DecodeBinary(d.Bytes()); err != nil {
+				return err
+			}
+			st.Tunnels = append(st.Tunnels, ts)
+		case f == 4 && wt == wire.TBytes:
+			var bs tunnelBatchSnap
+			if err := bs.DecodeBinary(d.Bytes()); err != nil {
+				return err
+			}
+			st.TunnelBatches = append(st.TunnelBatches, bs)
+		case f == 5 && wt == wire.TVarint:
+			st.Epoch = d.Varint()
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}

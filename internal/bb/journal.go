@@ -162,7 +162,11 @@ func (b *BB) openJournal() error {
 func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 	if rec.Snapshot != nil {
 		var st brokerState
-		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+		if len(rec.Snapshot) > 0 && rec.Snapshot[0] == bbSnapMagic {
+			if err := st.decodeBinary(rec.Snapshot); err != nil {
+				return 0, fmt.Errorf("decoding snapshot: %w", err)
+			}
+		} else if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
 			return 0, fmt.Errorf("decoding snapshot: %w", err)
 		}
 		if len(st.Table) > 0 {
@@ -376,7 +380,7 @@ func (b *BB) snapshotState() ([]byte, error) {
 		st.Tunnels = append(st.Tunnels, ep.Snapshot())
 	}
 	st.TunnelBatches = b.tunnels.settledBatches()
-	return json.Marshal(st)
+	return st.appendBinary(nil), nil
 }
 
 // journalTunnel appends a tunnel-establishment record: the endpoint's

@@ -25,16 +25,18 @@ import (
 	"e2eqos/internal/pki"
 )
 
-// Envelope is one layer of the nested structure. Payload is the JSON
-// encoding of the layer body; Signature is the signer's ECDSA signature
-// over Payload.
+// Envelope is one layer of the nested structure. Payload is the
+// canonical binary encoding of the layer body; Signature is the
+// signer's ECDSA signature over exactly those bytes.
 type Envelope struct {
 	// SignerDN names the entity that signed this layer.
 	SignerDN identity.DN `json:"signer_dn"`
-	// Payload is the canonical (JSON) encoding of the Body. It is kept
-	// as raw JSON rather than base64 bytes so that wrapping a message
-	// in another envelope grows it additively, not multiplicatively.
-	Payload json.RawMessage `json:"payload"`
+	// Payload is the canonical binary encoding of the Body (see
+	// binwire.go), kept verbatim from sealing to verification so the
+	// signature never depends on re-marshal stability. An inner
+	// envelope nests as a field of its wrapper's payload, so wrapping
+	// grows the message additively, not multiplicatively.
+	Payload []byte `json:"payload"`
 	// Signature is SignerDN's signature over Payload.
 	Signature []byte `json:"signature"`
 }
@@ -76,14 +78,12 @@ type Body struct {
 }
 
 // Seal signs body with the given key and returns the envelope layer.
+// The signature covers the body's canonical binary encoding.
 func Seal(signer *identity.KeyPair, body Body) (*Envelope, error) {
 	if body.Timestamp.IsZero() {
 		body.Timestamp = time.Now()
 	}
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return nil, fmt.Errorf("envelope: marshal body: %w", err)
-	}
+	payload := appendBody(nil, &body)
 	sig, err := signer.Sign(payload)
 	if err != nil {
 		return nil, fmt.Errorf("envelope: sign: %w", err)
@@ -100,11 +100,11 @@ func (e *Envelope) Open(pub *ecdsa.PublicKey) (*Body, error) {
 	if err := identity.Verify(pub, e.Payload, e.Signature); err != nil {
 		return nil, fmt.Errorf("envelope: layer signed by %s: %w", e.SignerDN, err)
 	}
-	var body Body
-	if err := json.Unmarshal(e.Payload, &body); err != nil {
-		return nil, fmt.Errorf("envelope: decode body signed by %s: %w", e.SignerDN, err)
+	body, err := decodeBody(e.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: body signed by %s: %w", e.SignerDN, err)
 	}
-	return &body, nil
+	return body, nil
 }
 
 // PeekBody decodes the body WITHOUT verifying the signature. It is used
@@ -114,11 +114,11 @@ func (e *Envelope) PeekBody() (*Body, error) {
 	if e == nil {
 		return nil, fmt.Errorf("envelope: nil envelope")
 	}
-	var body Body
-	if err := json.Unmarshal(e.Payload, &body); err != nil {
-		return nil, fmt.Errorf("envelope: decode body signed by %s: %w", e.SignerDN, err)
+	body, err := decodeBody(e.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: body signed by %s: %w", e.SignerDN, err)
 	}
-	return &body, nil
+	return body, nil
 }
 
 // Layer is one verified stratum of an unwrapped envelope chain, ordered
@@ -215,22 +215,14 @@ func Unwrap(outer *Envelope, resolve KeyResolver) (*Chain, error) {
 // protecting against maliciously deep onions.
 const maxDepth = 64
 
-// Encode serialises the envelope for the wire.
+// Encode serialises the envelope in its binary form.
 func (e *Envelope) Encode() ([]byte, error) {
-	data, err := json.Marshal(e)
-	if err != nil {
-		return nil, fmt.Errorf("envelope: encode: %w", err)
-	}
-	return data, nil
+	return appendEnvelope(nil, e), nil
 }
 
 // Decode reverses Encode.
 func Decode(data []byte) (*Envelope, error) {
-	var e Envelope
-	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, fmt.Errorf("envelope: decode: %w", err)
-	}
-	return &e, nil
+	return decodeEnvelope(data)
 }
 
 // WireSize returns the encoded size in bytes, used by the Figure 7 /

@@ -141,14 +141,14 @@ func TestUnwrapDetectsInnerTampering(t *testing.T) {
 	keys, outer := buildOnion(t, 2)
 	// Tamper with the innermost layer through the outer payload bytes:
 	// flip a byte inside the encoded inner envelope's payload.
-	var body Body
-	if err := json.Unmarshal(outer.Payload, &body); err != nil {
+	body, err := decodeBody(outer.Payload)
+	if err != nil {
 		t.Fatal(err)
 	}
 	body.Inner.Payload[10] ^= 0xff
-	// Re-marshal; the outer signature is now stale, so re-sign outer to
+	// Re-encode; the outer signature is now stale, so re-sign outer to
 	// simulate a malicious LAST hop modifying an inner layer.
-	payload, _ := json.Marshal(body)
+	payload := appendBody(nil, body)
 	sig, _ := keys[len(keys)-1].Sign(payload)
 	outer = &Envelope{SignerDN: keys[len(keys)-1].DN, Payload: payload, Signature: sig}
 	if _, err := Unwrap(outer, resolverFor(keys)); err == nil {

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"testing"
+
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/units"
+)
+
+// TestJSONWireModeFullBattery runs the signalling battery over the
+// `-wire json` interop mode: every broker and user in the world speaks
+// JSON frames instead of the default binary encoding. An end-to-end
+// reserve must be granted with verifiable approvals from every domain,
+// a tunnel establishment plus batched sub-flow allocation must succeed
+// over the wire, and cancels must propagate — proving the debug/interop
+// encoding carries the full protocol, not just the happy path.
+func TestJSONWireModeFullBattery(t *testing.T) {
+	w, err := BuildWorld(WorldConfig{
+		NumDomains: 3,
+		Capacity:   100 * units.Mbps,
+		Wire:       "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	alice, err := w.NewUser("alice", "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+
+	// End-to-end reserve across all three domains.
+	spec := alice.NewSpec(SpecOptions{DestDomain: w.DestDomain(), Bandwidth: 10 * units.Mbps})
+	res, err := alice.ReserveE2E(spec)
+	if err != nil {
+		t.Fatalf("reserve over JSON wire: %v", err)
+	}
+	if !res.Granted {
+		t.Fatalf("reserve over JSON wire denied: %s", res.Reason)
+	}
+	if len(res.Approvals) != 3 {
+		t.Fatalf("got %d approvals, want one per domain (3)", len(res.Approvals))
+	}
+	if err := w.VerifyApprovals(res); err != nil {
+		t.Fatalf("approval signatures did not survive the JSON wire: %v", err)
+	}
+
+	// Tunnel establishment plus a batched sub-flow allocation, both as
+	// wire calls into the source broker.
+	tun := alice.NewSpec(SpecOptions{
+		DestDomain: w.DestDomain(),
+		Bandwidth:  40 * units.Mbps,
+		Tunnel:     true,
+	})
+	tres, err := alice.ReserveE2E(tun)
+	if err != nil || !tres.Granted {
+		t.Fatalf("tunnel establishment over JSON wire: %v %+v", err, tres)
+	}
+	batch, err := alice.TunnelBatch(w.SourceDomain(), &signalling.TunnelBatchPayload{
+		TunnelRARID: tun.RARID,
+		BatchID:     signalling.NewBatchID(),
+		User:        alice.DN(),
+		Ops: []signalling.TunnelOp{
+			{Action: signalling.OpAlloc, SubFlowID: "jw-1", Bandwidth: int64(5 * units.Mbps)},
+			{Action: signalling.OpAlloc, SubFlowID: "jw-2", Bandwidth: int64(5 * units.Mbps)},
+		},
+	})
+	if err != nil {
+		t.Fatalf("tunnel batch over JSON wire: %v", err)
+	}
+	if !batch.Granted {
+		t.Fatalf("tunnel batch denied: %s", batch.Reason)
+	}
+	for _, r := range batch.BatchResults {
+		if !r.Granted {
+			t.Fatalf("sub-flow %s denied: %s", r.SubFlowID, r.Reason)
+		}
+	}
+
+	// Cancels propagate along the recorded path.
+	if err := alice.Cancel(w.SourceDomain(), spec.RARID); err != nil {
+		t.Fatalf("cancel over JSON wire: %v", err)
+	}
+	if err := alice.Cancel(w.SourceDomain(), tun.RARID); err != nil {
+		t.Fatalf("tunnel cancel over JSON wire: %v", err)
+	}
+}

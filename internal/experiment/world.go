@@ -93,6 +93,10 @@ type WorldConfig struct {
 	// broker: "batch" (default), "always" or "never". Only meaningful
 	// with StateDir set.
 	FsyncPolicy string
+	// Wire selects the signalling encoding ("binary" default, or
+	// "json" for the debug/interop mode) used by every broker's
+	// outbound calls and every user created with NewUser.
+	Wire string
 	// Logger, when set, receives every broker's structured log records
 	// (each stamped with its domain). Nil keeps brokers silent.
 	Logger *slog.Logger
@@ -128,6 +132,7 @@ type World struct {
 	enableObs   bool
 	clock       func() time.Time
 	callTimeout time.Duration
+	wire        signalling.WireMode
 }
 
 // addrOf is the in-memory address convention for a broker.
@@ -178,6 +183,10 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		callTimeout: cfg.CallTimeout,
 	}
 	fsync, err := journal.ParsePolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	w.wire, err = signalling.ParseWireMode(cfg.Wire)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
@@ -340,6 +349,7 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			BreakerCooldown:  cfg.BreakerCooldown,
 			Logger:           cfg.Logger,
 			Metrics:          reg,
+			Wire:             w.wire,
 		}
 		if cfg.StateDir != "" {
 			bcfg.StateDir = filepath.Join(cfg.StateDir, name)

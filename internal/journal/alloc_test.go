@@ -1,0 +1,34 @@
+package journal
+
+import "testing"
+
+// binPayload is a minimal BinaryRecord for the allocation gate.
+type binPayload struct{ a, b int64 }
+
+func (p binPayload) AppendBinary(buf []byte) []byte {
+	buf = append(buf, 0x08, byte(p.a<<1), 0x10, byte(p.b<<1))
+	return buf
+}
+
+// TestAppendRecordAllocationFree gates the journal's hot append: a
+// BinaryRecord framed onto a buffer with capacity must not allocate.
+// (Interface conversion of a pointer-free value like binPayload does
+// not box on modern Go; the resv/bb record types are structs behind
+// the same interface.)
+func TestAppendRecordAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gate is meaningless under the race detector")
+	}
+	buf := make([]byte, 0, 4096)
+	var rec BinaryRecord = binPayload{a: 3, b: 9}
+	got := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendRecord(buf[:0], "resv.admit", rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 0 {
+		t.Errorf("AppendRecord allocates %.1f per op, want 0", got)
+	}
+}

@@ -2,7 +2,9 @@ package journal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"testing"
 )
@@ -12,12 +14,25 @@ import (
 // buffer, and classifies every input as a valid record, io.EOF,
 // ErrTruncated or ErrCorrupt. A decoded record must re-encode to the
 // exact bytes it was parsed from (framing is canonical).
+// frameRaw wraps an arbitrary payload in a valid length+CRC header, so
+// a seed can hand the payload decoder malformed bytes the framing layer
+// would otherwise reject first.
+func frameRaw(payload []byte) []byte {
+	buf := make([]byte, headerSize, headerSize+len(payload))
+	buf = append(buf, payload...)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
 func FuzzDecodeRecord(f *testing.F) {
 	good, _ := EncodeRecord("resv.admit", map[string]int{"n": 1})
 	empty, _ := EncodeRecord("resv.compact", nil)
+	bin, _ := EncodeRecord("resv.admit", RawBinary{0x0a, 0x01, 0x78})
 	f.Add([]byte{})
 	f.Add(good)
 	f.Add(empty)
+	f.Add(bin)
 	f.Add(good[:len(good)-3])                         // torn tail
 	f.Add(good[:headerSize-1])                        // torn header
 	f.Add(append([]byte(nil), good[8:]...))           // payload without header
@@ -25,6 +40,16 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0}, 64))
 	twoThenTear := append(append([]byte(nil), good...), empty...)
 	f.Add(append(twoThenTear, good[:5]...))
+	f.Add(bin[:len(bin)-1]) // torn binary payload
+	// Bit-flipped binary payload: framing CRC must classify it.
+	flipped := append([]byte(nil), bin...)
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped)
+	// A binary record whose op-length varint is torn (header + CRC made
+	// consistent so the payload decoder, not the framing, sees it).
+	f.Add(frameRaw([]byte{recMagic, recVersion, 0x80}))
+	// recMagic with a record version from the future.
+	f.Add(frameRaw([]byte{recMagic, 99, 0x01, 'x'}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Walk the buffer exactly as Recover does: decode frames until
@@ -50,7 +75,10 @@ func FuzzDecodeRecord(f *testing.F) {
 			// Canonical framing: re-encoding the decoded payload must
 			// reproduce the input frame byte for byte.
 			var payload any
-			if rec.Data != nil {
+			switch {
+			case rec.IsBinary():
+				payload = RawBinary(rec.Data)
+			case rec.Data != nil:
 				payload = rec.Data
 			}
 			re, err := EncodeRecord(rec.Op, payload)

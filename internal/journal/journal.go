@@ -157,7 +157,9 @@ type Journal struct {
 	// the snapshot build; Append never blocks on disk in batch mode.
 	mu      sync.Mutex
 	buf     []byte
-	records int // appended since the last rotation
+	spare   []byte // drained batch buffer, recycled so appends stay allocation-free
+	scratch []byte // frame build space for the direct-write policies
+	records int    // appended since the last rotation
 	err     error
 	closed  bool
 
@@ -238,30 +240,41 @@ func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 // Append encodes and logs one record under the configured fsync
 // policy. The returned error is also sticky (see Stats.Err): callers
 // on the hot path may ignore it and rely on the OnError hook.
+//
+// Payloads implementing BinaryRecord are framed directly into the
+// journal's own buffers (the batch buffer or the direct-write scratch),
+// so a steady-state append allocates nothing.
 func (j *Journal) Append(op string, data any) error {
 	if j == nil {
 		return nil
 	}
 	t0 := time.Now()
-	frame, err := EncodeRecord(op, data)
-	if err != nil {
-		j.fail(err)
-		return err
-	}
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
 		return fmt.Errorf("journal: append after close")
 	}
+	var err error
 	switch j.opts.Fsync {
 	case FsyncBatch:
-		j.buf = append(j.buf, frame...)
+		j.buf, err = AppendRecord(j.buf, op, data)
+		if err != nil {
+			j.mu.Unlock()
+			j.fail(err)
+			return err
+		}
 		select {
 		case j.kick <- struct{}{}:
 		default:
 		}
 	default:
-		if _, werr := j.f.Write(frame); werr != nil {
+		j.scratch, err = AppendRecord(j.scratch[:0], op, data)
+		if err != nil {
+			j.mu.Unlock()
+			j.fail(err)
+			return err
+		}
+		if _, werr := j.f.Write(j.scratch); werr != nil {
 			err = werr
 			j.err = werr
 		} else if j.opts.Fsync == FsyncAlways {
@@ -314,30 +327,37 @@ func (j *Journal) syncLoop() {
 }
 
 // flush writes and fsyncs the pending batch. Appenders are only
-// blocked for the buffer swap, not the disk I/O.
+// blocked for the buffer swap, not the disk I/O: the drained buffer is
+// swapped against the spare from the previous flush, so a steady
+// batch workload ping-pongs two buffers and never reallocates.
 func (j *Journal) flush() {
 	j.mu.Lock()
 	b := j.buf
-	j.buf = nil
+	j.buf = j.spare[:0]
+	j.spare = nil // in use below until returned
 	j.mu.Unlock()
-	if len(b) == 0 {
-		return
-	}
-	j.fileMu.Lock()
-	_, werr := j.f.Write(b)
-	if werr == nil {
-		werr = j.f.Sync()
-	}
-	j.fileMu.Unlock()
-	if werr != nil {
-		j.fail(werr)
-		return
+	if len(b) > 0 {
+		j.fileMu.Lock()
+		_, werr := j.f.Write(b)
+		if werr == nil {
+			werr = j.f.Sync()
+		}
+		j.fileMu.Unlock()
+		if werr != nil {
+			j.fail(werr)
+			return
+		}
 	}
 	j.mu.Lock()
-	j.fsyncs++
+	j.spare = b[:0] // recycle the drained buffer's capacity
+	if len(b) > 0 {
+		j.fsyncs++
+	}
 	j.mu.Unlock()
-	if fn := j.opts.OnFsync; fn != nil {
-		fn()
+	if len(b) > 0 {
+		if fn := j.opts.OnFsync; fn != nil {
+			fn()
+		}
 	}
 }
 
@@ -373,7 +393,7 @@ func (j *Journal) syncLocked() error {
 			j.err = err
 			return err
 		}
-		j.buf = nil
+		j.buf = j.buf[:0]
 	}
 	if err := j.f.Sync(); err != nil {
 		j.err = err
@@ -437,7 +457,7 @@ func (j *Journal) Rotate(state func() ([]byte, error)) error {
 	}
 	syncDir(j.dir)
 	j.fileMu.Lock()
-	j.buf = nil // pending records predate the snapshot: all reflected in it
+	j.buf = j.buf[:0] // pending records predate the snapshot: all reflected in it
 	if terr := j.f.Truncate(0); terr == nil {
 		_, err = j.f.Seek(0, 0)
 	} else {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"e2eqos/internal/wire"
 )
 
 // Record is one typed journal entry. Op names the mutation (the owning
@@ -14,18 +16,66 @@ import (
 // carries its payload verbatim. Records must be absolute — they state
 // the resulting value, not a delta — so that replaying a record on top
 // of a snapshot that already reflects it is a no-op.
+//
+// Two payload encodings coexist behind the same CRC framing. The hot
+// path writes binary records (recMagic-prefixed, decoded through the
+// BinaryDecoder interface); JSON records remain both the fallback for
+// payload types without a binary codec and the format of journals
+// written before the binary codec existed, so old state directories
+// recover unchanged.
 type Record struct {
 	Op   string          `json:"op"`
 	Data json.RawMessage `json:"data,omitempty"`
+
+	// bin marks a binary-encoded payload (Data holds the type's
+	// AppendBinary bytes, not JSON).
+	bin bool
 }
+
+// IsBinary reports whether the payload uses the binary encoding.
+func (r Record) IsBinary() bool { return r.bin }
+
+// BinaryRecord is implemented by payload types that encode themselves
+// with the wire package; Append uses it to journal without reflection
+// or intermediate buffers.
+type BinaryRecord interface {
+	AppendBinary(buf []byte) []byte
+}
+
+// BinaryDecoder is the decode half: Record.Decode dispatches to it for
+// binary records, so replay call sites stay encoding-agnostic.
+type BinaryDecoder interface {
+	DecodeBinary(data []byte) error
+}
+
+// RawBinary is a pre-encoded binary payload appended verbatim —
+// re-framing a decoded record (tests, journal rewriting) without
+// knowing its concrete type.
+type RawBinary []byte
+
+// AppendBinary writes the raw bytes through.
+func (r RawBinary) AppendBinary(buf []byte) []byte { return append(buf, r...) }
 
 // Framing: every record is length-prefixed and checksummed so recovery
 // can tell a torn tail from good data without trusting file size.
 //
 //	uint32 LE  payload length n (1 .. MaxRecordSize)
 //	uint32 LE  CRC-32C (Castagnoli) of the payload
-//	n bytes    JSON-encoded Record
+//	n bytes    payload — binary (recMagic ...) or a JSON Record
+//
+// Binary payload layout:
+//
+//	byte 0   recMagic (0xB1; JSON payloads start with '{')
+//	byte 1   recVersion
+//	bytes    uvarint op length, op
+//	bytes    payload data (the op type's AppendBinary encoding),
+//	         running to the end of the frame
 const headerSize = 8
+
+const (
+	recMagic   = 0xB1
+	recVersion = 1
+)
 
 // MaxRecordSize bounds one record's payload. A length field above it
 // is treated as corruption, which stops a garbage frame from making
@@ -42,32 +92,53 @@ var (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// EncodeRecord frames op+data (data is JSON-marshalled) into the
-// append-ready wire form.
-func EncodeRecord(op string, data any) ([]byte, error) {
+// AppendRecord frames op+data onto buf. Payload types implementing
+// BinaryRecord (and nil payloads) encode binary straight into buf —
+// the journal's zero-allocation append path; anything else marshals as
+// JSON. On error buf is returned with its original length, never with
+// a partial frame.
+func AppendRecord(buf []byte, op string, data any) ([]byte, error) {
 	if op == "" {
-		return nil, fmt.Errorf("journal: record without op")
+		return buf, fmt.Errorf("journal: record without op")
 	}
-	var raw json.RawMessage
-	if data != nil {
-		b, err := json.Marshal(data)
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header, patched below
+	switch v := data.(type) {
+	case BinaryRecord:
+		buf = appendBinHeader(buf, op)
+		buf = v.AppendBinary(buf)
+	case nil:
+		buf = appendBinHeader(buf, op)
+	default:
+		raw, err := json.Marshal(data)
 		if err != nil {
-			return nil, fmt.Errorf("journal: encoding %s payload: %w", op, err)
+			return buf[:start], fmt.Errorf("journal: encoding %s payload: %w", op, err)
 		}
-		raw = b
+		payload, err := json.Marshal(Record{Op: op, Data: raw})
+		if err != nil {
+			return buf[:start], fmt.Errorf("journal: encoding %s record: %w", op, err)
+		}
+		buf = append(buf, payload...)
 	}
-	payload, err := json.Marshal(Record{Op: op, Data: raw})
-	if err != nil {
-		return nil, fmt.Errorf("journal: encoding %s record: %w", op, err)
+	n := len(buf) - start - headerSize
+	if n > MaxRecordSize {
+		return buf[:start], fmt.Errorf("journal: %s record is %d bytes, above the %d limit", op, n, MaxRecordSize)
 	}
-	if len(payload) > MaxRecordSize {
-		return nil, fmt.Errorf("journal: %s record is %d bytes, above the %d limit", op, len(payload), MaxRecordSize)
-	}
-	frame := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
-	copy(frame[headerSize:], payload)
-	return frame, nil
+	payload := buf[start+headerSize:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(n))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+func appendBinHeader(buf []byte, op string) []byte {
+	buf = append(buf, recMagic, recVersion)
+	buf = wire.AppendUvarint(buf, uint64(len(op)))
+	return append(buf, op...)
+}
+
+// EncodeRecord frames op+data into a fresh append-ready buffer.
+func EncodeRecord(op string, data any) ([]byte, error) {
+	return AppendRecord(nil, op, data)
 }
 
 // DecodeRecord parses one framed record from the front of buf,
@@ -93,6 +164,18 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
 		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
+	if payload[0] == recMagic {
+		if len(payload) < 2 || payload[1] != recVersion {
+			return Record{}, 0, fmt.Errorf("%w: unsupported record version", ErrCorrupt)
+		}
+		d := wire.Dec{Buf: payload[2:]}
+		op := d.String()
+		data := d.Rest()
+		if d.Err() != nil || op == "" {
+			return Record{}, 0, fmt.Errorf("%w: bad binary record header", ErrCorrupt)
+		}
+		return Record{Op: op, Data: data, bin: true}, headerSize + int(n), nil
+	}
 	var rec Record
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return Record{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -103,8 +186,21 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	return rec, headerSize + int(n), nil
 }
 
-// Decode unmarshals a record's payload into out.
+// Decode unmarshals a record's payload into out, dispatching on the
+// record's encoding: binary payloads require out to implement
+// BinaryDecoder, JSON payloads unmarshal reflectively. Replay loops
+// pass the same typed pointers either way.
 func (r Record) Decode(out any) error {
+	if r.bin {
+		bd, ok := out.(BinaryDecoder)
+		if !ok {
+			return fmt.Errorf("journal: decoding %s payload: %T has no binary decoder", r.Op, out)
+		}
+		if err := bd.DecodeBinary(r.Data); err != nil {
+			return fmt.Errorf("journal: decoding %s payload: %w", r.Op, err)
+		}
+		return nil
+	}
 	if err := json.Unmarshal(r.Data, out); err != nil {
 		return fmt.Errorf("journal: decoding %s payload: %w", r.Op, err)
 	}

@@ -1,0 +1,57 @@
+package obs
+
+import "e2eqos/internal/wire"
+
+// Span binary field registry (DESIGN.md §6.6): 1=domain 2=bb 3=verdict
+// 4=reason 5=retries 6=verify_ns 7=policy_ns 8=admit_ns
+// 9=downstream_ns 10=total_ns. Spans ride inside signalling result
+// frames; the codec lives here so the field list stays next to the
+// struct it mirrors.
+
+// AppendWire appends the span's binary field encoding.
+func (s *Span) AppendWire(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, s.Domain)
+	buf = wire.AppendString(buf, 2, s.BB)
+	buf = wire.AppendString(buf, 3, s.Verdict)
+	buf = wire.AppendString(buf, 4, s.Reason)
+	buf = wire.AppendInt(buf, 5, int64(s.Retries))
+	buf = wire.AppendInt(buf, 6, s.VerifyNS)
+	buf = wire.AppendInt(buf, 7, s.PolicyNS)
+	buf = wire.AppendInt(buf, 8, s.AdmitNS)
+	buf = wire.AppendInt(buf, 9, s.DownstreamNS)
+	buf = wire.AppendInt(buf, 10, s.TotalNS)
+	return buf
+}
+
+// DecodeWire reverses AppendWire.
+func (s *Span) DecodeWire(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			s.Domain = d.String()
+		case f == 2 && wt == wire.TBytes:
+			s.BB = d.String()
+		case f == 3 && wt == wire.TBytes:
+			s.Verdict = d.String()
+		case f == 4 && wt == wire.TBytes:
+			s.Reason = d.String()
+		case f == 5 && wt == wire.TVarint:
+			s.Retries = int(d.Varint())
+		case f == 6 && wt == wire.TVarint:
+			s.VerifyNS = d.Varint()
+		case f == 7 && wt == wire.TVarint:
+			s.PolicyNS = d.Varint()
+		case f == 8 && wt == wire.TVarint:
+			s.AdmitNS = d.Varint()
+		case f == 9 && wt == wire.TVarint:
+			s.DownstreamNS = d.Varint()
+		case f == 10 && wt == wire.TVarint:
+			s.TotalNS = d.Varint()
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}

@@ -19,9 +19,10 @@ type snapshot struct {
 // Snapshot serialises the table so a restarting broker can restore its
 // committed state. Reservations removed by compaction are absent: a
 // snapshot captures the table's live admission state, not its history.
-// Output is deterministic — reservations are sorted by handle — so two
-// tables holding the same state snapshot to identical bytes, the
-// property the journal's crash-recovery tests assert on.
+// Output is deterministic — reservations are sorted by handle, and the
+// binary encoding is canonical — so two tables holding the same state
+// snapshot to identical bytes, the property the journal's
+// crash-recovery tests assert on.
 func (t *Table) Snapshot() ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -32,19 +33,20 @@ func (t *Table) Snapshot() ([]byte, error) {
 	sort.Slice(s.Reservations, func(i, j int) bool {
 		return s.Reservations[i].Handle < s.Reservations[j].Handle
 	})
-	data, err := json.Marshal(s)
-	if err != nil {
-		return nil, fmt.Errorf("resv: snapshot: %w", err)
-	}
-	return data, nil
+	return s.appendBinary(nil), nil
 }
 
-// RestoreTable rebuilds a table from a snapshot. The restored state is
-// validated: committed bandwidth may not exceed the capacity at any
-// reservation boundary.
+// RestoreTable rebuilds a table from a snapshot in either encoding
+// (binary, or the JSON written before the binary codec existed). The
+// restored state is validated: committed bandwidth may not exceed the
+// capacity at any reservation boundary.
 func RestoreTable(data []byte) (*Table, error) {
 	var s snapshot
-	if err := json.Unmarshal(data, &s); err != nil {
+	if len(data) > 0 && data[0] == snapMagic {
+		if err := s.decodeBinary(data); err != nil {
+			return nil, fmt.Errorf("resv: restore: %w", err)
+		}
+	} else if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("resv: restore: %w", err)
 	}
 	t, err := NewTable(s.Name, s.Capacity)

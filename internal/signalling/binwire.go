@@ -1,0 +1,528 @@
+package signalling
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
+	"e2eqos/internal/wire"
+)
+
+// Binary frame layout (the default wire encoding, DESIGN.md §6.6):
+//
+//	byte 0   BinMagic (0xE2) — JSON frames start with '{', so one byte
+//	         discriminates the two encodings per message
+//	byte 1   BinVersion
+//	byte 2   message type code (see typeCode)
+//	uvarint  message ID
+//	fields   the single payload struct for the type, tag-encoded
+//
+// Fields use the wire package's tag scheme; zero-valued fields are
+// omitted and unknown tags are skipped, so growth stays additive.
+const (
+	// BinMagic is the first byte of every binary signalling frame.
+	BinMagic = 0xE2
+	// BinVersion is the current frame version; decoders reject frames
+	// from the future rather than misparse them.
+	BinVersion = 1
+)
+
+// WireMode selects the frame encoding a client speaks. The server side
+// needs no mode: it answers every request in the encoding the request
+// arrived in, which is how the per-connection negotiation works — a
+// `-wire json` client simply never sees a binary byte.
+type WireMode int
+
+const (
+	// WireBinary is the default hot-path encoding.
+	WireBinary WireMode = iota
+	// WireJSON is the debug/interop encoding (the pre-binary format).
+	WireJSON
+)
+
+func (m WireMode) String() string {
+	if m == WireJSON {
+		return "json"
+	}
+	return "binary"
+}
+
+// ParseWireMode parses a -wire flag value; empty selects binary.
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "", "binary":
+		return WireBinary, nil
+	case "json":
+		return WireJSON, nil
+	default:
+		return WireBinary, fmt.Errorf("signalling: unknown wire mode %q (want binary or json)", s)
+	}
+}
+
+// typeCode maps MsgType to its single-byte wire code and back. Codes
+// are part of the wire format: never renumber, only append.
+var typeCodes = [...]MsgType{
+	1: MsgReserve,
+	2: MsgCancel,
+	3: MsgTunnelAlloc,
+	4: MsgTunnelRelease,
+	5: MsgTunnelBatch,
+	6: MsgStatus,
+	7: MsgResult,
+}
+
+func typeCode(t MsgType) byte {
+	for c, mt := range typeCodes {
+		if mt == t {
+			return byte(c)
+		}
+	}
+	return 0
+}
+
+// AppendBinary appends the canonical binary frame for m. Encoding is
+// infallible by construction (every field type has a total encoding),
+// which is what lets the hot path run without error plumbing.
+func (m *Message) AppendBinary(buf []byte) []byte {
+	buf = append(buf, BinMagic, BinVersion, typeCode(m.Type))
+	buf = wire.AppendUvarint(buf, m.ID)
+	switch {
+	case m.Reserve != nil:
+		buf = m.Reserve.appendFields(buf)
+	case m.Cancel != nil:
+		buf = wire.AppendString(buf, 1, m.Cancel.RARID)
+	case m.TunnelAlloc != nil:
+		buf = m.TunnelAlloc.appendFields(buf)
+	case m.TunnelRelease != nil:
+		buf = wire.AppendString(buf, 1, m.TunnelRelease.TunnelRARID)
+		buf = wire.AppendString(buf, 2, m.TunnelRelease.SubFlowID)
+	case m.TunnelBatch != nil:
+		buf = m.TunnelBatch.appendFields(buf)
+	case m.Status != nil:
+		buf = wire.AppendString(buf, 1, m.Status.RARID)
+	case m.Result != nil:
+		buf = m.Result.appendFields(buf)
+	}
+	return buf
+}
+
+// decodeBinary parses a binary frame (data[0] == BinMagic).
+func decodeBinary(data []byte) (*Message, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("signalling: binary frame of %d bytes", len(data))
+	}
+	if data[1] != BinVersion {
+		return nil, fmt.Errorf("signalling: unsupported frame version %d", data[1])
+	}
+	code := data[2]
+	if int(code) >= len(typeCodes) || code == 0 {
+		return nil, fmt.Errorf("signalling: unknown message type code %d", code)
+	}
+	m := &Message{Type: typeCodes[code]}
+	d := &wire.Dec{Buf: data[3:]}
+	m.ID = d.Uvarint()
+	var err error
+	switch m.Type {
+	case MsgReserve:
+		p := &ReservePayload{}
+		err = p.decodeFields(d)
+		m.Reserve = p
+	case MsgCancel:
+		p := &CancelPayload{}
+		err = decodeRARIDFields(d, &p.RARID)
+		m.Cancel = p
+	case MsgTunnelAlloc:
+		p := &TunnelAllocPayload{}
+		err = p.decodeFields(d)
+		m.TunnelAlloc = p
+	case MsgTunnelRelease:
+		p := &TunnelReleasePayload{}
+		err = p.decodeFields(d)
+		m.TunnelRelease = p
+	case MsgTunnelBatch:
+		p := &TunnelBatchPayload{}
+		err = p.decodeFields(d)
+		m.TunnelBatch = p
+	case MsgStatus:
+		p := &StatusPayload{}
+		err = decodeRARIDFields(d, &p.RARID)
+		m.Status = p
+	case MsgResult:
+		p := &ResultPayload{}
+		err = p.decodeFields(d)
+		m.Result = p
+	}
+	if err != nil {
+		return nil, fmt.Errorf("signalling: decode %s: %w", m.Type, err)
+	}
+	return m, nil
+}
+
+// skipUnknown handles a tag no decoder claimed.
+func skipUnknown(d *wire.Dec, wt byte) { d.Skip(wt) }
+
+// decodeRARIDFields decodes the single-string payloads (cancel,
+// status): field 1 = rar id.
+func decodeRARIDFields(d *wire.Dec, rarID *string) error {
+	for d.More() {
+		f, wt := d.Tag()
+		if f == 1 && wt == wire.TBytes {
+			*rarID = d.String()
+		} else {
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// ReservePayload: 1=mode 2=trace_id 3=envelope.
+func (p *ReservePayload) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, string(p.Mode))
+	buf = wire.AppendString(buf, 2, p.TraceID)
+	buf = wire.AppendBytes(buf, 3, p.EnvelopeData)
+	return buf
+}
+
+func (p *ReservePayload) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			p.Mode = ReserveMode(d.String())
+		case f == 2 && wt == wire.TBytes:
+			p.TraceID = d.String()
+		case f == 3 && wt == wire.TBytes:
+			p.EnvelopeData = append([]byte(nil), d.Bytes()...)
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// TunnelAllocPayload: 1=tunnel_rar_id 2=sub_flow_id 3=user 4=bandwidth.
+func (p *TunnelAllocPayload) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, p.TunnelRARID)
+	buf = wire.AppendString(buf, 2, p.SubFlowID)
+	buf = wire.AppendString(buf, 3, string(p.User))
+	buf = wire.AppendInt(buf, 4, p.Bandwidth)
+	return buf
+}
+
+func (p *TunnelAllocPayload) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			p.TunnelRARID = d.String()
+		case f == 2 && wt == wire.TBytes:
+			p.SubFlowID = d.String()
+		case f == 3 && wt == wire.TBytes:
+			p.User = identity.DN(d.String())
+		case f == 4 && wt == wire.TVarint:
+			p.Bandwidth = d.Varint()
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// TunnelReleasePayload: 1=tunnel_rar_id 2=sub_flow_id.
+func (p *TunnelReleasePayload) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			p.TunnelRARID = d.String()
+		case f == 2 && wt == wire.TBytes:
+			p.SubFlowID = d.String()
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// Batch op action codes; string forms stay on the JSON wire only.
+const (
+	opCodeAlloc   = 1
+	opCodeRelease = 2
+)
+
+// TunnelOp: 1=action(code) 2=sub_flow_id 3=bandwidth. Ops dominate
+// batch frames, so their encoding is the hottest in the codec.
+func (op *TunnelOp) appendFields(buf []byte) []byte {
+	switch op.Action {
+	case OpAlloc:
+		buf = wire.AppendUint(buf, 1, opCodeAlloc)
+	case OpRelease:
+		buf = wire.AppendUint(buf, 1, opCodeRelease)
+	default:
+		// Unknown actions encode as the literal string in field 4 so
+		// Validate still sees (and rejects) them after a round trip.
+		buf = wire.AppendString(buf, 4, string(op.Action))
+	}
+	buf = wire.AppendString(buf, 2, op.SubFlowID)
+	buf = wire.AppendInt(buf, 3, op.Bandwidth)
+	return buf
+}
+
+func (op *TunnelOp) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TVarint:
+			switch d.Uvarint() {
+			case opCodeAlloc:
+				op.Action = OpAlloc
+			case opCodeRelease:
+				op.Action = OpRelease
+			}
+		case f == 2 && wt == wire.TBytes:
+			op.SubFlowID = d.String()
+		case f == 3 && wt == wire.TVarint:
+			op.Bandwidth = d.Varint()
+		case f == 4 && wt == wire.TBytes:
+			op.Action = TunnelOpAction(d.String())
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// TunnelBatchPayload: 1=tunnel_rar_id 2=batch_id 3=user 4=ops(repeated).
+func (p *TunnelBatchPayload) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, p.TunnelRARID)
+	buf = wire.AppendString(buf, 2, p.BatchID)
+	buf = wire.AppendString(buf, 3, string(p.User))
+	for i := range p.Ops {
+		var start int
+		buf, start = wire.BeginNested(buf, 4)
+		buf = p.Ops[i].appendFields(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	return buf
+}
+
+func (p *TunnelBatchPayload) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			p.TunnelRARID = d.String()
+		case f == 2 && wt == wire.TBytes:
+			p.BatchID = d.String()
+		case f == 3 && wt == wire.TBytes:
+			p.User = identity.DN(d.String())
+		case f == 4 && wt == wire.TBytes:
+			sub := wire.Dec{Buf: d.Bytes()}
+			var op TunnelOp
+			if err := op.decodeFields(&sub); err != nil {
+				return err
+			}
+			p.Ops = append(p.Ops, op)
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// TunnelOpResult: 1=sub_flow_id 2=granted 3=reason.
+func (r *TunnelOpResult) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, r.SubFlowID)
+	buf = wire.AppendBool(buf, 2, r.Granted)
+	buf = wire.AppendString(buf, 3, r.Reason)
+	return buf
+}
+
+func (r *TunnelOpResult) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			r.SubFlowID = d.String()
+		case f == 2 && wt == wire.TVarint:
+			r.Granted = d.Bool()
+		case f == 3 && wt == wire.TBytes:
+			r.Reason = d.String()
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// DomainApproval: 1=domain 2=bb_dn 3=rar_id 4=handle 5=granted
+// 6=reason 7=signature. appendCore (fields 1-6) doubles as the
+// canonical signing payload — see approvalPayload in messages.go.
+func (a *DomainApproval) appendCore(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, a.Domain)
+	buf = wire.AppendString(buf, 2, string(a.BBDN))
+	buf = wire.AppendString(buf, 3, a.RARID)
+	buf = wire.AppendString(buf, 4, a.Handle)
+	buf = wire.AppendBool(buf, 5, a.Granted)
+	buf = wire.AppendString(buf, 6, a.Reason)
+	return buf
+}
+
+func (a *DomainApproval) appendFields(buf []byte) []byte {
+	buf = a.appendCore(buf)
+	buf = wire.AppendBytes(buf, 7, a.Signature)
+	return buf
+}
+
+func (a *DomainApproval) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			a.Domain = d.String()
+		case f == 2 && wt == wire.TBytes:
+			a.BBDN = identity.DN(d.String())
+		case f == 3 && wt == wire.TBytes:
+			a.RARID = d.String()
+		case f == 4 && wt == wire.TBytes:
+			a.Handle = d.String()
+		case f == 5 && wt == wire.TVarint:
+			a.Granted = d.Bool()
+		case f == 6 && wt == wire.TBytes:
+			a.Reason = d.String()
+		case f == 7 && wt == wire.TBytes:
+			a.Signature = append([]byte(nil), d.Bytes()...)
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// ResultPayload: 1=granted 2=reason 3=handle 4=approvals(repeated)
+// 5=policy_info(repeated k/v pairs, key-sorted) 6=trace_id
+// 7=trace(repeated spans) 8=batch_results(repeated).
+func (p *ResultPayload) appendFields(buf []byte) []byte {
+	buf = wire.AppendBool(buf, 1, p.Granted)
+	buf = wire.AppendString(buf, 2, p.Reason)
+	buf = wire.AppendString(buf, 3, p.Handle)
+	for i := range p.Approvals {
+		var start int
+		buf, start = wire.BeginNested(buf, 4)
+		buf = p.Approvals[i].appendFields(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	buf = appendPolicyInfo(buf, 5, p.PolicyInfo)
+	buf = wire.AppendString(buf, 6, p.TraceID)
+	for i := range p.Trace {
+		var start int
+		buf, start = wire.BeginNested(buf, 7)
+		buf = p.Trace[i].AppendWire(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	for i := range p.BatchResults {
+		var start int
+		buf, start = wire.BeginNested(buf, 8)
+		buf = p.BatchResults[i].appendFields(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	return buf
+}
+
+func (p *ResultPayload) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TVarint:
+			p.Granted = d.Bool()
+		case f == 2 && wt == wire.TBytes:
+			p.Reason = d.String()
+		case f == 3 && wt == wire.TBytes:
+			p.Handle = d.String()
+		case f == 4 && wt == wire.TBytes:
+			sub := wire.Dec{Buf: d.Bytes()}
+			var a DomainApproval
+			if err := a.decodeFields(&sub); err != nil {
+				return err
+			}
+			p.Approvals = append(p.Approvals, a)
+		case f == 5 && wt == wire.TBytes:
+			if p.PolicyInfo == nil {
+				p.PolicyInfo = make(map[string]string)
+			}
+			sub := wire.Dec{Buf: d.Bytes()}
+			k := sub.String()
+			v := sub.String()
+			if err := sub.Err(); err != nil {
+				return err
+			}
+			p.PolicyInfo[k] = v
+		case f == 6 && wt == wire.TBytes:
+			p.TraceID = d.String()
+		case f == 7 && wt == wire.TBytes:
+			var s obs.Span
+			if err := s.DecodeWire(d.Bytes()); err != nil {
+				return err
+			}
+			p.Trace = append(p.Trace, s)
+		case f == 8 && wt == wire.TBytes:
+			sub := wire.Dec{Buf: d.Bytes()}
+			var r TunnelOpResult
+			if err := r.decodeFields(&sub); err != nil {
+				return err
+			}
+			p.BatchResults = append(p.BatchResults, r)
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
+// appendPolicyInfo encodes a string map as repeated (len-key len-value)
+// pairs in ascending key order, so equal maps encode to equal bytes.
+// Maps are cold-path (cost quotes, SLS attributes): the sort's small
+// allocation is acceptable outside the zero-alloc gate, and empty maps
+// cost nothing.
+func appendPolicyInfo(buf []byte, field uint32, m map[string]string) []byte {
+	if len(m) == 0 {
+		return buf
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var start int
+		buf, start = wire.BeginNested(buf, field)
+		buf = wire.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		v := m[k]
+		buf = wire.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+		buf = wire.EndNested(buf, start)
+	}
+	return buf
+}
+
+// encBufPool recycles encode buffers for the RPC send paths. Both
+// transports finish with the buffer before Send returns (memory copies,
+// TLS writes through), so returning it to the pool afterwards is safe.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// appendWire encodes m in the requested mode on the given buffer.
+func (m *Message) appendWire(buf []byte, mode WireMode) ([]byte, error) {
+	if mode == WireJSON {
+		data, err := m.EncodeJSON()
+		if err != nil {
+			return nil, err
+		}
+		return append(buf, data...), nil
+	}
+	return m.AppendBinary(buf), nil
+}

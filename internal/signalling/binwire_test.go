@@ -1,0 +1,305 @@
+package signalling
+
+import (
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
+	"e2eqos/internal/transport"
+)
+
+// goldenMessages is one deterministic message per wire type. The
+// vectors below pin the binary encoding of each: any byte-level change
+// to the codec is a wire-format break and must show up here, not in
+// production cross-version traffic.
+func goldenMessages() []struct {
+	name string
+	msg  *Message
+	hex  string
+} {
+	return []struct {
+		name string
+		msg  *Message
+		hex  string
+	}{
+		{
+			name: "reserve",
+			msg: &Message{Type: MsgReserve, ID: 1, Reserve: &ReservePayload{
+				Mode:         ModeEndToEnd,
+				TraceID:      "T-1",
+				EnvelopeData: []byte{0xE5, 0x01, 0x0A},
+			}},
+			hex: "e20101010a036532651203542d311a03e5010a",
+		},
+		{
+			name: "cancel",
+			msg:  &Message{Type: MsgCancel, ID: 2, Cancel: &CancelPayload{RARID: "RAR-1"}},
+			hex:  "e20102020a055241522d31",
+		},
+		{
+			name: "tunnel-alloc",
+			msg: &Message{Type: MsgTunnelAlloc, ID: 3, TunnelAlloc: &TunnelAllocPayload{
+				TunnelRARID: "RAR-T",
+				SubFlowID:   "sf-1",
+				User:        identity.DN("/O=Grid/CN=alice"),
+				Bandwidth:   1000000,
+			}},
+			hex: "e20103030a055241522d54120473662d311a102f4f3d477269642f434e3d616c6963652080897a",
+		},
+		{
+			name: "tunnel-release",
+			msg: &Message{Type: MsgTunnelRelease, ID: 4, TunnelRelease: &TunnelReleasePayload{
+				TunnelRARID: "RAR-T",
+				SubFlowID:   "sf-1",
+			}},
+			hex: "e20104040a055241522d54120473662d31",
+		},
+		{
+			name: "tunnel-batch",
+			msg: &Message{Type: MsgTunnelBatch, ID: 5, TunnelBatch: &TunnelBatchPayload{
+				TunnelRARID: "RAR-T",
+				BatchID:     "B-1",
+				User:        identity.DN("/O=Grid/CN=alice"),
+				Ops: []TunnelOp{
+					{Action: OpAlloc, SubFlowID: "s1", Bandwidth: 500},
+					{Action: OpRelease, SubFlowID: "s2"},
+				},
+			}},
+			hex: "e20105050a055241522d541203422d311a102f4f3d477269642f434e3d616c696365220908011202733118e8072206080212027332",
+		},
+		{
+			name: "status",
+			msg:  &Message{Type: MsgStatus, ID: 6, Status: &StatusPayload{RARID: "RAR-1"}},
+			hex:  "e20106060a055241522d31",
+		},
+		{
+			name: "result",
+			msg: &Message{Type: MsgResult, ID: 7, Result: &ResultPayload{
+				Granted: true,
+				Handle:  "h-1",
+				Approvals: []DomainApproval{{
+					Domain:    "DomainA",
+					BBDN:      identity.DN("/O=Grid/CN=bb-a"),
+					RARID:     "RAR-1",
+					Handle:    "h-1",
+					Granted:   true,
+					Signature: []byte{0xDE, 0xAD},
+				}},
+				PolicyInfo:   map[string]string{"cost": "2", "bw": "5"},
+				TraceID:      "T-1",
+				Trace:        []obs.Span{{Domain: "DomainA", BB: "/O=Grid/CN=bb-a", Verdict: "granted", TotalNS: 42}},
+				BatchResults: []TunnelOpResult{{SubFlowID: "s1", Granted: true}, {SubFlowID: "s2", Reason: "no capacity"}},
+			}},
+			hex: "e201070708011a03682d31" +
+				"222c0a07446f6d61696e41120f2f4f3d477269642f434e3d62622d611a055241522d312203682d3128013a02dead" +
+				"2a0502627701352a0704636f73740132" +
+				"3203542d31" +
+				"3a250a07446f6d61696e41120f2f4f3d477269642f434e3d62622d611a076772616e7465645054" +
+				"42060a027331100142110a0273321a0b6e6f206361706163697479",
+		},
+	}
+}
+
+func TestGoldenWireVectors(t *testing.T) {
+	for _, g := range goldenMessages() {
+		got := g.msg.AppendBinary(nil)
+		if hex.EncodeToString(got) != g.hex {
+			t.Errorf("%s: encoded %s\n            want %s", g.name, hex.EncodeToString(got), g.hex)
+			continue
+		}
+		want, err := hex.DecodeString(g.hex)
+		if err != nil {
+			t.Fatalf("%s: bad vector: %v", g.name, err)
+		}
+		dec, err := DecodeMessage(want)
+		if err != nil {
+			t.Errorf("%s: golden bytes failed to decode: %v", g.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(dec, g.msg) {
+			t.Errorf("%s: golden bytes decoded to\n%+v\nwant\n%+v", g.name, dec, g.msg)
+		}
+	}
+}
+
+// TestJSONBinaryCrossDecode proves the two encodings carry the same
+// information: a message serialised as JSON and re-decoded must equal
+// the binary-decoded original, and vice versa. This is the contract the
+// `-wire json` interop mode rests on.
+func TestJSONBinaryCrossDecode(t *testing.T) {
+	for _, g := range goldenMessages() {
+		jsonBytes, err := g.msg.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: EncodeJSON: %v", g.name, err)
+		}
+		fromJSON, err := DecodeMessage(jsonBytes)
+		if err != nil {
+			t.Fatalf("%s: decode of JSON frame: %v", g.name, err)
+		}
+		fromBinary, err := DecodeMessage(g.msg.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("%s: decode of binary frame: %v", g.name, err)
+		}
+		if !reflect.DeepEqual(fromJSON, fromBinary) {
+			t.Errorf("%s: JSON decode\n%+v\ndisagrees with binary decode\n%+v",
+				g.name, fromJSON, fromBinary)
+		}
+		// And a binary-decoded message must survive re-encoding as JSON.
+		reJSON, err := fromBinary.EncodeJSON()
+		if err != nil {
+			t.Fatalf("%s: re-encode as JSON: %v", g.name, err)
+		}
+		again, err := DecodeMessage(reJSON)
+		if err != nil {
+			t.Fatalf("%s: decode of re-encoded JSON: %v", g.name, err)
+		}
+		if !reflect.DeepEqual(again, fromBinary) {
+			t.Errorf("%s: binary->JSON->decode drifted:\n%+v\nwant\n%+v",
+				g.name, again, fromBinary)
+		}
+	}
+}
+
+// TestBinaryFramesSkipUnknownFields pins the forward-compatibility
+// rule: a frame carrying a field number this decoder has never heard
+// of must still decode, dropping only the unknown field.
+func TestBinaryFramesSkipUnknownFields(t *testing.T) {
+	frame := (&Message{Type: MsgCancel, ID: 9, Cancel: &CancelPayload{RARID: "R"}}).AppendBinary(nil)
+	// Append an unknown bytes field 15 and an unknown varint field 14.
+	frame = append(frame, 15<<3|2, 3, 'x', 'y', 'z', 14<<3|0, 7)
+	msg, err := DecodeMessage(frame)
+	if err != nil {
+		t.Fatalf("frame with unknown fields rejected: %v", err)
+	}
+	if msg.Cancel == nil || msg.Cancel.RARID != "R" || msg.ID != 9 {
+		t.Fatalf("known fields lost around unknown ones: %+v", msg)
+	}
+}
+
+// TestApprovalSignatureFieldBoundaries is the regression test for the
+// field-masquerading fix: the old signing payload joined fields with
+// '|', so shifting bytes across a field boundary produced the same
+// payload — here RARID "R|evil" vs RARID "R" with Domain "evil|D"
+// would both have signed as "approval|R|evil|D|...". The canonical
+// binary payload length-prefixes every field, so the shifted approval
+// must fail verification.
+func TestApprovalSignatureFieldBoundaries(t *testing.T) {
+	key, err := identity.GenerateKeyPair(identity.NewDN("Grid", "DomainA", "bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed := &DomainApproval{
+		Domain: "D", BBDN: key.DN, RARID: "R|evil",
+		Handle: "h", Granted: true,
+	}
+	if err := SignApproval(signed, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyApproval(signed, key.Public()); err != nil {
+		t.Fatalf("honest approval failed verification: %v", err)
+	}
+	shifted := &DomainApproval{
+		Domain: "evil|D", BBDN: key.DN, RARID: "R",
+		Handle: "h", Granted: true,
+		Signature: signed.Signature,
+	}
+	if err := VerifyApproval(shifted, key.Public()); err == nil {
+		t.Fatal("boundary-shifted approval verified under the original signature")
+	}
+	// And flipping the granted verdict must of course also fail.
+	denied := *signed
+	denied.Granted = false
+	if err := VerifyApproval(&denied, key.Public()); err == nil {
+		t.Fatal("verdict-flipped approval verified under the original signature")
+	}
+}
+
+// slowSinkConn is a transport.Conn stub whose Send honours the send
+// deadline by failing with a timeout (modelling a peer that stopped
+// reading: the write blocks until the deadline expires, potentially
+// leaving a half-written frame on a stream transport). Recv blocks
+// until the connection is closed.
+type slowSinkConn struct {
+	mu       sync.Mutex
+	deadline time.Time
+	closed   chan struct{}
+	once     sync.Once
+}
+
+func newSlowSinkConn() *slowSinkConn {
+	return &slowSinkConn{closed: make(chan struct{})}
+}
+
+func (c *slowSinkConn) Send(msg []byte) error {
+	c.mu.Lock()
+	dl := c.deadline
+	c.mu.Unlock()
+	if !dl.IsZero() {
+		select {
+		case <-time.After(time.Until(dl)):
+			return transport.ErrTimeout
+		case <-c.closed:
+			return fmt.Errorf("slowSinkConn: closed")
+		}
+	}
+	<-c.closed
+	return fmt.Errorf("slowSinkConn: closed")
+}
+
+func (c *slowSinkConn) Recv() ([]byte, error) {
+	<-c.closed
+	return nil, fmt.Errorf("slowSinkConn: closed")
+}
+
+func (c *slowSinkConn) SetDeadline(t time.Time) error { return c.SetSendDeadline(t) }
+
+func (c *slowSinkConn) SetSendDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *slowSinkConn) PeerDN() identity.DN { return identity.DN("/O=Grid/CN=stuck-peer") }
+func (c *slowSinkConn) PeerCertDER() []byte { return nil }
+func (c *slowSinkConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// TestSendTimeoutIsTerminal is the regression test for the half-written
+// frame fix: a send-deadline expiry may leave a truncated frame on the
+// wire, so it must kill the whole client — Alive flips false and the
+// next call fails fast — rather than letting the pool reuse a
+// connection whose stream is mid-frame.
+func TestSendTimeoutIsTerminal(t *testing.T) {
+	conn := newSlowSinkConn()
+	c := NewClient(conn)
+	defer c.Close()
+
+	msg := &Message{Type: MsgStatus, Status: &StatusPayload{RARID: "R"}}
+	_, err := c.CallTimeout(msg, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("call over a stuck connection succeeded")
+	}
+	if !transport.IsTimeout(err) {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if c.Alive() {
+		t.Fatal("client still Alive after a send-deadline expiry left a half-written frame")
+	}
+	// The next call must fail fast on the recorded terminal fault, not
+	// wait out another deadline.
+	start := time.Now()
+	if _, err := c.CallTimeout(msg, time.Second); err == nil {
+		t.Fatal("call on a dead client succeeded")
+	}
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Fatalf("post-fault call blocked %v; want immediate failure", waited)
+	}
+}

@@ -29,6 +29,30 @@ func FuzzDecodeMessage(f *testing.F) {
 		[]byte("\x00\x01\x02"),
 		[]byte(``),
 	}
+	// Binary-frame seeds: each golden frame, plus the malformed shapes
+	// the binary decoder must classify without panicking — torn varints,
+	// truncated frames, wrong wire types on known tags, and frames from
+	// the future.
+	for _, g := range goldenMessages() {
+		frame := g.msg.AppendBinary(nil)
+		seeds = append(seeds,
+			frame,
+			frame[:len(frame)-1],             // truncated tail
+			frame[:3],                        // header only, ID missing
+			append(frame[:len(frame):len(frame)], 0x80), // torn trailing varint
+		)
+	}
+	seeds = append(seeds,
+		[]byte{BinMagic},                                  // magic alone
+		[]byte{BinMagic, BinVersion},                      // no type code
+		[]byte{BinMagic, 99, 2, 0},                        // future version
+		[]byte{BinMagic, BinVersion, 0, 0},                // type code 0
+		[]byte{BinMagic, BinVersion, 200, 0},              // unknown type code
+		[]byte{BinMagic, BinVersion, 2, 0x80, 0x80, 0x80}, // torn ID varint
+		[]byte{BinMagic, BinVersion, 2, 1, 0x0a, 0xff},    // bytes length past end
+		[]byte{BinMagic, BinVersion, 2, 1, 0x08, 0x01},    // tag collision: field 1 as varint
+		[]byte{BinMagic, BinVersion, 6, 1, 0x0d, 0x00},    // unsupported wire type 5
+	)
 	for _, s := range seeds {
 		f.Add(s)
 	}

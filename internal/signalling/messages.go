@@ -80,8 +80,10 @@ type ReservePayload struct {
 	// a trace span; the spans come back in the result payload. Empty
 	// disables tracing at zero per-hop cost.
 	TraceID string `json:"trace_id,omitempty"`
-	// EnvelopeData is the encoded envelope (RAR_U, RAR_A, ...).
-	EnvelopeData json.RawMessage `json:"envelope"`
+	// EnvelopeData is the encoded envelope (RAR_U, RAR_A, ...),
+	// carried as opaque bytes: the envelope's canonical binary
+	// encoding, base64-wrapped when the frame itself travels as JSON.
+	EnvelopeData []byte `json:"envelope"`
 }
 
 // Envelope decodes the carried envelope.
@@ -235,9 +237,16 @@ type DomainApproval struct {
 	Signature []byte `json:"signature"`
 }
 
+// approvalPayload is the canonical byte string a domain approval
+// signature covers: a domain-separation prefix plus the approval's
+// binary field encoding (without the signature field). Every field is
+// length-prefixed and tagged, so no value can shift bytes into a
+// neighbouring field — the `|`-joined text form this replaces let a
+// Reason or Handle containing '|' masquerade as another field under
+// the same signature.
 func approvalPayload(a *DomainApproval) []byte {
-	return []byte(fmt.Sprintf("approval|%s|%s|%s|%s|%t|%s",
-		a.RARID, a.Domain, a.BBDN, a.Handle, a.Granted, a.Reason))
+	buf := append(make([]byte, 0, 128), "e2eqos-approval-v1\x00"...)
+	return a.appendCore(buf)
 }
 
 // SignApproval fills in the signature using the broker's key.
@@ -261,8 +270,15 @@ func VerifyApproval(a *DomainApproval, pub *ecdsa.PublicKey) error {
 	return nil
 }
 
-// Encode serialises a message for the wire.
+// Encode serialises a message in the canonical binary framing. The
+// JSON form remains available through EncodeJSON for the `-wire json`
+// interop mode; DecodeMessage accepts both.
 func (m *Message) Encode() ([]byte, error) {
+	return m.AppendBinary(nil), nil
+}
+
+// EncodeJSON serialises a message in the JSON debug/interop framing.
+func (m *Message) EncodeJSON() ([]byte, error) {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("signalling: encode: %w", err)
@@ -270,8 +286,14 @@ func (m *Message) Encode() ([]byte, error) {
 	return data, nil
 }
 
-// DecodeMessage reverses Encode.
+// DecodeMessage parses one frame in either encoding, discriminated by
+// the first byte: binary frames start with BinMagic, JSON frames with
+// '{'. The per-connection wire negotiation rests on this — a server
+// answers in whatever encoding the request arrived in.
 func DecodeMessage(data []byte) (*Message, error) {
+	if len(data) > 0 && data[0] == BinMagic {
+		return decodeBinary(data)
+	}
 	var m Message
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("signalling: decode: %w", err)

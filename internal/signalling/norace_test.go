@@ -1,0 +1,5 @@
+//go:build !race
+
+package signalling
+
+const raceEnabled = false

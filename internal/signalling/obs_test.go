@@ -82,8 +82,9 @@ func TestServeReportsHandlerPanic(t *testing.T) {
 	}
 }
 
-// TestServeLogsMalformedMessage: garbage on the wire is dropped with a
-// warning naming the peer, not silently.
+// TestServeLogsMalformedMessage: garbage on the wire is answered with
+// an error result and a warning naming the peer — the connection (and
+// every other call multiplexed on it) survives.
 func TestServeLogsMalformedMessage(t *testing.T) {
 	net := transport.NewNetwork(0)
 	server := net.NewEndpoint("/CN=server", nil)
@@ -105,9 +106,33 @@ func TestServeLogsMalformedMessage(t *testing.T) {
 	if err := conn.Send([]byte("{not json")); err != nil {
 		t.Fatal(err)
 	}
-	// The server drops the connection; Recv surfaces that.
-	if _, err := conn.Recv(); err == nil {
-		t.Fatal("server kept a connection that sent garbage")
+	// The server answers an error result and keeps the connection: a
+	// single bad body must not kill the other multiplexed calls.
+	raw, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("server dropped the connection instead of answering: %v", err)
+	}
+	resp, err := DecodeMessage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil || resp.Result.Granted {
+		t.Fatalf("garbage answered with %+v, want denied result", resp)
+	}
+	// The connection still serves well-formed requests afterwards.
+	ok, err := (&Message{Type: MsgStatus, ID: 7, Status: &StatusPayload{RARID: "r"}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(ok); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = conn.Recv()
+	if err != nil {
+		t.Fatalf("connection unusable after malformed frame: %v", err)
+	}
+	if resp, err = DecodeMessage(raw); err != nil || resp.ID != 7 {
+		t.Fatalf("post-garbage call: resp=%+v err=%v", resp, err)
 	}
 	out := sink.String()
 	if !strings.Contains(out, "malformed") || !strings.Contains(out, "/CN=client") {

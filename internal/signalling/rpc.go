@@ -1,6 +1,7 @@
 package signalling
 
 import (
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"runtime/debug"
@@ -11,6 +12,7 @@ import (
 	"e2eqos/internal/identity"
 	"e2eqos/internal/obs"
 	"e2eqos/internal/transport"
+	"e2eqos/internal/wire"
 )
 
 // Peer describes the authenticated remote side of a connection, as
@@ -148,11 +150,25 @@ func serveConn(conn transport.Conn, h Handler, logger *slog.Logger) {
 		if err != nil {
 			return
 		}
+		// Answer in the encoding the request arrived in: this is the
+		// whole per-connection wire negotiation. A `-wire json` client
+		// only ever sends JSON frames, so it only ever receives them.
+		mode := WireBinary
+		if len(data) == 0 || data[0] != BinMagic {
+			mode = WireJSON
+		}
 		msg, err := DecodeMessage(data)
 		if err != nil {
-			logger.Warn("signalling: dropping malformed message",
+			// The transport is message-oriented, so one undecodable body
+			// is never a framing desync: answer an error result (with a
+			// best-effort request ID so the caller fails fast instead of
+			// timing out) and keep serving the other multiplexed calls.
+			logger.Warn("signalling: malformed message body",
 				obs.AttrPeer, string(peer.DN), "err", err)
-			return
+			resp := ErrorResult("malformed request: " + err.Error())
+			resp.ID = peekID(data)
+			sendResponse(conn, resp, mode, peer, logger)
+			continue
 		}
 		// One goroutine per request: the transport's Send is safe for
 		// concurrent use on both implementations, and the mux client
@@ -169,18 +185,52 @@ func serveConn(conn transport.Conn, h Handler, logger *slog.Logger) {
 			// requests), and two requests must not race on its ID field.
 			stamped := *resp
 			stamped.ID = msg.ID
-			out, err := stamped.Encode()
-			if err != nil {
-				logger.Error("signalling: encoding response failed",
-					obs.AttrPeer, string(peer.DN), "type", string(msg.Type), "err", err)
-				conn.Close()
-				return
-			}
-			if err := conn.Send(out); err != nil {
-				conn.Close()
-			}
+			sendResponse(conn, &stamped, mode, peer, logger)
 		}()
 	}
+}
+
+// sendResponse encodes resp in the request's wire mode on a pooled
+// buffer and sends it, closing the connection on transport failure.
+func sendResponse(conn transport.Conn, resp *Message, mode WireMode, peer Peer, logger *slog.Logger) {
+	bufp := encBufPool.Get().(*[]byte)
+	out, err := resp.appendWire((*bufp)[:0], mode)
+	if err != nil {
+		encBufPool.Put(bufp)
+		logger.Error("signalling: encoding response failed",
+			obs.AttrPeer, string(peer.DN), "err", err)
+		conn.Close()
+		return
+	}
+	sendErr := conn.Send(out)
+	*bufp = out[:0]
+	encBufPool.Put(bufp)
+	if sendErr != nil {
+		conn.Close()
+	}
+}
+
+// peekID extracts the request ID from a frame whose body failed to
+// decode, so the error result reaches the waiting call. Binary frames
+// carry the ID right after the fixed header; for JSON a lenient
+// partial decode is attempted. Zero (no waiter) when nothing can be
+// recovered — the peer's call then times out instead of failing fast,
+// which is safe, just slower.
+func peekID(data []byte) uint64 {
+	if len(data) > 3 && data[0] == BinMagic {
+		d := wire.Dec{Buf: data[3:]}
+		if id := d.Uvarint(); d.Err() == nil {
+			return id
+		}
+		return 0
+	}
+	var hdr struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.Unmarshal(data, &hdr); err != nil {
+		return 0
+	}
+	return hdr.ID
 }
 
 // safeHandle dispatches one request, converting a handler panic into
@@ -228,15 +278,21 @@ type Client struct {
 	// time before the first call.
 	Timeout time.Duration
 
+	// Wire selects the frame encoding for outbound requests (the
+	// server mirrors it per request). Set before the first call;
+	// the zero value is the binary hot path, WireJSON the debug mode.
+	Wire WireMode
+
 	sendMu sync.Mutex // serializes Send and send-deadline handling
 
 	mu      sync.Mutex
 	nextID  uint64
 	waiters map[uint64]chan *Message
-	err     error // terminal fault, set exactly once when the demux loop exits
+	err     error // terminal fault, set once when the client dies
 	closing bool  // CloseWhenIdle called: refuse new calls, close at drain
 
-	done chan struct{} // closed when the demux loop exits
+	failOnce sync.Once     // makes fail idempotent: demux exit and send faults race
+	done     chan struct{} // closed when the client dies
 
 	late atomic.Int64 // responses dropped because their waiter was gone
 }
@@ -338,16 +394,20 @@ func (c *Client) demux() {
 }
 
 // fail records the terminal error, wakes every in-flight call, and
-// marks the client dead. Called exactly once, by the demux loop.
+// marks the client dead. Idempotent: the demux loop calls it when Recv
+// fails, and a send fault calls it directly so Alive flips false
+// before the demux loop ever notices the closed connection.
 func (c *Client) fail(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
-	}
-	c.waiters = make(map[uint64]chan *Message)
-	c.mu.Unlock()
-	close(c.done) // waiters and Alive observe the death through done
-	c.conn.Close()
+	c.failOnce.Do(func() {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.waiters = make(map[uint64]chan *Message)
+		c.mu.Unlock()
+		close(c.done) // waiters and Alive observe the death through done
+		c.conn.Close()
+	})
 }
 
 // Call sends msg and blocks for the matching response, honouring the
@@ -386,12 +446,17 @@ func (c *Client) CallTimeout(msg *Message, timeout time.Duration) (*Message, err
 	// request/response matching of concurrent calls.
 	m := *msg
 	m.ID = id
-	data, err := m.Encode()
+	bufp := encBufPool.Get().(*[]byte)
+	data, err := m.appendWire((*bufp)[:0], c.Wire)
 	if err != nil {
+		encBufPool.Put(bufp)
 		c.unregister(id)
 		return nil, err
 	}
-	if err := c.send(data, timeout); err != nil {
+	err = c.send(data, timeout)
+	*bufp = data[:0]
+	encBufPool.Put(bufp)
+	if err != nil {
 		c.unregister(id)
 		return nil, fmt.Errorf("signalling: send to %s: %w", c.conn.PeerDN(), err)
 	}
@@ -425,16 +490,27 @@ func (c *Client) CallTimeout(msg *Message, timeout time.Duration) (*Message, err
 
 // send transmits one frame under the send mutex, bounding the write
 // with a send-only deadline so a concurrent demux Recv is unaffected.
+// Any send failure is terminal for the whole client: a deadline expiry
+// (or any partial write on a stream transport) may leave a truncated
+// frame on the wire, and the next write would land mid-frame. Marking
+// the client dead here makes Alive report false immediately, so the
+// peer pool evicts and redials instead of writing onto a corrupt
+// stream.
 func (c *Client) send(data []byte, timeout time.Duration) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if timeout > 0 {
 		if err := c.conn.SetSendDeadline(time.Now().Add(timeout)); err != nil {
+			c.fail(fmt.Errorf("signalling: send deadline on %s: %w", c.conn.PeerDN(), err))
 			return err
 		}
 		defer c.conn.SetSendDeadline(time.Time{})
 	}
-	return c.conn.Send(data)
+	if err := c.conn.Send(data); err != nil {
+		c.fail(fmt.Errorf("signalling: send to %s: %w", c.conn.PeerDN(), err))
+		return err
+	}
+	return nil
 }
 
 // unregister withdraws a waiter (deadline expiry, send failure) and

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 21, 1 << 35, math.MaxUint64} {
+		buf := AppendUvarint(nil, v)
+		d := Dec{Buf: buf}
+		if got := d.Uvarint(); got != v || d.Err() != nil {
+			t.Errorf("uvarint %d round-tripped to %d (err %v)", v, got, d.Err())
+		}
+		if d.More() {
+			t.Errorf("uvarint %d left %d trailing bytes", v, len(buf))
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 64, math.MaxInt64, math.MinInt64} {
+		buf := AppendVarint(nil, v)
+		d := Dec{Buf: buf}
+		if got := d.Varint(); got != v || d.Err() != nil {
+			t.Errorf("varint %d round-tripped to %d (err %v)", v, got, d.Err())
+		}
+	}
+}
+
+func TestZigzagSmallNegativesStayShort(t *testing.T) {
+	if n := len(AppendVarint(nil, -1)); n != 1 {
+		t.Errorf("-1 took %d bytes, want 1", n)
+	}
+	if n := len(AppendVarint(nil, -64)); n != 1 {
+		t.Errorf("-64 took %d bytes, want 1", n)
+	}
+}
+
+func TestUvarintRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"torn":      {0x80},
+		"torn long": {0x80, 0x80, 0x80},
+		"too long":  bytes.Repeat([]byte{0x80}, 11),
+		"overflow":  append(bytes.Repeat([]byte{0xff}, 9), 0x7f),
+	}
+	for name, buf := range cases {
+		d := Dec{Buf: buf}
+		d.Uvarint()
+		if d.Err() == nil {
+			t.Errorf("%s: malformed varint %x decoded without error", name, buf)
+		}
+	}
+}
+
+func TestZeroValuesOmitted(t *testing.T) {
+	buf := AppendUint(nil, 1, 0)
+	buf = AppendInt(buf, 2, 0)
+	buf = AppendBool(buf, 3, false)
+	buf = AppendString(buf, 4, "")
+	buf = AppendBytes(buf, 5, nil)
+	buf = AppendTime(buf, 6, time.Time{})
+	if len(buf) != 0 {
+		t.Fatalf("zero-valued fields encoded %d bytes: %x", len(buf), buf)
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	when := time.Date(2026, 8, 8, 12, 30, 45, 123456789, time.UTC)
+	buf := AppendUint(nil, 1, 42)
+	buf = AppendInt(buf, 2, -7)
+	buf = AppendBool(buf, 3, true)
+	buf = AppendString(buf, 4, "hello")
+	buf = AppendBytes(buf, 5, []byte{0, 1, 2})
+	buf = AppendTime(buf, 6, when)
+
+	d := Dec{Buf: buf}
+	for d.More() {
+		f, wt := d.Tag()
+		switch f {
+		case 1:
+			if v := d.Uvarint(); v != 42 {
+				t.Errorf("field 1 = %d", v)
+			}
+		case 2:
+			if v := d.Varint(); v != -7 {
+				t.Errorf("field 2 = %d", v)
+			}
+		case 3:
+			if !d.Bool() {
+				t.Error("field 3 = false")
+			}
+		case 4:
+			if s := d.String(); s != "hello" {
+				t.Errorf("field 4 = %q", s)
+			}
+		case 5:
+			if b := d.Bytes(); !bytes.Equal(b, []byte{0, 1, 2}) {
+				t.Errorf("field 5 = %x", b)
+			}
+		case 6:
+			if ts := d.Time(); !ts.Equal(when) {
+				t.Errorf("field 6 = %v, want %v", ts, when)
+			}
+		default:
+			d.Skip(wt)
+		}
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestTimeRejectsAbsurdNanos(t *testing.T) {
+	content := AppendUvarint(AppendVarint(nil, 100), 2e9)
+	if ts := DecodeTime(content); !ts.IsZero() {
+		t.Errorf("2e9 nanoseconds decoded to %v, want zero time", ts)
+	}
+}
+
+func TestNestedRoundTrip(t *testing.T) {
+	// A nested message longer than 127 bytes forces a 2-byte length
+	// prefix, exercising EndNested's content shift.
+	long := string(bytes.Repeat([]byte("x"), 200))
+	buf := AppendString(nil, 1, "pre")
+	var start int
+	buf, start = BeginNested(buf, 2)
+	buf = AppendString(buf, 1, long)
+	buf = AppendInt(buf, 2, 99)
+	buf = EndNested(buf, start)
+	buf = AppendString(buf, 3, "post")
+
+	d := Dec{Buf: buf}
+	var pre, post, inner string
+	var n int64
+	for d.More() {
+		f, wt := d.Tag()
+		switch f {
+		case 1:
+			pre = d.String()
+		case 2:
+			sub := Dec{Buf: d.Bytes()}
+			for sub.More() {
+				sf, swt := sub.Tag()
+				switch sf {
+				case 1:
+					inner = sub.String()
+				case 2:
+					n = sub.Varint()
+				default:
+					sub.Skip(swt)
+				}
+			}
+			if sub.Err() != nil {
+				t.Fatal(sub.Err())
+			}
+		case 3:
+			post = d.String()
+		default:
+			d.Skip(wt)
+		}
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if pre != "pre" || post != "post" || inner != long || n != 99 {
+		t.Fatalf("nested round-trip mismatch: pre=%q post=%q len(inner)=%d n=%d",
+			pre, post, len(inner), n)
+	}
+}
+
+func TestUnknownFieldsSkipped(t *testing.T) {
+	buf := AppendUint(nil, 7, 1)            // unknown varint
+	buf = AppendBytes(buf, 8, []byte("??")) // unknown bytes
+	buf = AppendString(buf, 1, "known")
+	d := Dec{Buf: buf}
+	var got string
+	for d.More() {
+		f, wt := d.Tag()
+		if f == 1 && wt == TBytes {
+			got = d.String()
+		} else {
+			d.Skip(wt)
+		}
+	}
+	if d.Err() != nil || got != "known" {
+		t.Fatalf("skip walk: got %q, err %v", got, d.Err())
+	}
+}
+
+func TestDecStickyError(t *testing.T) {
+	d := Dec{Buf: []byte{0x0a, 0xff}} // field 1 bytes, length 127 but 0 remain
+	d.Tag()
+	d.Bytes()
+	if d.Err() == nil {
+		t.Fatal("truncated bytes field decoded without error")
+	}
+	// Every subsequent read must return zeros without advancing.
+	if d.More() || d.Uvarint() != 0 || d.String() != "" || d.Rest() != nil {
+		t.Fatal("reads after a decode error returned data")
+	}
+}
+
+func TestTagRejectsFieldZero(t *testing.T) {
+	d := Dec{Buf: []byte{0x00}} // field 0, varint
+	d.Tag()
+	if d.Err() == nil {
+		t.Fatal("field number 0 accepted")
+	}
+}
+
+func TestCanonicalBytes(t *testing.T) {
+	enc := func() []byte {
+		buf := AppendString(nil, 1, "a")
+		buf = AppendInt(buf, 2, -5)
+		buf = AppendTime(buf, 3, time.Unix(1700000000, 42).UTC())
+		return buf
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("identical values encoded to different bytes")
+	}
+}

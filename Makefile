@@ -18,26 +18,35 @@
 #                          policy parse, journal record decode), seeded
 #                          from the checked-in corpora
 #   make metrics-lint      metric-name rules: every registered name is
-#                          lowercase_snake, counters end in _total, and each
+#                          lowercase_snake, counters end in _total, every
+#                          metric carries non-empty HELP text, and each
 #                          name registers exactly once (obs registry panics
 #                          plus a walk over the live world registries)
 #   make race-subflow      tunnel sub-flow battery under -race: the
 #                          endpoint property/invariant tests, the batch
 #                          handlers and the tunnel crash-recovery tests
-#   make alloc-gate        allocs-per-op gates: binary frame encode and
-#                          journal record append must be allocation-free
-#                          (run without -race; the gates skip under it)
+#   make alloc-gate        allocs-per-op gates: binary frame encode,
+#                          journal record append, quantile-histogram
+#                          Observe and sampled-event append must all be
+#                          allocation-free (run without -race; the gates
+#                          skip under it)
 #   make bench             benchmark harness
 #   make bench-codec       binary vs JSON codec micro-benchmarks with
 #                          -benchmem (the encode arm the alloc gate pins)
 #   make bench-concurrency reserve throughput vs parallel requesters
 #                          (the numbers recorded in BENCH_concurrency.json)
 #   make bench-subflow     sub-flow admission throughput, per-RPC vs
-#                          batched (the numbers in BENCH_subflow.json)
+#                          batched, plus the 1%-sampled telemetry arm
+#                          (the numbers in BENCH_subflow.json and
+#                          BENCH_obs.json)
+#   make bench-obs         telemetry micro-benchmarks with -benchmem:
+#                          striped vs mutexed histogram Observe, quantile
+#                          merge, sampler draw and flight-recorder append
+#                          (the numbers recorded in BENCH_obs.json)
 
 GO ?= go
 
-.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow metrics-lint race-concurrency race-recovery race-subflow fuzz-short
+.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs metrics-lint race-concurrency race-recovery race-subflow fuzz-short
 
 build:
 	$(GO) build ./...
@@ -50,7 +59,7 @@ verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflo
 	$(GO) test -race ./...
 
 alloc-gate:
-	$(GO) test -run 'AllocationFree' ./internal/signalling ./internal/journal
+	$(GO) test -run 'AllocationFree' ./internal/signalling ./internal/journal ./internal/obs
 
 race-concurrency:
 	$(GO) test -race -run 'Concurrent' ./internal/signalling ./internal/bb
@@ -83,3 +92,6 @@ bench-concurrency:
 
 bench-subflow:
 	$(GO) test -run NONE -bench 'SubFlowThroughput' -benchtime 150000x .
+
+bench-obs:
+	$(GO) test -run NONE -bench 'QHistObserve|MutexHistObserve|QHistQuantile|SamplerSample|RecorderAppend' -benchmem ./internal/obs

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net"
@@ -14,20 +15,26 @@ import (
 // startAdmin serves the broker's operator endpoint on addr:
 //
 //	/metrics      Prometheus text exposition of the broker registry
+//	/top          JSON live view: windowed rates, gauges, quantiles
 //	/debug/pprof/ the standard Go profiler
 //
 // It binds synchronously (so a bad address fails startup, not five
 // minutes into an incident) and then serves in the background. The
 // returned closer stops the listener.
-func startAdmin(addr string, reg *obs.Registry, logger *slog.Logger) (func() error, error) {
+func startAdmin(addr, domain string, reg *obs.Registry, logger *slog.Logger) (func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("bbd: admin listen: %w", err)
 	}
+	top := obs.NewTop(domain, reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteText(w)
+	})
+	mux.HandleFunc("/top", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(top.Snapshot(time.Now()))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

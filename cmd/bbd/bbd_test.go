@@ -122,12 +122,16 @@ func deploy(t *testing.T) *deployment {
 			Domains:   domCfgs,
 			Links:     links,
 			Peers:     peers,
+			// Record every request so the deployment also exercises the
+			// flight-recorder path end to end.
+			EventsDir:  filepath.Join(dir, dom+"-events"),
+			SampleRate: 1,
 		}
-		broker, ln, err := cfg.Build()
+		broker, ln, recorder, err := cfg.Build()
 		if err != nil {
 			t.Fatalf("building %s: %v", dom, err)
 		}
-		t.Cleanup(func() { ln.Close(); broker.Close() })
+		t.Cleanup(func() { ln.Close(); broker.Close(); recorder.Close() })
 		go signalling.Serve(ln, broker)
 	}
 	return &deployment{

@@ -77,10 +77,22 @@ type FileConfig struct {
 	Wire string `json:"wire,omitempty"`
 
 	// AdminAddr, when set (e.g. "127.0.0.1:7101"), serves the broker's
-	// admin HTTP endpoint: Prometheus metrics on /metrics and the pprof
-	// profiler under /debug/pprof/. Default "" = disabled (metrics are
-	// still collected; they are just not exposed).
+	// admin HTTP endpoint: Prometheus metrics on /metrics, the live
+	// rate/quantile view on /top, and the pprof profiler under
+	// /debug/pprof/. Default "" = disabled (metrics are still
+	// collected; they are just not exposed).
 	AdminAddr string `json:"admin_addr,omitempty"`
+	// EventsDir, when set, turns on the flight recorder: sampled wide
+	// events (plus every denial and downstream failure) are written as
+	// binary records into a bounded ring of segment files in this
+	// directory, readable with `qosctl events -dir <dir>`. Overridable
+	// with -events-dir. Default "" = disabled.
+	EventsDir string `json:"events_dir,omitempty"`
+	// SampleRate is the flight-recorder sampling probability for
+	// requests entering the network at this broker (0 = record only
+	// forced events, 1 = record everything). Only meaningful with
+	// events_dir set. Overridable with -sample-rate.
+	SampleRate float64 `json:"sample_rate,omitempty"`
 	// LogLevel is the minimum structured-log severity: "debug", "info",
 	// "warn" or "error". Default "" = "info".
 	LogLevel string `json:"log_level,omitempty"`
@@ -133,20 +145,21 @@ func LoadConfig(path string) (*FileConfig, error) {
 	return &cfg, nil
 }
 
-// Build assembles the broker, its TLS listener, and the dialer used
-// for downstream propagation.
-func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
+// Build assembles the broker, its TLS listener, and (when events_dir
+// is set) the flight recorder; the caller owns closing the recorder
+// after the broker shuts down.
+func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, *obs.Recorder, error) {
 	cert, err := pki.LoadCertFile(cfg.CertFile)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	key, err := pki.LoadKeyFile(cfg.KeyFile, cert.SubjectDN())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	capacity, err := units.ParseBandwidth(cfg.Capacity)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	depth := cfg.IntroducerDepth
@@ -158,10 +171,10 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	for _, path := range cfg.RootFiles {
 		root, err := pki.LoadCertFile(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := trust.AddRoot(root); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		rootDERs = append(rootDERs, root.DER)
 	}
@@ -173,18 +186,18 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 			BBDN:     identity.DN(d.BBDN),
 			Prefixes: d.Prefixes,
 		}); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	for _, l := range cfg.Links {
 		capac := capacity
 		if l.Capacity != "" {
 			if capac, err = units.ParseBandwidth(l.Capacity); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		if err := topo.AddLink(topology.Link{A: l.A, B: l.B, Capacity: capac, Cost: l.Cost}); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 
@@ -192,7 +205,7 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	if cfg.PolicyFile != "" {
 		data, err := os.ReadFile(cfg.PolicyFile)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bbd: %w", err)
+			return nil, nil, nil, fmt.Errorf("bbd: %w", err)
 		}
 		policyText = string(data)
 	}
@@ -201,7 +214,7 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	}
 	pol, err := policy.Parse(cfg.Domain, policyText)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ps := policysrv.New(cfg.Domain, pol)
 
@@ -211,11 +224,11 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	for _, p := range cfg.Peers {
 		peerCert, err := pki.LoadCertFile(p.CertFile)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		pub := peerCert.PublicKey()
 		if pub == nil {
-			return nil, nil, fmt.Errorf("bbd: peer %s has non-ECDSA key", p.Domain)
+			return nil, nil, nil, fmt.Errorf("bbd: peer %s has non-ECDSA key", p.Domain)
 		}
 		trust.PinPeer(peerCert.SubjectDN(), pub)
 		peerCerts[peerCert.SubjectDN()] = peerCert
@@ -223,7 +236,7 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 		rate := capacity
 		if p.SLARate != "" {
 			if rate, err = units.ParseBandwidth(p.SLARate); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		inbound[p.Domain] = &sla.SLA{
@@ -255,7 +268,7 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	}
 	callTimeout, err := parseDur("call_timeout", cfg.CallTimeout, 5*time.Second)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// The same budget bounds connection establishment: a peer that
 	// accepts TCP but never finishes the TLS handshake must not stall
@@ -263,31 +276,39 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 	dialer.Timeout = callTimeout
 	retryBackoff, err := parseDur("retry_backoff", cfg.RetryBackoff, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	breakerCooldown, err := parseDur("breaker_cooldown", cfg.BreakerCooldown, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	level, err := obs.ParseLevel(cfg.LogLevel)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bbd: %w", err)
+		return nil, nil, nil, fmt.Errorf("bbd: %w", err)
 	}
 	logger, err := obs.NewLogger(os.Stderr, level, cfg.LogFormat)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bbd: %w", err)
+		return nil, nil, nil, fmt.Errorf("bbd: %w", err)
 	}
 	metrics := obs.NewRegistry()
 	dialer.Metrics = transport.NewMetrics(metrics)
 
 	fsync, err := journal.ParsePolicy(cfg.FsyncPolicy)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bbd: %w", err)
+		return nil, nil, nil, fmt.Errorf("bbd: %w", err)
 	}
 	wireMode, err := signalling.ParseWireMode(cfg.Wire)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bbd: %w", err)
+		return nil, nil, nil, fmt.Errorf("bbd: %w", err)
+	}
+
+	var recorder *obs.Recorder
+	if cfg.EventsDir != "" {
+		recorder, err = obs.OpenRecorder(obs.RecorderOptions{Dir: cfg.EventsDir})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("bbd: %w", err)
+		}
 	}
 
 	bbCfg := bb.Config{
@@ -312,22 +333,27 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, error) {
 		StateDir:         cfg.StateDir,
 		Fsync:            fsync,
 		Wire:             wireMode,
+		Recorder:         recorder,
+		SampleRate:       cfg.SampleRate,
 	}
 	if cfg.CPUs > 0 {
 		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)
 		if err != nil {
-			return nil, nil, err
+			recorder.Close()
+			return nil, nil, nil, err
 		}
 		bbCfg.CPU = cpuMgr
 	}
 	broker, err := bb.New(bbCfg)
 	if err != nil {
-		return nil, nil, err
+		recorder.Close()
+		return nil, nil, nil, err
 	}
 	ln, err := transport.ListenTLS(cfg.Listen, tlsCfg)
 	if err != nil {
-		return nil, nil, err
+		recorder.Close()
+		return nil, nil, nil, err
 	}
 	ln.Metrics = dialer.Metrics
-	return broker, ln, nil
+	return broker, ln, recorder, nil
 }

@@ -36,7 +36,9 @@ func main() {
 	breakerCooldown := flag.String("breaker-cooldown", "", "override breaker_cooldown, e.g. 5s")
 	stateDir := flag.String("state-dir", "", "override state_dir: journal broker state here and recover it on boot (empty = memory-only)")
 	fsyncPolicy := flag.String("fsync-policy", "", "override fsync_policy: batch, always or never (default batch)")
-	adminAddr := flag.String("admin-addr", "", "override admin_addr: serve /metrics and /debug/pprof/ here (empty disables)")
+	adminAddr := flag.String("admin-addr", "", "override admin_addr: serve /metrics, /top and /debug/pprof/ here (empty disables)")
+	eventsDir := flag.String("events-dir", "", "override events_dir: ring-buffer sampled flight-recorder events here (empty disables)")
+	sampleRate := flag.Float64("sample-rate", -1, "override sample_rate: flight-recorder sampling probability in [0,1]")
 	logLevel := flag.String("log-level", "", "override log_level: debug, info, warn or error (default info)")
 	logFormat := flag.String("log-format", "", "override log_format: text or json (default text)")
 	wireMode := flag.String("wire", "", "override wire: binary or json signalling encoding for outbound calls (default binary)")
@@ -73,6 +75,12 @@ func main() {
 	if *adminAddr != "" {
 		cfg.AdminAddr = *adminAddr
 	}
+	if *eventsDir != "" {
+		cfg.EventsDir = *eventsDir
+	}
+	if *sampleRate >= 0 {
+		cfg.SampleRate = *sampleRate
+	}
 	if *logLevel != "" {
 		cfg.LogLevel = *logLevel
 	}
@@ -82,7 +90,7 @@ func main() {
 	if *wireMode != "" {
 		cfg.Wire = *wireMode
 	}
-	broker, ln, err := cfg.Build()
+	broker, ln, recorder, err := cfg.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +98,7 @@ func main() {
 	logger.Info("bbd listening", "dn", string(broker.DN()), "addr", ln.Addr())
 
 	if cfg.AdminAddr != "" {
-		closeAdmin, err := startAdmin(cfg.AdminAddr, broker.MetricsRegistry(), logger)
+		closeAdmin, err := startAdmin(cfg.AdminAddr, cfg.Domain, broker.MetricsRegistry(), logger)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,4 +113,9 @@ func main() {
 	logger.Info("bbd shutting down")
 	ln.Close()
 	broker.Close()
+	// The recorder outlives the broker: in-flight handlers may still
+	// append events until Close drains them.
+	if err := recorder.Close(); err != nil {
+		logger.Warn("flight recorder close", "err", err)
+	}
 }

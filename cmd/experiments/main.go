@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, keydist, billing, diffserv, faults, all")
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, keydist, billing, diffserv, faults, all")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
@@ -105,6 +105,22 @@ func main() {
 		})
 		if err != nil {
 			fail("subflows", err)
+		}
+		emit(t)
+	}
+	if run("scale") {
+		dir, err := os.MkdirTemp("", "qos-events-")
+		if err != nil {
+			fail("scale", err)
+		}
+		defer os.RemoveAll(dir)
+		t, err := experiment.RunScaleLoad(experiment.ScaleLoadConfig{
+			Latency:    *hopLatency / 10,
+			SampleRate: 0.01,
+			EventsDir:  dir,
+		})
+		if err != nil {
+			fail("scale", err)
 		}
 		emit(t)
 	}

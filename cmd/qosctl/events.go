@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"e2eqos/internal/obs"
+)
+
+// runEvents reads a broker's flight-recorder log from disk and prints
+// the matching events, oldest first. It needs filesystem access to the
+// broker's events_dir (run it on the broker host or over a mounted
+// copy); no credentials and no broker connection are involved.
+func runEvents(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	dir := fs.String("dir", "", "flight-recorder directory — the broker's events_dir (required)")
+	verdict := fs.String("verdict", "", "keep only this verdict: granted, denied, error or rolled_back")
+	domain := fs.String("domain", "", "keep only events recorded by this domain")
+	kind := fs.String("kind", "", "keep only this event kind: reserve or tunnel-batch")
+	trace := fs.String("trace", "", "keep only events under this trace id")
+	minLatency := fs.Duration("min-latency", 0, "keep only events at least this slow, e.g. 5ms")
+	lastN := fs.Int("n", 0, "print only the newest N matching events (0 = all)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per event instead of text")
+	spans := fs.Bool("spans", false, "render the per-hop timeline under each event")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		die("events: -dir is required")
+	}
+	filter := &obs.EventFilter{
+		Verdict:     *verdict,
+		Domain:      *domain,
+		Kind:        *kind,
+		TraceID:     *trace,
+		MinDuration: *minLatency,
+	}
+	var matched []*obs.Event
+	err := obs.ReadEvents(*dir, func(e *obs.Event) bool {
+		if filter.Match(e) {
+			ev := *e
+			matched = append(matched, &ev)
+		}
+		return true
+	})
+	if err != nil {
+		die("events: %v", err)
+	}
+	if *lastN > 0 && len(matched) > *lastN {
+		matched = matched[len(matched)-*lastN:]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range matched {
+		if *jsonOut {
+			if err := enc.Encode(e); err != nil {
+				die("events: %v", err)
+			}
+			continue
+		}
+		fmt.Println(formatEvent(e))
+		if *spans && len(e.Spans) > 0 {
+			fmt.Print(obs.RenderTimeline(e.TraceID, e.Spans))
+		}
+	}
+}
+
+// formatEvent renders one event as a single scannable line; fields a
+// given event doesn't carry are omitted.
+func formatEvent(e *obs.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-12s %-8s %s",
+		time.Unix(0, e.TimeNS).UTC().Format("2006-01-02T15:04:05.000Z"),
+		e.Kind, e.Verdict, time.Duration(e.DurationNS).Round(time.Microsecond))
+	if e.Domain != "" {
+		fmt.Fprintf(&b, " domain=%s", e.Domain)
+	}
+	if e.RARID != "" {
+		fmt.Fprintf(&b, " rar=%s", e.RARID)
+	}
+	if e.User != "" {
+		fmt.Fprintf(&b, " user=%s", e.User)
+	}
+	if e.TraceID != "" {
+		fmt.Fprintf(&b, " trace=%s", e.TraceID)
+	}
+	if e.Ops > 0 {
+		fmt.Fprintf(&b, " ops=%d", e.Ops)
+	}
+	if e.Retries > 0 {
+		fmt.Fprintf(&b, " retries=%d", e.Retries)
+	}
+	if e.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", e.Bytes)
+	}
+	if !e.Sampled {
+		b.WriteString(" forced")
+	}
+	if e.Reason != "" {
+		fmt.Fprintf(&b, " reason=%q", e.Reason)
+	}
+	return b.String()
+}

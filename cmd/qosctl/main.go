@@ -9,6 +9,11 @@
 //
 //	qosctl ... cancel -rar RAR-abcdef
 //	qosctl ... status -rar RAR-abcdef
+//
+// Two telemetry subcommands need no credentials: `qosctl top -admin
+// 127.0.0.1:7101` renders a broker's live rate/quantile view, and
+// `qosctl events -dir /var/lib/bbd/events` reads its flight-recorder
+// log.
 package main
 
 import (
@@ -40,11 +45,22 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "bound on connecting and on each call (0 waits forever)")
 	wireFlag := flag.String("wire", "", "signalling encoding: binary (default) or json (debug/interop)")
 	flag.Parse()
+	if flag.NArg() < 1 {
+		die("usage: qosctl [flags] reserve|cancel|status|tunnel-alloc|tunnel-release|tunnel-batch-alloc|tunnel-batch-release|events|top [command flags]")
+	}
+	// events reads the on-disk flight-recorder log and top polls the
+	// plain-HTTP admin endpoint: neither signs anything nor dials the
+	// signalling port, so neither needs the TLS identity below.
+	switch flag.Arg(0) {
+	case "events":
+		runEvents(flag.Args()[1:])
+		return
+	case "top":
+		runTop(flag.Args()[1:])
+		return
+	}
 	if *keyFile == "" || *certFile == "" || *roots == "" {
 		die("-key, -cert and -roots are required")
-	}
-	if flag.NArg() < 1 {
-		die("usage: qosctl [flags] reserve|cancel|status|tunnel-alloc|tunnel-release|tunnel-batch-alloc|tunnel-batch-release [command flags]")
 	}
 
 	cert, err := pki.LoadCertFile(*certFile)

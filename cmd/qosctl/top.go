@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"e2eqos/internal/obs"
+)
+
+// runTop polls one or more brokers' admin /top endpoints and renders
+// the live view: windowed counter rates, gauge levels, and latency
+// quantiles. The admin endpoint is plain HTTP (it binds loopback by
+// convention), so no user credentials are needed.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	admin := fs.String("admin", "", "comma-separated broker admin addresses, e.g. 127.0.0.1:7101 (required)")
+	interval := fs.Duration("interval", 2*time.Second, "delay between polls")
+	polls := fs.Int("n", 1, "number of polls (0 = poll until interrupted)")
+	_ = fs.Parse(args)
+	if *admin == "" {
+		die("top: -admin is required")
+	}
+	addrs := strings.Split(*admin, ",")
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; *polls == 0 || i < *polls; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+			fmt.Println()
+		}
+		for _, addr := range addrs {
+			addr = strings.TrimSpace(addr)
+			snap, err := fetchTop(client, addr)
+			if err != nil {
+				fmt.Printf("%s: %v\n", addr, err)
+				continue
+			}
+			renderTop(addr, snap)
+		}
+	}
+}
+
+func fetchTop(client *http.Client, addr string) (*obs.TopSnapshot, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := client.Get(url + "/top")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /top: %s", resp.Status)
+	}
+	var snap obs.TopSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+func renderTop(addr string, s *obs.TopSnapshot) {
+	fmt.Printf("%s  [%s]  window=%gs  %s\n", s.Domain, addr, s.WindowSec,
+		time.Unix(0, s.TimeNS).UTC().Format("15:04:05Z"))
+	for _, name := range obs.SortedKeys(s.Rates) {
+		if rate := s.Rates[name]; rate > 0 {
+			fmt.Printf("  %-42s %12.1f/s\n", name, rate)
+		}
+	}
+	for _, name := range obs.SortedKeys(s.Gauges) {
+		fmt.Printf("  %-42s %12g\n", name, s.Gauges[name])
+	}
+	for _, name := range obs.SortedKeys(s.Quantiles) {
+		q := s.Quantiles[name]
+		if q.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-42s n=%-8d p50=%-10s p99=%-10s p999=%s\n",
+			name, q.Count, fmtSeconds(q.P50), fmtSeconds(q.P99), fmtSeconds(q.P999))
+	}
+}
+
+// fmtSeconds renders a latency quantile (in seconds) as a duration.
+func fmtSeconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(100 * time.Nanosecond).String()
+}

@@ -109,6 +109,20 @@ type Config struct {
 	// registered exactly once). Nil disables metrics at no cost.
 	Metrics *obs.Registry
 
+	// Recorder receives wide flight-recorder events (sampled plus every
+	// denial/rollback/downstream failure). Nil disables the recorder at
+	// no cost. The recorder is owned by the caller — bbd and the
+	// experiment world close it after the broker — so it survives a
+	// Crash()/recover cycle the way the on-disk journal does.
+	Recorder *obs.Recorder
+	// SampleRate is the probability that a request entering the network
+	// at this broker (a user-submitted RAR or a source-side tunnel
+	// batch) is flight-recorded. The decision propagates in the
+	// signalling payload so mid-chain hops record the same requests
+	// instead of rolling their own dice. Zero records only forced
+	// events; 1 records everything.
+	SampleRate float64
+
 	// StateDir, when set, makes the broker durable: reservation-table
 	// mutations and settled RAR outcomes are written to an append-only
 	// journal in this directory, and New recovers whatever a previous
@@ -176,6 +190,10 @@ type BB struct {
 	ckptMu  sync.Mutex
 
 	tunnels *tunnelRegistry
+
+	// sampler makes the flight recorder's ingress sampling decisions
+	// (nil when SampleRate is 0: only forced events are recorded).
+	sampler *obs.Sampler
 }
 
 // New assembles a broker from the config.
@@ -212,6 +230,7 @@ func New(cfg Config) (*BB, error) {
 		routes:   make(map[string]*rarState),
 		breakers: make(map[identity.DN]*breaker),
 		tunnels:  newTunnelRegistry(),
+		sampler:  obs.NewSampler(cfg.SampleRate),
 	}
 	b.pool = newClientPool(b.dialPeer, func() { b.m.clientEvictions.Inc() })
 	if cfg.StateDir != "" {

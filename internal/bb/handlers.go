@@ -212,13 +212,15 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 		b.log.Warn("reserve: malformed envelope", obs.AttrPeer, string(peer.DN), "err", err)
 		resp := signalling.ErrorResult(fmt.Sprintf("malformed envelope: %v", err))
 		finishTrace(resp, span, payload.TraceID, t0)
+		b.recordReserveEvent("", "", payload, resp, t0)
 		return resp
 	}
 	now := b.cfg.Clock()
 	tVerify := time.Now()
 	verified, err := b.proto.Verify(env, peer.DN, peer.CertDER, now)
+	verifyNS := time.Since(tVerify).Nanoseconds()
 	if span != nil {
-		span.VerifyNS = time.Since(tVerify).Nanoseconds()
+		span.VerifyNS = verifyNS
 	}
 	if err != nil {
 		b.m.denied.Inc()
@@ -226,9 +228,28 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 			obs.AttrTrace, payload.TraceID, "err", err)
 		resp := signalling.ErrorResult(fmt.Sprintf("verification failed: %v", err))
 		finishTrace(resp, span, payload.TraceID, t0)
+		b.recordReserveEvent("", "", payload, resp, t0)
 		return resp
 	}
 	spec := verified.Spec
+
+	// Flight-recorder sampling: only the ingress hop — the broker that
+	// took the RAR from the user — rolls the dice, then the decision
+	// rides the signalling payload so every hop below records the same
+	// request (per-hop dice would compound the rate down the chain).
+	// Sampled requests get a span even without requester opt-in tracing,
+	// so the recorded event carries the full per-hop timeline; a request
+	// the requester already traces keeps its trace id and just gains the
+	// sampled bit.
+	if !payload.Sampled && len(verified.Path) == 1 && b.sampler.Sample() {
+		payload.Sampled = true
+		if payload.TraceID == "" {
+			payload.TraceID = obs.NewTraceID()
+		}
+	}
+	if span == nil && payload.Sampled {
+		span = &obs.Span{Domain: b.cfg.Domain, BB: string(b.cfg.Key.DN), VerifyNS: verifyNS}
+	}
 
 	// Duplicate RAR ids would corrupt cancellation state. A duplicate
 	// is (almost always) a retransmission from an upstream hop that
@@ -281,6 +302,7 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	// the identical trace.
 	finishTrace(resp, span, payload.TraceID, t0)
 	b.logReserveVerdict(spec, payload.TraceID, resp, time.Since(t0))
+	b.recordReserveEvent(spec.RARID, string(spec.User), payload, resp, t0)
 	b.mu.Lock()
 	st.outcome = resp
 	b.mu.Unlock()
@@ -427,9 +449,10 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		b.rollback(r.Handle, spec.RARID, "encode failed")
 		return b.deny(spec.RARID, fmt.Sprintf("%s: encode: %v", b.cfg.Domain, err))
 	}
-	// The trace id rides the whole chain so every hop below records a
-	// span into the same trace.
+	// The trace id and sampling decision ride the whole chain so every
+	// hop below records a span into the same trace.
 	fwd.Reserve.TraceID = payload.TraceID
+	fwd.Reserve.Sampled = payload.Sampled
 	b.m.forwarded.Inc()
 	tDown := time.Now()
 	downstream, retries, err := b.callPeer(nd.BBDN, fwd)
@@ -763,10 +786,12 @@ func (b *BB) handleTunnelRelease(peer signalling.Peer, payload *signalling.Tunne
 func (b *BB) handleTunnelBatch(peer signalling.Peer, payload *signalling.TunnelBatchPayload) *signalling.Message {
 	t0 := time.Now()
 	if err := payload.Validate(); err != nil {
+		b.recordBatchEvent(payload, len(payload.Ops), obs.VerdictDenied, err.Error(), t0)
 		return signalling.ErrorResult(err.Error())
 	}
 	ep, reason := b.tunnelFor(peer, payload.TunnelRARID)
 	if ep == nil {
+		b.recordBatchEvent(payload, len(payload.Ops), obs.VerdictDenied, reason, t0)
 		return signalling.ErrorResult(reason)
 	}
 	st, dup := b.tunnels.begin(payload.TunnelRARID, payload.BatchID, ep.Epoch)
@@ -832,6 +857,11 @@ func (b *BB) handleTunnelBatch(peer signalling.Peer, payload *signalling.TunnelB
 	b.tunnels.settle(st, resp)
 	b.m.tunnelBatches.Inc()
 	b.m.tunnelBatchSeconds.ObserveSince(t0)
+	verdict := obs.VerdictGranted
+	if !granted {
+		verdict = obs.VerdictDenied
+	}
+	b.recordBatchEvent(payload, len(payload.Ops), verdict, resp.Result.Reason, t0)
 	b.maybeCheckpoint()
 	return resp
 }
@@ -936,6 +966,7 @@ func (b *BB) localRelease(ep *tunnel.Endpoint, subID string) {
 // the destination's replay cache makes the retransmitted batch id safe.
 // The returned results are in op order.
 func (b *BB) TunnelBatch(tunnelRARID string, ops []signalling.TunnelOp, user identity.DN) ([]signalling.TunnelOpResult, error) {
+	t0 := time.Now()
 	ep, ok := b.tunnels.reg.Get(tunnelRARID)
 	if !ok {
 		return nil, fmt.Errorf("bb %s: no tunnel %s", b.cfg.Domain, tunnelRARID)
@@ -948,6 +979,13 @@ func (b *BB) TunnelBatch(tunnelRARID string, ops []signalling.TunnelOp, user ide
 	}
 	if err := payload.Validate(); err != nil {
 		return nil, err
+	}
+	// Source-side batches enter the network here, so this is where the
+	// flight-recorder dice roll happens; the decision and trace id ride
+	// the payload to the far endpoint.
+	if b.sampler.Sample() {
+		payload.Sampled = true
+		payload.TraceID = obs.NewTraceID()
 	}
 	results := make([]signalling.TunnelOpResult, len(ops))
 	// Local halves first; only locally-admitted ops travel to the peer.
@@ -977,6 +1015,9 @@ func (b *BB) TunnelBatch(tunnelRARID string, ops []signalling.TunnelOp, user ide
 		remoteIdx = append(remoteIdx, i)
 	}
 	if len(remote) == 0 {
+		// Every op failed locally: nothing travelled, the batch settles
+		// here as a denial.
+		b.recordBatchEvent(payload, len(ops), obs.VerdictDenied, firstReason(results), t0)
 		return results, nil
 	}
 	payload.Ops = remote
@@ -991,6 +1032,7 @@ func (b *BB) TunnelBatch(tunnelRARID string, ops []signalling.TunnelOp, user ide
 		if err == nil {
 			err = fmt.Errorf("destination sent no result")
 		}
+		b.recordBatchEvent(payload, len(ops), obs.VerdictError, err.Error(), t0)
 		return nil, fmt.Errorf("bb %s: tunnel batch at destination: %w", b.cfg.Domain, err)
 	}
 	for k, i := range remoteIdx {
@@ -1017,7 +1059,27 @@ func (b *BB) TunnelBatch(tunnelRARID string, ops []signalling.TunnelOp, user ide
 		b.undoLocalOp(ep, ops[i], released)
 	}
 	b.m.tunnelBatches.Inc()
+	if b.cfg.Recorder != nil {
+		verdict := obs.VerdictGranted
+		for _, r := range results {
+			if !r.Granted {
+				verdict = obs.VerdictDenied
+				break
+			}
+		}
+		b.recordBatchEvent(payload, len(ops), verdict, firstReason(results), t0)
+	}
 	return results, nil
+}
+
+// firstReason surfaces the first per-op denial reason of a batch.
+func firstReason(results []signalling.TunnelOpResult) string {
+	for _, r := range results {
+		if !r.Granted && r.Reason != "" {
+			return r.Reason
+		}
+	}
+	return ""
 }
 
 // undoLocalOp reverses the local half of a batch op whose remote half

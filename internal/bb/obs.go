@@ -32,12 +32,18 @@ type bbMetrics struct {
 	journalErrors       *obs.Counter // journal write-path failures
 	checkpoints         *obs.Counter // snapshot+truncate rotations
 	recoveredRecords    *obs.Counter // records replayed at boot
-	// Latency histograms (seconds).
-	handleSeconds        *obs.Histogram // per-hop reserve handling time
-	downstreamSeconds    *obs.Histogram // downstream round trip incl. retries
-	grantSeconds         *obs.Histogram // end-to-end grant time at the source hop
-	journalAppendSeconds *obs.Histogram // journal append latency (buffer or disk)
-	tunnelBatchSeconds   *obs.Histogram // destination-side batch application time
+	// Flight-recorder counters.
+	eventsRecorded *obs.Counter // wide events appended to the event log
+	eventsForced   *obs.Counter // events recorded because of a denial/error, not the sampler
+	eventDrops     *obs.Counter // events lost to event-log write failures
+	// Latency quantile histograms (seconds). Striped lock-free
+	// histograms: Observe is safe on the sub-flow hot path, and the
+	// admin endpoint and experiment reports read p50/p99/p999 off them.
+	handleSeconds        *obs.QHist // per-hop reserve handling time
+	downstreamSeconds    *obs.QHist // downstream round trip incl. retries
+	grantSeconds         *obs.QHist // end-to-end grant time at the source hop
+	journalAppendSeconds *obs.QHist // journal append latency (buffer or disk)
+	tunnelBatchSeconds   *obs.QHist // destination-side batch application time
 	// recoverySeconds is how long the boot-time journal recovery took
 	// (0 on a memory-only broker).
 	recoverySeconds *obs.Gauge
@@ -74,11 +80,15 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		checkpoints:         r.Counter("bb_checkpoints_total", "journal snapshot+truncate rotations"),
 		recoveredRecords:    r.Counter("bb_recovered_records_total", "journal records replayed during boot-time recovery"),
 
-		handleSeconds:        r.Histogram("bb_handle_seconds", "per-hop reserve handling time", nil),
-		downstreamSeconds:    r.Histogram("bb_downstream_seconds", "downstream call round trip including retries and backoff", nil),
-		grantSeconds:         r.Histogram("bb_grant_seconds", "end-to-end grant time observed at the source hop", nil),
-		journalAppendSeconds: r.Histogram("bb_journal_append_seconds", "journal append latency as seen by the mutating call", nil),
-		tunnelBatchSeconds:   r.Histogram("bb_tunnel_batch_seconds", "destination-side tunnel batch application time", nil),
+		eventsRecorded: r.Counter("bb_events_recorded_total", "wide flight-recorder events appended to the event log"),
+		eventsForced:   r.Counter("bb_events_forced_total", "flight-recorder events forced by a denial, rollback or downstream error"),
+		eventDrops:     r.Counter("bb_event_drops_total", "flight-recorder events lost to event-log write failures"),
+
+		handleSeconds:        r.Quantile("bb_handle_seconds", "per-hop reserve handling time", 0, 0),
+		downstreamSeconds:    r.Quantile("bb_downstream_seconds", "downstream call round trip including retries and backoff", 0, 0),
+		grantSeconds:         r.Quantile("bb_grant_seconds", "end-to-end grant time observed at the source hop", 0, 0),
+		journalAppendSeconds: r.Quantile("bb_journal_append_seconds", "journal append latency as seen by the mutating call", 0, 0),
+		tunnelBatchSeconds:   r.Quantile("bb_tunnel_batch_seconds", "destination-side tunnel batch application time", 0, 0),
 
 		recoverySeconds: r.Gauge("bb_recovery_seconds", "boot-time journal recovery duration (0 when memory-only)"),
 	}

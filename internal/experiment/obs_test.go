@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"e2eqos/internal/obs"
 	"e2eqos/internal/transport"
 	"e2eqos/internal/units"
 )
@@ -13,9 +14,10 @@ import (
 // TestMetricsLintRegistries is the world half of the metrics-lint
 // tier: every metric name actually registered by a running system —
 // broker and transport — must be lowercase_snake, counters must end
-// in _total, and no registry may hold a duplicate (registration
-// panics on one, so building the world already proves it; the walk
-// below keeps the rule visible and covers renames).
+// in _total, every metric must carry non-empty HELP text, and no
+// registry may hold a duplicate (registration panics on violations,
+// so building the world already proves most of it; the walk below
+// keeps the rules visible and covers renames).
 func TestMetricsLintRegistries(t *testing.T) {
 	w, err := BuildWorld(WorldConfig{NumDomains: 3, EnableObs: true})
 	if err != nil {
@@ -23,7 +25,8 @@ func TestMetricsLintRegistries(t *testing.T) {
 	}
 	defer w.Close()
 	snake := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
-	check := func(owner string, names []string) {
+	check := func(owner string, reg *obs.Registry) {
+		names := reg.Names()
 		if len(names) == 0 {
 			t.Errorf("%s registry is empty", owner)
 		}
@@ -36,12 +39,15 @@ func TestMetricsLintRegistries(t *testing.T) {
 				t.Errorf("%s metric %q appears twice", owner, n)
 			}
 			seen[n] = true
+			if reg.Help(n) == "" {
+				t.Errorf("%s metric %q has empty HELP text", owner, n)
+			}
 		}
 	}
 	for domain, reg := range w.Metrics {
-		check(domain, reg.Names())
+		check(domain, reg)
 	}
-	check("network", w.NetMetrics.Names())
+	check("network", w.NetMetrics)
 }
 
 // TestFaultSweepReportsObsColumns runs one tiny cell of the faults

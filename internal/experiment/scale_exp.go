@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"e2eqos/internal/obs"
+	"e2eqos/internal/signalling"
+	"e2eqos/internal/units"
+)
+
+// ScaleLoadConfig parameterises the fleet-telemetry load experiment.
+type ScaleLoadConfig struct {
+	// Users is the number of concurrent requesters, each with its own
+	// identity and signalling connection.
+	Users int
+	// Reserves is how many end-to-end reservations each user places.
+	Reserves int
+	// BatchOps is how many tunnel sub-flows are driven through one
+	// aggregate tunnel afterwards (batched 64 at a time).
+	BatchOps int
+	// Domains is the reservation path length.
+	Domains int
+	// Latency is the modelled one-way signalling latency per hop.
+	Latency time.Duration
+	// SampleRate is each broker's flight-recorder ingress sampling
+	// probability; with EventsDir empty no recorder runs at all.
+	SampleRate float64
+	// EventsDir, when set, records sampled events under
+	// EventsDir/<domain> during the run.
+	EventsDir string
+}
+
+// RunScaleLoad drives mixed reserve and sub-flow load through an
+// instrumented world and reports, per broker-side stage, the latency
+// quantiles the striped histograms measured while the load ran. This
+// is the paper's millions-of-users argument stated as percentiles:
+// the table shows what the p999 requester experiences at each stage,
+// not just the mean the throughput numbers imply.
+func RunScaleLoad(cfg ScaleLoadConfig) (*Table, error) {
+	if cfg.Users <= 0 {
+		cfg.Users = 8
+	}
+	if cfg.Reserves <= 0 {
+		cfg.Reserves = 64
+	}
+	if cfg.BatchOps <= 0 {
+		cfg.BatchOps = 2048
+	}
+	if cfg.Domains < 2 {
+		cfg.Domains = 5
+	}
+	reserveNeed := units.Bandwidth(cfg.Users*cfg.Reserves) * units.Mbps
+	tunnelNeed := units.Bandwidth(cfg.BatchOps+1) * units.Mbps
+	w, err := BuildWorld(WorldConfig{
+		NumDomains:  cfg.Domains,
+		Capacity:    (reserveNeed + tunnelNeed) * 2,
+		Latency:     cfg.Latency,
+		CallTimeout: 30 * time.Second,
+		EnableObs:   true,
+		SampleRate:  cfg.SampleRate,
+		EventsDir:   cfg.EventsDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	// Phase 1: concurrent end-to-end reserves, one identity per worker.
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	var firstErr atomic.Value
+	users := make([]*User, cfg.Users)
+	for i := range users {
+		if users[i], err = w.NewUser(fmt.Sprintf("user%d", i), "", nil, nil); err != nil {
+			return nil, err
+		}
+		defer users[i].Close()
+	}
+	start := time.Now()
+	for _, u := range users {
+		wg.Add(1)
+		go func(u *User) {
+			defer wg.Done()
+			for r := 0; r < cfg.Reserves; r++ {
+				spec := u.NewSpec(SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+				res, err := u.ReserveE2E(spec)
+				if err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if !res.Granted {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("reserve denied: %s", res.Reason))
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		return nil, fmt.Errorf("%d reserve workers failed, first: %v", n, firstErr.Load())
+	}
+
+	// Phase 2: one aggregate tunnel, then the sub-flow hot path.
+	alice := users[0]
+	tunnelSpec := alice.NewSpec(SpecOptions{DestDomain: w.DestDomain(), Bandwidth: tunnelNeed, Tunnel: true})
+	if res, err := alice.ReserveE2E(tunnelSpec); err != nil || !res.Granted {
+		return nil, fmt.Errorf("tunnel establishment: %v %+v", err, res)
+	}
+	src := w.BBs[w.SourceDomain()]
+	for done := 0; done < cfg.BatchOps; {
+		n := 64
+		if rest := cfg.BatchOps - done; n > rest {
+			n = rest
+		}
+		ops := make([]signalling.TunnelOp, n)
+		for i := range ops {
+			ops[i] = signalling.TunnelOp{
+				Action:    signalling.OpAlloc,
+				SubFlowID: fmt.Sprintf("s%d", done+i),
+				Bandwidth: int64(units.Mbps),
+			}
+		}
+		results, err := src.TunnelBatch(tunnelSpec.RARID, ops, alice.DN())
+		if err != nil {
+			return nil, fmt.Errorf("tunnel batch at %d: %w", done, err)
+		}
+		for _, r := range results {
+			if !r.Granted {
+				return nil, fmt.Errorf("op %s denied: %s", r.SubFlowID, r.Reason)
+			}
+		}
+		done += n
+	}
+	took := time.Since(start)
+
+	t := &Table{
+		ID: "scale",
+		Title: fmt.Sprintf("Per-stage latency quantiles under mixed load (%d users x %d reserves + %d sub-flows, %d domains, %v hop latency)",
+			cfg.Users, cfg.Reserves, cfg.BatchOps, cfg.Domains, cfg.Latency),
+		Claim:   "striped quantile histograms give per-stage tail latency at fleet load for the cost of two atomic adds per observation",
+		Columns: []string{"domain", "stage", "n", "p50", "p99", "p999"},
+	}
+	fmtQ := func(sec float64) string {
+		return time.Duration(sec * float64(time.Second)).Round(100 * time.Nanosecond).String()
+	}
+	for _, domain := range []string{w.SourceDomain(), w.DestDomain()} {
+		quantiles := w.Metrics[domain].Quantiles()
+		for _, name := range obs.SortedKeys(quantiles) {
+			q := quantiles[name]
+			if q.Count == 0 {
+				continue
+			}
+			t.AddRow(domain, name,
+				fmt.Sprintf("%d", q.Count),
+				fmtQ(q.P50), fmtQ(q.P99), fmtQ(q.P999))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("whole run took %v; quantiles are per-broker, merged across %d histogram stripes at read time",
+			took.Round(time.Millisecond), len(w.Domains)),
+	)
+	if cfg.EventsDir != "" {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"flight recorder at %.0f%% sampling captured %.0f events (%.0f forced) across the fleet",
+			cfg.SampleRate*100, w.CounterTotal("bb_events_recorded_total"), w.CounterTotal("bb_events_forced_total")))
+	}
+	return t, nil
+}

@@ -83,6 +83,14 @@ type WorldConfig struct {
 	// in-memory network. Off by default: most experiments and the
 	// benchmarks measure the uninstrumented baseline.
 	EnableObs bool
+	// EventsDir, when set, gives every broker a flight recorder writing
+	// to EventsDir/<domain>; SampleRate is each broker's ingress
+	// sampling probability (denials and errors are always recorded).
+	// Recorders survive CrashDomain/RestartDomainFromJournal — like a
+	// real deployment, the event log outlives the broker process — and
+	// close with the world.
+	EventsDir  string
+	SampleRate float64
 
 	// StateDir, when set, makes every broker durable: each journals to
 	// its own subdirectory StateDir/<domain>, and
@@ -122,6 +130,9 @@ type World struct {
 	// across the whole in-memory network.
 	Metrics    map[string]*obs.Registry
 	NetMetrics *obs.Registry
+	// Recorders holds each domain's flight recorder (nil map entries
+	// unless WorldConfig.EventsDir).
+	Recorders map[string]*obs.Recorder
 
 	servers   map[string]*signalling.Server
 	endpoints map[string]*transport.Endpoint
@@ -174,6 +185,7 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		Disk:        make(map[string]*disksched.Manager),
 		Planes:      make(map[string]*bb.DataPlane),
 		Metrics:     make(map[string]*obs.Registry),
+		Recorders:   make(map[string]*obs.Recorder),
 		servers:     make(map[string]*signalling.Server),
 		endpoints:   make(map[string]*transport.Endpoint),
 		addrs:       make(map[identity.DN]string),
@@ -326,6 +338,14 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			reg = obs.NewRegistry()
 			w.Metrics[name] = reg
 		}
+		var recorder *obs.Recorder
+		if cfg.EventsDir != "" {
+			recorder, err = obs.OpenRecorder(obs.RecorderOptions{Dir: filepath.Join(cfg.EventsDir, name)})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %w", err)
+			}
+			w.Recorders[name] = recorder
+		}
 		bcfg := bb.Config{
 			Domain:           name,
 			Key:              m.key,
@@ -350,6 +370,8 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			Logger:           cfg.Logger,
 			Metrics:          reg,
 			Wire:             w.wire,
+			Recorder:         recorder,
+			SampleRate:       cfg.SampleRate,
 		}
 		if cfg.StateDir != "" {
 			bcfg.StateDir = filepath.Join(cfg.StateDir, name)
@@ -457,7 +479,8 @@ func (w *World) RestartDomainFromJournal(name string) error {
 	return w.startDomain(name)
 }
 
-// Close stops all listeners, established connections and brokers.
+// Close stops all listeners, established connections, brokers and
+// flight recorders.
 func (w *World) Close() {
 	for _, srv := range w.servers {
 		srv.Shutdown()
@@ -465,6 +488,9 @@ func (w *World) Close() {
 	w.servers = make(map[string]*signalling.Server)
 	for _, broker := range w.BBs {
 		broker.Close()
+	}
+	for _, rec := range w.Recorders {
+		rec.Close()
 	}
 }
 

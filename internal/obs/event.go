@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+
+	"e2eqos/internal/wire"
+)
+
+// Event kinds recorded by the flight recorder.
+const (
+	// EventReserve is one hop's settlement of a reserve RAR.
+	EventReserve = "reserve"
+	// EventTunnelBatch is one endpoint's settlement of a sub-flow batch
+	// (or a source broker's view of the whole two-endpoint operation).
+	EventTunnelBatch = "tunnel-batch"
+)
+
+// Event is one wide flight-recorder record: everything a broker knew
+// about a sampled request when it settled, in a single row. The
+// recorder keeps these on disk (binary, CRC-framed) so a p999 outlier
+// or a denied chain can be reconstructed hop by hop after the fact —
+// per-request tracing that survives at fleet sampling rates, unlike
+// the requester-opt-in trace which is all-or-nothing.
+type Event struct {
+	TimeNS     int64  `json:"ts_ns"`
+	Kind       string `json:"kind"`
+	Domain     string `json:"domain"` // recording broker's domain
+	TraceID    string `json:"trace_id,omitempty"`
+	RARID      string `json:"rar_id,omitempty"`
+	User       string `json:"user,omitempty"`
+	Verdict    string `json:"verdict"`
+	Reason     string `json:"reason,omitempty"`
+	Retries    int    `json:"retries,omitempty"`
+	Ops        int    `json:"ops,omitempty"`   // sub-flow ops in a tunnel batch
+	Bytes      int    `json:"bytes,omitempty"` // signed envelope / payload size where known
+	DurationNS int64  `json:"duration_ns"`
+	// Sampled marks a probabilistic pick; false means the event was
+	// forced (denial, rollback, downstream error, open breaker).
+	Sampled bool   `json:"sampled,omitempty"`
+	Spans   []Span `json:"spans,omitempty"` // per-hop timeline, destination first
+}
+
+// Event binary field registry (DESIGN.md §6.7): 1=ts_ns 2=kind
+// 3=domain 4=trace_id 5=rar_id 6=user 7=verdict 8=reason 9=retries
+// 10=ops 11=bytes 12=duration_ns 13=sampled 14=spans (repeated
+// nested). Implements journal.BinaryRecord/BinaryDecoder so events
+// reuse the journal's CRC framing verbatim.
+
+// AppendBinary appends the event's tagged binary encoding.
+func (e *Event) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendInt(buf, 1, e.TimeNS)
+	buf = wire.AppendString(buf, 2, e.Kind)
+	buf = wire.AppendString(buf, 3, e.Domain)
+	buf = wire.AppendString(buf, 4, e.TraceID)
+	buf = wire.AppendString(buf, 5, e.RARID)
+	buf = wire.AppendString(buf, 6, e.User)
+	buf = wire.AppendString(buf, 7, e.Verdict)
+	buf = wire.AppendString(buf, 8, e.Reason)
+	buf = wire.AppendInt(buf, 9, int64(e.Retries))
+	buf = wire.AppendInt(buf, 10, int64(e.Ops))
+	buf = wire.AppendInt(buf, 11, int64(e.Bytes))
+	buf = wire.AppendInt(buf, 12, e.DurationNS)
+	buf = wire.AppendBool(buf, 13, e.Sampled)
+	for i := range e.Spans {
+		var start int
+		buf, start = wire.BeginNested(buf, 14)
+		buf = e.Spans[i].AppendWire(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	return buf
+}
+
+// DecodeBinary reverses AppendBinary.
+func (e *Event) DecodeBinary(data []byte) error {
+	d := wire.Dec{Buf: data}
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TVarint:
+			e.TimeNS = d.Varint()
+		case f == 2 && wt == wire.TBytes:
+			e.Kind = d.String()
+		case f == 3 && wt == wire.TBytes:
+			e.Domain = d.String()
+		case f == 4 && wt == wire.TBytes:
+			e.TraceID = d.String()
+		case f == 5 && wt == wire.TBytes:
+			e.RARID = d.String()
+		case f == 6 && wt == wire.TBytes:
+			e.User = d.String()
+		case f == 7 && wt == wire.TBytes:
+			e.Verdict = d.String()
+		case f == 8 && wt == wire.TBytes:
+			e.Reason = d.String()
+		case f == 9 && wt == wire.TVarint:
+			e.Retries = int(d.Varint())
+		case f == 10 && wt == wire.TVarint:
+			e.Ops = int(d.Varint())
+		case f == 11 && wt == wire.TVarint:
+			e.Bytes = int(d.Varint())
+		case f == 12 && wt == wire.TVarint:
+			e.DurationNS = d.Varint()
+		case f == 13 && wt == wire.TVarint:
+			e.Sampled = d.Bool()
+		case f == 14 && wt == wire.TBytes:
+			var s Span
+			if err := s.DecodeWire(d.Bytes()); err != nil {
+				return err
+			}
+			e.Spans = append(e.Spans, s)
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
+// Sampler makes the always-on probabilistic pick: roughly rate of the
+// requests entering the network at this broker get a flight-recorder
+// event. Sample is one atomic add plus a few shifts — cheap enough
+// for the sub-flow hot path — and a nil *Sampler never samples, so
+// disabled recording threads the same code.
+//
+// The generator is a Weyl sequence pushed through the splitmix64
+// finalizer: uniform 64-bit outputs with no locking and no per-call
+// allocation. It is deliberately deterministic per process — sampling
+// decisions in tests reproduce.
+type Sampler struct {
+	threshold uint64
+	state     atomic.Uint64
+}
+
+// NewSampler builds a sampler picking with probability rate (clamped
+// to [0,1]). Rates ≤ 0 return nil, the never-sample sampler.
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil
+	}
+	s := &Sampler{threshold: math.MaxUint64}
+	if rate < 1 {
+		s.threshold = uint64(rate * math.MaxUint64)
+	}
+	return s
+}
+
+// Sample reports whether this request is picked.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	if s.threshold == math.MaxUint64 {
+		return true
+	}
+	x := s.state.Add(0x9E3779B97F4A7C15) // golden-ratio Weyl increment
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x < s.threshold
+}

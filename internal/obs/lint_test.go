@@ -34,30 +34,58 @@ func TestMetricsLintNameRule(t *testing.T) {
 	}
 	// The boundary cases that must pass.
 	r := NewRegistry()
-	r.Gauge("a", "")
-	r.Gauge("a2_b_c", "")
+	r.Gauge("a", "a")
+	r.Gauge("a2_b_c", "boundary name")
 }
 
 func TestMetricsLintCounterSuffix(t *testing.T) {
 	mustPanic(t, "_total", func() {
-		NewRegistry().Counter("requests", "")
+		NewRegistry().Counter("requests", "requests served")
 	})
-	NewRegistry().Counter("requests_total", "")
+	NewRegistry().Counter("requests_total", "requests served")
+}
+
+func TestMetricsLintNonEmptyHelp(t *testing.T) {
+	// Every registration kind must refuse an empty HELP string: an
+	// undocumented metric is a lint error, not a rendering quirk.
+	mustPanic(t, "empty HELP", func() {
+		NewRegistry().Counter("x_total", "")
+	})
+	mustPanic(t, "empty HELP", func() {
+		NewRegistry().Gauge("x", "")
+	})
+	mustPanic(t, "empty HELP", func() {
+		NewRegistry().GaugeFunc("x", "", func() float64 { return 0 })
+	})
+	mustPanic(t, "empty HELP", func() {
+		NewRegistry().Histogram("x_seconds", "", nil)
+	})
+	mustPanic(t, "empty HELP", func() {
+		NewRegistry().Quantile("x_seconds", "", 0, 0)
+	})
+	r := NewRegistry()
+	r.Counter("x_total", "documented")
+	if got := r.Help("x_total"); got != "documented" {
+		t.Fatalf("Help = %q, want %q", got, "documented")
+	}
+	if got := r.Help("unknown"); got != "" {
+		t.Fatalf("Help(unknown) = %q, want empty", got)
+	}
 }
 
 func TestMetricsLintRegisteredExactlyOnce(t *testing.T) {
 	r := NewRegistry()
-	r.Gauge("depth", "")
+	r.Gauge("depth", "queue depth")
 	mustPanic(t, "registered twice", func() {
-		r.Gauge("depth", "")
+		r.Gauge("depth", "queue depth")
 	})
 	mustPanic(t, "registered twice", func() {
-		r.GaugeFunc("depth", "", func() float64 { return 0 })
+		r.GaugeFunc("depth", "queue depth", func() float64 { return 0 })
 	})
 }
 
 func TestMetricsLintBucketsAscending(t *testing.T) {
 	mustPanic(t, "not ascending", func() {
-		NewRegistry().Histogram("h_seconds", "", []float64{1, 1})
+		NewRegistry().Histogram("h_seconds", "latency", []float64{1, 1})
 	})
 }

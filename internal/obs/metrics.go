@@ -7,6 +7,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,9 +127,12 @@ type Histogram struct {
 	count  uint64
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are dropped: a single
+// NaN added to the running sum would poison _sum forever (NaN is
+// absorbing under addition), wrecking every rate(sum)/rate(count)
+// query downstream.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || v != v {
 		return
 	}
 	i := sort.SearchFloat64s(h.buckets, v)
@@ -187,20 +191,24 @@ func (h *Histogram) expose(w io.Writer) {
 type Registry struct {
 	mu      sync.Mutex
 	byName  map[string]metric
+	helps   map[string]string
 	ordered []string
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]metric)}
+	return &Registry{byName: make(map[string]metric), helps: make(map[string]string)}
 }
 
-// register enforces the naming and exactly-once rules; violations are
-// programming errors and panic (turned into test failures by
-// lint_test.go and `make metrics-lint`).
-func (r *Registry) register(name string, m metric) {
+// register enforces the naming, non-empty-HELP and exactly-once rules;
+// violations are programming errors and panic (turned into test
+// failures by lint_test.go and `make metrics-lint`).
+func (r *Registry) register(name, help string, m metric) {
 	if !nameRE.MatchString(name) {
 		panic(fmt.Sprintf("obs: metric name %q is not lowercase_snake", name))
+	}
+	if help == "" {
+		panic(fmt.Sprintf("obs: metric %q registered with empty HELP text", name))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -208,7 +216,20 @@ func (r *Registry) register(name string, m metric) {
 		panic(fmt.Sprintf("obs: metric %q registered twice", name))
 	}
 	r.byName[name] = m
+	r.helps[name] = help
 	r.ordered = append(r.ordered, name)
+}
+
+// Help returns the HELP text a metric registered with ("" when the
+// name is unknown). The metrics-lint walk uses it to assert every
+// live metric carries documentation.
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.helps[name]
 }
 
 // Counter registers and returns a counter. Counter names must end in
@@ -221,7 +242,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 		panic(fmt.Sprintf("obs: counter %q must end in _total", name))
 	}
 	c := &Counter{name: name, help: help}
-	r.register(name, c)
+	r.register(name, help, c)
 	return c
 }
 
@@ -231,7 +252,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return nil
 	}
 	g := &Gauge{name: name, help: help}
-	r.register(name, g)
+	r.register(name, help, g)
 	return g
 }
 
@@ -241,7 +262,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.register(name, &gaugeFunc{name: name, help: help, fn: fn})
+	r.register(name, help, &gaugeFunc{name: name, help: help, fn: fn})
 }
 
 // Histogram registers and returns a histogram with the given ascending
@@ -260,7 +281,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 		}
 	}
 	h := &Histogram{name: name, help: help, buckets: buckets, counts: make([]uint64, len(buckets))}
-	r.register(name, h)
+	r.register(name, help, h)
 	return h
 }
 
@@ -318,6 +339,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 		case *Histogram:
 			out[n+"_count"] = float64(v.Count())
 			out[n+"_sum"] = v.Sum()
+		case *QHist:
+			out[n+"_count"] = float64(v.Count())
+			out[n+"_sum"] = v.Sum()
 		}
 	}
 	return out
@@ -337,9 +361,32 @@ func (s *byName) Swap(i, j int) {
 
 func writeHeader(w io.Writer, name, help, typ string) {
 	if help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// escapeHelp applies the text exposition format's HELP escaping: a
+// raw newline would terminate the comment mid-text and leave the rest
+// as an unparsable line, and a raw backslash would be read back as an
+// escape by round-tripping parsers.
+func escapeHelp(help string) string {
+	if !strings.ContainsAny(help, "\\\n") {
+		return help
+	}
+	var b strings.Builder
+	b.Grow(len(help) + 8)
+	for i := 0; i < len(help); i++ {
+		switch help[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(help[i])
+		}
+	}
+	return b.String()
 }
 
 func formatFloat(v float64) string {

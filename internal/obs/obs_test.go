@@ -106,10 +106,10 @@ func TestWriteTextFormat(t *testing.T) {
 
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("n_total", "").Add(5)
-	r.Gauge("g", "").Set(1.5)
-	r.GaugeFunc("f", "", func() float64 { return 9 })
-	h := r.Histogram("h_seconds", "", nil)
+	r.Counter("n_total", "events").Add(5)
+	r.Gauge("g", "level").Set(1.5)
+	r.GaugeFunc("f", "computed", func() float64 { return 9 })
+	h := r.Histogram("h_seconds", "latency", nil)
 	h.Observe(2)
 	snap := r.Snapshot()
 	for k, want := range map[string]float64{

@@ -177,11 +177,12 @@ func decodeRARIDFields(d *wire.Dec, rarID *string) error {
 	return d.Err()
 }
 
-// ReservePayload: 1=mode 2=trace_id 3=envelope.
+// ReservePayload: 1=mode 2=trace_id 3=envelope 4=sampled.
 func (p *ReservePayload) appendFields(buf []byte) []byte {
 	buf = wire.AppendString(buf, 1, string(p.Mode))
 	buf = wire.AppendString(buf, 2, p.TraceID)
 	buf = wire.AppendBytes(buf, 3, p.EnvelopeData)
+	buf = wire.AppendBool(buf, 4, p.Sampled)
 	return buf
 }
 
@@ -195,6 +196,8 @@ func (p *ReservePayload) decodeFields(d *wire.Dec) error {
 			p.TraceID = d.String()
 		case f == 3 && wt == wire.TBytes:
 			p.EnvelopeData = append([]byte(nil), d.Bytes()...)
+		case f == 4 && wt == wire.TVarint:
+			p.Sampled = d.Bool()
 		default:
 			skipUnknown(d, wt)
 		}
@@ -294,7 +297,8 @@ func (op *TunnelOp) decodeFields(d *wire.Dec) error {
 	return d.Err()
 }
 
-// TunnelBatchPayload: 1=tunnel_rar_id 2=batch_id 3=user 4=ops(repeated).
+// TunnelBatchPayload: 1=tunnel_rar_id 2=batch_id 3=user 4=ops(repeated)
+// 5=trace_id 6=sampled.
 func (p *TunnelBatchPayload) appendFields(buf []byte) []byte {
 	buf = wire.AppendString(buf, 1, p.TunnelRARID)
 	buf = wire.AppendString(buf, 2, p.BatchID)
@@ -305,6 +309,8 @@ func (p *TunnelBatchPayload) appendFields(buf []byte) []byte {
 		buf = p.Ops[i].appendFields(buf)
 		buf = wire.EndNested(buf, start)
 	}
+	buf = wire.AppendString(buf, 5, p.TraceID)
+	buf = wire.AppendBool(buf, 6, p.Sampled)
 	return buf
 }
 
@@ -325,6 +331,10 @@ func (p *TunnelBatchPayload) decodeFields(d *wire.Dec) error {
 				return err
 			}
 			p.Ops = append(p.Ops, op)
+		case f == 5 && wt == wire.TBytes:
+			p.TraceID = d.String()
+		case f == 6 && wt == wire.TVarint:
+			p.Sampled = d.Bool()
 		default:
 			skipUnknown(d, wt)
 		}

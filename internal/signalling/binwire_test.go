@@ -73,6 +73,34 @@ func goldenMessages() []struct {
 			hex: "e20105050a055241522d541203422d311a102f4f3d477269642f434e3d616c696365220908011202733118e8072206080212027332",
 		},
 		{
+			// Ingress rolled the flight-recorder dice: the sampled bit
+			// (field 4) rides the reserve down the chain.
+			name: "reserve-sampled",
+			msg: &Message{Type: MsgReserve, ID: 8, Reserve: &ReservePayload{
+				Mode:         ModeEndToEnd,
+				TraceID:      "T-1",
+				EnvelopeData: []byte{0xE5, 0x01, 0x0A},
+				Sampled:      true,
+			}},
+			hex: "e20101080a036532651203542d311a03e5010a2001",
+		},
+		{
+			// A sampled batch carries its trace id (field 5) and sampled
+			// bit (field 6) to the far endpoint.
+			name: "tunnel-batch-sampled",
+			msg: &Message{Type: MsgTunnelBatch, ID: 9, TunnelBatch: &TunnelBatchPayload{
+				TunnelRARID: "RAR-T",
+				BatchID:     "B-1",
+				User:        identity.DN("/O=Grid/CN=alice"),
+				Ops: []TunnelOp{
+					{Action: OpAlloc, SubFlowID: "s1", Bandwidth: 500},
+				},
+				TraceID: "T-2",
+				Sampled: true,
+			}},
+			hex: "e20105090a055241522d541203422d311a102f4f3d477269642f434e3d616c696365220908011202733118e8072a03542d323001",
+		},
+		{
 			name: "status",
 			msg:  &Message{Type: MsgStatus, ID: 6, Status: &StatusPayload{RARID: "RAR-1"}},
 			hex:  "e20106060a055241522d31",

@@ -80,6 +80,11 @@ type ReservePayload struct {
 	// a trace span; the spans come back in the result payload. Empty
 	// disables tracing at zero per-hop cost.
 	TraceID string `json:"trace_id,omitempty"`
+	// Sampled marks a flight-recorder pick made by the ingress hop (the
+	// broker that received the RAR from the user). It propagates down
+	// the chain so every hop records the same requests — mid-chain hops
+	// never roll their own dice, which would compound the rate per hop.
+	Sampled bool `json:"sampled,omitempty"`
 	// EnvelopeData is the encoded envelope (RAR_U, RAR_A, ...),
 	// carried as opaque bytes: the envelope's canonical binary
 	// encoding, base64-wrapped when the frame itself travels as JSON.
@@ -144,6 +149,11 @@ type TunnelBatchPayload struct {
 	BatchID     string      `json:"batch_id"`
 	User        identity.DN `json:"user"`
 	Ops         []TunnelOp  `json:"ops"`
+	// TraceID/Sampled carry the source broker's flight-recorder pick to
+	// the far endpoint, so sampled events cover both halves of a batch
+	// under one trace id (same contract as ReservePayload).
+	TraceID string `json:"trace_id,omitempty"`
+	Sampled bool   `json:"sampled,omitempty"`
 }
 
 // Validate rejects structurally bad batches before any op is applied.

@@ -25,6 +25,10 @@
 #   make race-subflow      tunnel sub-flow battery under -race: the
 #                          endpoint property/invariant tests, the batch
 #                          handlers and the tunnel crash-recovery tests
+#   make race-replication  replica-group battery under -race: journal
+#                          streaming unit tests, follower convergence,
+#                          and the randomized leader-kill/promote
+#                          failover property suite
 #   make alloc-gate        allocs-per-op gates: binary frame encode,
 #                          journal record append, quantile-histogram
 #                          Observe and sampled-event append must all be
@@ -43,10 +47,13 @@
 #                          striped vs mutexed histogram Observe, quantile
 #                          merge, sampler draw and flight-recorder append
 #                          (the numbers recorded in BENCH_obs.json)
+#   make bench-replication end-to-end admission, unreplicated vs a
+#                          3-replica commit-gated group (the numbers
+#                          recorded in BENCH_replication.json)
 
 GO ?= go
 
-.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs metrics-lint race-concurrency race-recovery race-subflow fuzz-short
+.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs bench-replication metrics-lint race-concurrency race-recovery race-subflow race-replication fuzz-short
 
 build:
 	$(GO) build ./...
@@ -54,7 +61,7 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow fuzz-short
+verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow race-replication fuzz-short
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -71,6 +78,10 @@ race-recovery:
 race-subflow:
 	$(GO) test -race ./internal/tunnel
 	$(GO) test -race -run 'Tunnel' ./internal/bb
+
+race-replication:
+	$(GO) test -race -run 'Stream' ./internal/journal
+	$(GO) test -race -run 'Replicat|Failover' ./internal/bb
 
 fuzz-short:
 	$(GO) test -run NONE -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/envelope
@@ -95,3 +106,6 @@ bench-subflow:
 
 bench-obs:
 	$(GO) test -run NONE -bench 'QHistObserve|MutexHistObserve|QHistQuantile|SamplerSample|RecorderAppend' -benchmem ./internal/obs
+
+bench-replication:
+	$(GO) test -run NONE -bench 'ReplicatedAdmit' -benchtime 500x -count 3 .

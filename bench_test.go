@@ -678,3 +678,45 @@ func BenchmarkJournaledAdmit(b *testing.B) {
 		})
 	}
 }
+
+// --- Replication: commit-gated admission overhead --------------------------
+
+// BenchmarkReplicatedAdmit measures what the replica group adds to the
+// broker-level admission path (the numbers recorded in
+// BENCH_replication.json): a full end-to-end reserve over a two-domain
+// chain, unreplicated vs a 3-replica group at each domain. Both arms
+// journal with batch fsync; the replicated arm additionally streams
+// every record to two followers and withholds the settlement until a
+// majority acknowledged it. The commit wait overlaps the group-commit
+// fsync window, so the target is well under 2x the unreplicated arm.
+func BenchmarkReplicatedAdmit(b *testing.B) {
+	run := func(b *testing.B, replicas int) {
+		w, err := experiment.BuildWorld(experiment.WorldConfig{
+			NumDomains:  2,
+			Replicas:    replicas,
+			Capacity:    1000 * units.Gbps,
+			StateDir:    b.TempDir(),
+			FsyncPolicy: "batch",
+			CallTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		u, err := w.NewUser("alice", "", nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer u.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := u.NewSpec(experiment.SpecOptions{DestDomain: w.DestDomain(), Bandwidth: units.Mbps})
+			res, err := u.ReserveE2E(spec)
+			if err != nil || !res.Granted {
+				b.Fatalf("reserve %d: %v %+v", i, err, res)
+			}
+		}
+	}
+	b.Run("unreplicated", func(b *testing.B) { run(b, 1) })
+	b.Run("replicated-3", func(b *testing.B) { run(b, 3) })
+}

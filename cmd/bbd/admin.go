@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"e2eqos/internal/bb"
 	"e2eqos/internal/obs"
 )
 
@@ -16,17 +17,20 @@ import (
 //
 //	/metrics      Prometheus text exposition of the broker registry
 //	/top          JSON live view: windowed rates, gauges, quantiles
+//	/replication  JSON replica-group status (role, term, lag)
+//	/promote      POST: stand this replica for election (failover)
 //	/debug/pprof/ the standard Go profiler
 //
 // It binds synchronously (so a bad address fails startup, not five
 // minutes into an incident) and then serves in the background. The
 // returned closer stops the listener.
-func startAdmin(addr, domain string, reg *obs.Registry, logger *slog.Logger) (func() error, error) {
+func startAdmin(addr string, broker *bb.BB, logger *slog.Logger) (func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("bbd: admin listen: %w", err)
 	}
-	top := obs.NewTop(domain, reg)
+	reg := broker.MetricsRegistry()
+	top := obs.NewTop(broker.Domain(), reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -35,6 +39,22 @@ func startAdmin(addr, domain string, reg *obs.Registry, logger *slog.Logger) (fu
 	mux.HandleFunc("/top", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(top.Snapshot(time.Now()))
+	})
+	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(broker.ReplicationStatus())
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := broker.Promote(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(broker.ReplicationStatus())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -76,6 +76,24 @@ type FileConfig struct {
 	// own setting. Overridable with -wire.
 	Wire string `json:"wire,omitempty"`
 
+	// ReplicaID and ReplicaPeers turn the broker into one member of a
+	// replicated group: ReplicaPeers maps every replica id (including
+	// this broker's own) to its signalling address, all replicas share
+	// the domain's key and certificate, and the leader streams its
+	// journal to the followers. Requires state_dir. Empty peers =
+	// unreplicated (the default).
+	ReplicaID    int            `json:"replica_id,omitempty"`
+	ReplicaPeers map[int]string `json:"replica_peers,omitempty"`
+	// StartAsFollower boots this replica as a follower waiting for a
+	// leader's stream instead of assuming leadership. Every replica
+	// but one should set it.
+	StartAsFollower bool `json:"start_as_follower,omitempty"`
+	// ElectionTimeout, when set (e.g. "2s"), arms automatic failover:
+	// a follower that hears no leader for this long (staggered by
+	// replica id) stands for election. "" keeps failover manual
+	// (`qosctl promote` / the admin endpoint).
+	ElectionTimeout string `json:"election_timeout,omitempty"`
+
 	// AdminAddr, when set (e.g. "127.0.0.1:7101"), serves the broker's
 	// admin HTTP endpoint: Prometheus metrics on /metrics, the live
 	// rate/quantile view on /top, and the pprof profiler under
@@ -282,6 +300,18 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, *obs.Recorder, e
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	electionTimeout, err := parseDur("election_timeout", cfg.ElectionTimeout, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(cfg.ReplicaPeers) > 1 {
+		if cfg.StateDir == "" {
+			return nil, nil, nil, fmt.Errorf("bbd: replica_peers requires state_dir (the replication stream is the journal)")
+		}
+		if _, ok := cfg.ReplicaPeers[cfg.ReplicaID]; !ok {
+			return nil, nil, nil, fmt.Errorf("bbd: replica_peers must include this broker's own replica_id %d", cfg.ReplicaID)
+		}
+	}
 
 	level, err := obs.ParseLevel(cfg.LogLevel)
 	if err != nil {
@@ -335,6 +365,12 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, *obs.Recorder, e
 		Wire:             wireMode,
 		Recorder:         recorder,
 		SampleRate:       cfg.SampleRate,
+	}
+	if len(cfg.ReplicaPeers) > 1 {
+		bbCfg.ReplicaID = cfg.ReplicaID
+		bbCfg.ReplicaAddrs = cfg.ReplicaPeers
+		bbCfg.StartAsFollower = cfg.StartAsFollower
+		bbCfg.ElectionTimeout = electionTimeout
 	}
 	if cfg.CPUs > 0 {
 		cpuMgr, err := newCPUManager(cfg.Domain, cfg.CPUs)

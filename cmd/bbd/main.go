@@ -98,7 +98,7 @@ func main() {
 	logger.Info("bbd listening", "dn", string(broker.DN()), "addr", ln.Addr())
 
 	if cfg.AdminAddr != "" {
-		closeAdmin, err := startAdmin(cfg.AdminAddr, cfg.Domain, broker.MetricsRegistry(), logger)
+		closeAdmin, err := startAdmin(cfg.AdminAddr, broker, logger)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, keydist, billing, diffserv, faults, all")
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, keydist, billing, diffserv, faults, failover, all")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
@@ -152,6 +152,18 @@ func main() {
 		t, err := experiment.RunBilling(time.Second)
 		if err != nil {
 			fail("billing", err)
+		}
+		emit(t)
+	}
+	if run("failover") {
+		dir, err := os.MkdirTemp("", "qos-replicas-")
+		if err != nil {
+			fail("failover", err)
+		}
+		defer os.RemoveAll(dir)
+		t, err := experiment.RunFailover(experiment.FailoverConfig{StateDir: dir})
+		if err != nil {
+			fail("failover", err)
 		}
 		emit(t)
 	}

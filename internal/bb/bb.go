@@ -138,6 +138,26 @@ type Config struct {
 	// encoding, so this only needs to match what the peer can parse;
 	// WireJSON is the debug/interop mode.
 	Wire signalling.WireMode
+
+	// ReplicaID / ReplicaAddrs turn the broker into one member of a
+	// replicated group (DESIGN.md §6.8): ReplicaAddrs maps every
+	// replica id in the group — including this broker's own ReplicaID —
+	// to its transport address. With fewer than two entries the broker
+	// runs unreplicated (the pre-replication behaviour). Replication
+	// requires StateDir: the stream is the journal.
+	ReplicaID    int
+	ReplicaAddrs map[int]string
+	// StartAsFollower makes the broker boot as a follower awaiting a
+	// leader's stream (or an election win). Unset, a replicated broker
+	// boots as the group's leader at term 1 — the deployment convention
+	// is that exactly one replica (id 0) boots as leader.
+	StartAsFollower bool
+	// ElectionTimeout, when positive, arms automatic failover: a
+	// follower that hears nothing from a leader for this long (scaled
+	// up by its replica id, so the group doesn't split its votes)
+	// stands for election. Zero leaves promotion to an operator or the
+	// experiment harness calling Promote.
+	ElectionTimeout time.Duration
 }
 
 // rarState remembers what a reserve created locally, for cancellation
@@ -189,6 +209,10 @@ type BB struct {
 	journal *journal.Journal
 	ckptMu  sync.Mutex
 
+	// repl is the replication engine (nil when the broker runs
+	// unreplicated — every caller checks).
+	repl *replicator
+
 	tunnels *tunnelRegistry
 
 	// sampler makes the flight recorder's ingress sampling decisions
@@ -233,6 +257,9 @@ func New(cfg Config) (*BB, error) {
 		sampler:  obs.NewSampler(cfg.SampleRate),
 	}
 	b.pool = newClientPool(b.dialPeer, func() { b.m.clientEvictions.Inc() })
+	if b.replicated() && cfg.StateDir == "" {
+		return nil, fmt.Errorf("bb %s: replication requires StateDir (the stream is the journal)", cfg.Domain)
+	}
 	if cfg.StateDir != "" {
 		// Recover-on-boot: load the snapshot + record tail persisted by
 		// a previous incarnation (possibly replacing the fresh table),
@@ -241,8 +268,17 @@ func New(cfg Config) (*BB, error) {
 			return nil, err
 		}
 	}
+	if b.replicated() {
+		b.repl = newReplicator(b)
+	}
 	b.registerGauges(cfg.Metrics)
 	return b, nil
+}
+
+// replicated reports whether this broker is a member of a replica
+// group (two or more configured replicas).
+func (b *BB) replicated() bool {
+	return len(b.cfg.ReplicaAddrs) > 1
 }
 
 // Logger exposes the broker's structured logger (never nil); the
@@ -305,6 +341,7 @@ func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
 // Close tears down all outbound clients and, when the broker is
 // durable, flushes and closes its journal — the graceful shutdown.
 func (b *BB) Close() {
+	b.repl.close()
 	b.pool.closeAll()
 	if err := b.journal.Close(); err != nil {
 		b.log.Error("journal: close failed", "err", err)
@@ -316,6 +353,7 @@ func (b *BB) Close() {
 // records still in the fsync batch buffer are lost. Crash-recovery
 // tests and the experiment World use it; production code wants Close.
 func (b *BB) Crash() {
+	b.repl.close()
 	b.pool.closeAll()
 	b.journal.Crash()
 }

@@ -103,6 +103,23 @@ func (t *tunnelRegistry) dropBatches(rarID string, epoch int64) {
 	}
 }
 
+// resetBatches replaces the whole replay cache with a snapshot's
+// settled entries — a replication follower installing a leader
+// snapshot. In-flight entries are discarded with it: a follower never
+// has batches of its own in flight.
+func (t *tunnelRegistry) resetBatches(snaps []tunnelBatchSnap) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.batches = make(map[string]*batchState, len(snaps))
+	for _, bs := range snaps {
+		done := make(chan struct{})
+		close(done)
+		t.batches[batchKey(bs.RARID, bs.BatchID)] = &batchState{
+			done: done, outcome: bs.Outcome, epoch: bs.Epoch, rarID: bs.RARID, id: bs.BatchID,
+		}
+	}
+}
+
 // settledBatches snapshots the replay cache for journal rotation,
 // sorted for deterministic bytes. In-flight entries are skipped: they
 // journal themselves when they settle, after the rotation completes.
@@ -126,7 +143,16 @@ func (t *tunnelRegistry) settledBatches() []tunnelBatchSnap {
 }
 
 // Handle implements signalling.Handler: the broker's message dispatch.
+// On a replica-group follower every mutating message redirects to the
+// leader; status reads and replication traffic are served locally.
 func (b *BB) Handle(peer signalling.Peer, msg *signalling.Message) *signalling.Message {
+	if b.repl.isFollower() {
+		switch msg.Type {
+		case signalling.MsgReserve, signalling.MsgCancel, signalling.MsgTunnelAlloc,
+			signalling.MsgTunnelRelease, signalling.MsgTunnelBatch:
+			return b.redirect()
+		}
+	}
 	switch msg.Type {
 	case signalling.MsgReserve:
 		if msg.Reserve == nil {
@@ -158,6 +184,11 @@ func (b *BB) Handle(peer signalling.Peer, msg *signalling.Message) *signalling.M
 			return signalling.ErrorResult("status message without payload")
 		}
 		return b.handleStatus(msg.Status)
+	case signalling.MsgJournalStream:
+		if msg.JournalStream == nil {
+			return signalling.ErrorResult("journal-stream message without payload")
+		}
+		return b.handleJournalStream(peer, msg.JournalStream)
 	default:
 		return signalling.ErrorResult(fmt.Sprintf("unsupported message type %q", msg.Type))
 	}
@@ -309,6 +340,10 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	// Journal the settled entry before releasing waiters, so a cancel
 	// that was blocked on done always journals after this record.
 	b.journalRAR(spec.RARID, st)
+	// Group commit: in a replica group the outcome is withheld until a
+	// majority holds everything up to and including that record, so a
+	// grant the caller ever saw survives this leader's death.
+	b.replWaitCommit()
 	close(st.done)
 	b.maybeCheckpoint()
 	return resp
@@ -650,6 +685,9 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	}
 	b.log.Info("cancel: released reservation",
 		obs.AttrRAR, payload.RARID, obs.AttrPeer, string(peer.DN), "handle", st.handle)
+	// The cancel's own records (route removal, table cancel, tunnel
+	// teardown) join the group commit before the caller hears back.
+	b.replWaitCommit()
 	b.maybeCheckpoint()
 	return signalling.OKResult(st.handle)
 }
@@ -852,8 +890,10 @@ func (b *BB) handleTunnelBatch(peer signalling.Peer, payload *signalling.TunnelB
 		resp.Result.Reason = fmt.Sprintf("%s: %d/%d ops denied", b.cfg.Domain, denied, len(results))
 	}
 	// Journal the outcome before releasing duplicate waiters, so a
-	// retransmission never observes an unjournaled application.
+	// retransmission never observes an unjournaled application — and,
+	// in a replica group, withhold it until a majority holds the record.
 	b.journalTunnelBatch(ep, payload.BatchID, applied, resp)
+	b.replWaitCommit()
 	b.tunnels.settle(st, resp)
 	b.m.tunnelBatches.Inc()
 	b.m.tunnelBatchSeconds.ObserveSince(t0)

@@ -114,7 +114,7 @@ type brokerState struct {
 // before the broker is shared; mutates b without locks.
 func (b *BB) openJournal() error {
 	t0 := time.Now()
-	j, rec, err := journal.Open(b.cfg.StateDir, journal.Options{
+	opts := journal.Options{
 		Fsync: b.cfg.Fsync,
 		OnAppend: func(d time.Duration) {
 			b.m.journalAppends.Inc()
@@ -125,7 +125,13 @@ func (b *BB) openJournal() error {
 			b.m.journalErrors.Inc()
 			b.log.Error("journal: write failed", "err", err)
 		},
-	})
+	}
+	if b.replicated() {
+		// Replication streams raw frames off the journal's in-memory
+		// tail; unreplicated brokers keep TailBytes zero and pay nothing.
+		opts.TailBytes = replTailBytes
+	}
+	j, rec, err := journal.Open(b.cfg.StateDir, opts)
 	if err != nil {
 		return fmt.Errorf("bb %s: %w", b.cfg.Domain, err)
 	}
@@ -161,13 +167,9 @@ func (b *BB) openJournal() error {
 // before the broker is shared, so it reads and writes b lock-free.
 func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 	if rec.Snapshot != nil {
-		var st brokerState
-		if len(rec.Snapshot) > 0 && rec.Snapshot[0] == bbSnapMagic {
-			if err := st.decodeBinary(rec.Snapshot); err != nil {
-				return 0, fmt.Errorf("decoding snapshot: %w", err)
-			}
-		} else if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
-			return 0, fmt.Errorf("decoding snapshot: %w", err)
+		st, err := decodeBrokerState(rec.Snapshot)
+		if err != nil {
+			return 0, err
 		}
 		if len(st.Table) > 0 {
 			tbl, err := resv.RestoreTable(st.Table)
@@ -204,83 +206,12 @@ func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 	// survive the scan.
 	var tunnelOps []tunnelOpRecord
 	for _, r := range rec.Records {
-		switch r.Op {
-		case opRAR:
-			var rr rarRec
-			if err := r.Decode(&rr); err != nil {
-				return applied, err
-			}
-			if rr.Epoch > b.rarEpoch {
-				b.rarEpoch = rr.Epoch
-			}
-			// Concurrent emission can reorder records for a reused RAR
-			// id; the higher epoch is always the later registration.
-			if cur, ok := b.routes[rr.RARID]; ok && cur.epoch > rr.Epoch {
-				break
-			}
-			b.routes[rr.RARID] = recoveredRARState(rr)
-			applied++
-		case opRARCancel:
-			var cr rarCancelRec
-			if err := r.Decode(&cr); err != nil {
-				return applied, err
-			}
-			if cr.Epoch > b.rarEpoch {
-				b.rarEpoch = cr.Epoch
-			}
-			// Remove only the registration this cancel actually ended: a
-			// stale cancel must not evict a fresh re-registration.
-			if cur, ok := b.routes[cr.RARID]; ok && cur.epoch == cr.Epoch {
-				delete(b.routes, cr.RARID)
-			}
-			applied++
-		case opTunnel:
-			var ts tunnel.EndpointSnapshot
-			if err := r.Decode(&ts); err != nil {
-				return applied, err
-			}
-			if ts.Epoch > b.rarEpoch {
-				b.rarEpoch = ts.Epoch
-			}
-			// The higher epoch is always the later registration of a
-			// reused tunnel RAR id.
-			if cur, ok := b.tunnels.reg.Get(ts.RARID); ok && cur.Epoch > ts.Epoch {
-				break
-			}
-			ep, err := tunnel.Restore(ts)
-			if err != nil {
-				return applied, fmt.Errorf("restoring tunnel %s: %w", ts.RARID, err)
-			}
-			b.tunnels.reg.Replace(ep)
-			applied++
-		case opTunnelRemove:
-			var cr rarCancelRec
-			if err := r.Decode(&cr); err != nil {
-				return applied, err
-			}
-			if cr.Epoch > b.rarEpoch {
-				b.rarEpoch = cr.Epoch
-			}
-			if cur, ok := b.tunnels.reg.Get(cr.RARID); ok && cur.Epoch == cr.Epoch {
-				b.tunnels.reg.Remove(cr.RARID)
-			}
-			applied++
-		case opTunnelAlloc, opTunnelRelease:
-			var tr tunnelOpRecord
-			if err := r.Decode(&tr); err != nil {
-				return applied, err
-			}
-			tunnelOps = append(tunnelOps, tr)
-			applied++
-		case opTunnelBatch:
-			var br tunnelBatchRec
-			if err := r.Decode(&br); err != nil {
-				return applied, err
-			}
-			for _, op := range br.Ops {
-				tunnelOps = append(tunnelOps, tunnelOpRecord{RARID: br.RARID, Epoch: br.Epoch, tunnelOpRec: op})
-			}
-			b.tunnels.restoreBatch(br.RARID, br.Epoch, br.BatchID, br.Outcome)
+		ops, ok, err := b.applyBBRecord(r)
+		if err != nil {
+			return applied, err
+		}
+		tunnelOps = append(tunnelOps, ops...)
+		if ok {
 			applied++
 		}
 	}
@@ -288,6 +219,123 @@ func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 		return applied, err
 	}
 	return applied, nil
+}
+
+// decodeBrokerState parses a rotated snapshot in either encoding
+// (binary, or the JSON written before the binary codec existed). Boot
+// recovery and the replication follower's snapshot install share it.
+func decodeBrokerState(data []byte) (brokerState, error) {
+	var st brokerState
+	if len(data) > 0 && data[0] == bbSnapMagic {
+		if err := st.decodeBinary(data); err != nil {
+			return st, fmt.Errorf("decoding snapshot: %w", err)
+		}
+	} else if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	return st, nil
+}
+
+// applyBBRecord applies one "bb." journal record to the live broker
+// state, with fine-grained locking, so boot-time recovery and the
+// replication follower's live stream apply share one semantics:
+// higher-epoch-wins for route and tunnel (re)registrations, exact-epoch
+// matching for removals. Sub-flow mutation records are NOT applied here
+// — they need ordering the caller owns (recovery sorts the whole tail
+// by generation; the follower holds a dense-generation reorder buffer)
+// — so they are decoded and returned instead. The bool reports whether
+// the record belonged to the "bb." vocabulary at all; foreign ops (the
+// table's "resv." records) return (nil, false, nil).
+func (b *BB) applyBBRecord(r journal.Record) ([]tunnelOpRecord, bool, error) {
+	switch r.Op {
+	case opRAR:
+		var rr rarRec
+		if err := r.Decode(&rr); err != nil {
+			return nil, false, err
+		}
+		b.mu.Lock()
+		if rr.Epoch > b.rarEpoch {
+			b.rarEpoch = rr.Epoch
+		}
+		// Concurrent emission can reorder records for a reused RAR
+		// id; the higher epoch is always the later registration.
+		if cur, ok := b.routes[rr.RARID]; !ok || cur.epoch <= rr.Epoch {
+			b.routes[rr.RARID] = recoveredRARState(rr)
+		}
+		b.mu.Unlock()
+		return nil, true, nil
+	case opRARCancel:
+		var cr rarCancelRec
+		if err := r.Decode(&cr); err != nil {
+			return nil, false, err
+		}
+		b.mu.Lock()
+		if cr.Epoch > b.rarEpoch {
+			b.rarEpoch = cr.Epoch
+		}
+		// Remove only the registration this cancel actually ended: a
+		// stale cancel must not evict a fresh re-registration.
+		if cur, ok := b.routes[cr.RARID]; ok && cur.epoch == cr.Epoch {
+			delete(b.routes, cr.RARID)
+		}
+		b.mu.Unlock()
+		return nil, true, nil
+	case opTunnel:
+		var ts tunnel.EndpointSnapshot
+		if err := r.Decode(&ts); err != nil {
+			return nil, false, err
+		}
+		b.mu.Lock()
+		if ts.Epoch > b.rarEpoch {
+			b.rarEpoch = ts.Epoch
+		}
+		b.mu.Unlock()
+		// The higher epoch is always the later registration of a
+		// reused tunnel RAR id.
+		if cur, ok := b.tunnels.reg.Get(ts.RARID); ok && cur.Epoch > ts.Epoch {
+			return nil, true, nil
+		}
+		ep, err := tunnel.Restore(ts)
+		if err != nil {
+			return nil, false, fmt.Errorf("restoring tunnel %s: %w", ts.RARID, err)
+		}
+		b.tunnels.reg.Replace(ep)
+		return nil, true, nil
+	case opTunnelRemove:
+		var cr rarCancelRec
+		if err := r.Decode(&cr); err != nil {
+			return nil, false, err
+		}
+		b.mu.Lock()
+		if cr.Epoch > b.rarEpoch {
+			b.rarEpoch = cr.Epoch
+		}
+		b.mu.Unlock()
+		if cur, ok := b.tunnels.reg.Get(cr.RARID); ok && cur.Epoch == cr.Epoch {
+			b.tunnels.reg.Remove(cr.RARID)
+			b.tunnels.dropBatches(cr.RARID, cr.Epoch)
+		}
+		return nil, true, nil
+	case opTunnelAlloc, opTunnelRelease:
+		var tr tunnelOpRecord
+		if err := r.Decode(&tr); err != nil {
+			return nil, false, err
+		}
+		return []tunnelOpRecord{tr}, true, nil
+	case opTunnelBatch:
+		var br tunnelBatchRec
+		if err := r.Decode(&br); err != nil {
+			return nil, false, err
+		}
+		ops := make([]tunnelOpRecord, 0, len(br.Ops))
+		for _, op := range br.Ops {
+			ops = append(ops, tunnelOpRecord{RARID: br.RARID, Epoch: br.Epoch, tunnelOpRec: op})
+		}
+		b.tunnels.restoreBatch(br.RARID, br.Epoch, br.BatchID, br.Outcome)
+		return ops, true, nil
+	default:
+		return nil, false, nil
+	}
 }
 
 // applyTunnelOps replays collected sub-flow mutations: grouped per

@@ -36,6 +36,16 @@ type bbMetrics struct {
 	eventsRecorded *obs.Counter // wide events appended to the event log
 	eventsForced   *obs.Counter // events recorded because of a denial/error, not the sampler
 	eventDrops     *obs.Counter // events lost to event-log write failures
+	// Replication counters (zero on an unreplicated broker).
+	replRecordsStreamed    *obs.Counter // journal frames shipped to followers
+	replRecordsApplied     *obs.Counter // streamed frames applied and re-journaled (follower side)
+	replSnapshotsSent      *obs.Counter // catch-up snapshots shipped to followers
+	replSnapshotsInstalled *obs.Counter // catch-up snapshots installed (follower side)
+	replAcks               *obs.Counter // follower acknowledgements processed
+	replStreamErrors       *obs.Counter // stream transport/apply failures (either side)
+	replElections          *obs.Counter // elections won by this replica
+	replRedirects          *obs.Counter // mutating requests redirected to the leader
+	replCommitTimeouts     *obs.Counter // settles that proceeded without majority ack
 	// Latency quantile histograms (seconds). Striped lock-free
 	// histograms: Observe is safe on the sub-flow hot path, and the
 	// admin endpoint and experiment reports read p50/p99/p999 off them.
@@ -84,6 +94,16 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		eventsForced:   r.Counter("bb_events_forced_total", "flight-recorder events forced by a denial, rollback or downstream error"),
 		eventDrops:     r.Counter("bb_event_drops_total", "flight-recorder events lost to event-log write failures"),
 
+		replRecordsStreamed:    r.Counter("bb_repl_records_streamed_total", "journal frames shipped to followers"),
+		replRecordsApplied:     r.Counter("bb_repl_records_applied_total", "streamed journal frames applied and re-journaled by this follower"),
+		replSnapshotsSent:      r.Counter("bb_repl_snapshots_sent_total", "replication catch-up snapshots shipped to followers"),
+		replSnapshotsInstalled: r.Counter("bb_repl_snapshots_installed_total", "replication catch-up snapshots installed by this follower"),
+		replAcks:               r.Counter("bb_repl_acks_total", "follower stream acknowledgements processed by the leader"),
+		replStreamErrors:       r.Counter("bb_repl_stream_errors_total", "replication stream transport or apply failures"),
+		replElections:          r.Counter("bb_repl_elections_total", "replica-group elections won by this broker"),
+		replRedirects:          r.Counter("bb_repl_redirects_total", "mutating requests redirected from this follower to the leader"),
+		replCommitTimeouts:     r.Counter("bb_repl_commit_timeouts_total", "settlements that proceeded after the majority-ack wait timed out"),
+
 		handleSeconds:        r.Quantile("bb_handle_seconds", "per-hop reserve handling time", 0, 0),
 		downstreamSeconds:    r.Quantile("bb_downstream_seconds", "downstream call round trip including retries and backoff", 0, 0),
 		grantSeconds:         r.Quantile("bb_grant_seconds", "end-to-end grant time observed at the source hop", 0, 0),
@@ -117,4 +137,33 @@ func (b *BB) registerGauges(r *obs.Registry) {
 		})
 	r.GaugeFunc("bb_late_responses_dropped", "downstream responses that arrived after their call gave up",
 		func() float64 { return float64(b.pool.lateDropped()) })
+	if b.repl != nil {
+		r.GaugeFunc("bb_repl_is_leader", "1 while this replica leads its group",
+			func() float64 {
+				if b.ReplicationStatus().Leader {
+					return 1
+				}
+				return 0
+			})
+		r.GaugeFunc("bb_repl_term", "current replica-group election term",
+			func() float64 { return float64(b.ReplicationStatus().Term) })
+		r.GaugeFunc("bb_repl_commit_seq", "highest majority-acknowledged journal sequence",
+			func() float64 { return float64(b.ReplicationStatus().CommitSeq) })
+		r.GaugeFunc("bb_repl_applied_seq", "highest streamed journal sequence applied by this follower",
+			func() float64 { return float64(b.ReplicationStatus().AppliedSeq) })
+		r.GaugeFunc("bb_repl_lag_records", "journal records not yet majority-acknowledged (leader) or not yet applied (follower)",
+			func() float64 {
+				s := b.ReplicationStatus()
+				var lag int64
+				if s.Leader {
+					lag = s.JournalSeq - s.CommitSeq
+				} else {
+					lag = s.CommitSeq - s.AppliedSeq
+				}
+				if lag < 0 {
+					lag = 0
+				}
+				return float64(lag)
+			})
+	}
 }

@@ -37,10 +37,22 @@ type clientPool struct {
 
 // poolSlot is the per-peer entry. Its mutex serializes dialing and
 // replacement for that peer only, so a slow dial to one neighbour
-// never blocks calls to another.
+// never blocks calls to another. The cached pointer shadows client for
+// lock-free readers: it is updated on every assignment under mu, and
+// lateDropped reads it without the mutex — a metrics scrape must never
+// queue behind a dial in flight (the mutex is deliberately held across
+// p.dial for singleflighting).
 type poolSlot struct {
 	mu     sync.Mutex
 	client *signalling.Client
+	cached atomic.Pointer[signalling.Client]
+}
+
+// setClient assigns the slot's client under s.mu, keeping the
+// lock-free shadow in sync.
+func (s *poolSlot) setClient(c *signalling.Client) {
+	s.client = c
+	s.cached.Store(c)
 }
 
 func newClientPool(dial func(dn identity.DN) (*signalling.Client, error), onEvict func()) *clientPool {
@@ -79,13 +91,13 @@ func (p *clientPool) get(dn identity.DN) (*signalling.Client, error) {
 			return s.client, nil
 		}
 		p.retire(s.client)
-		s.client = nil
+		s.setClient(nil)
 	}
 	c, err := p.dial(dn)
 	if err != nil {
 		return nil, err
 	}
-	s.client = c
+	s.setClient(c)
 	return c, nil
 }
 
@@ -103,7 +115,7 @@ func (p *clientPool) evict(dn identity.DN, c *signalling.Client) {
 	s.mu.Lock()
 	if s.client == c {
 		p.retire(c)
-		s.client = nil
+		s.setClient(nil)
 	}
 	s.mu.Unlock()
 }
@@ -119,7 +131,13 @@ func (p *clientPool) retire(c *signalling.Client) {
 }
 
 // lateDropped sums orphaned responses across live and retired clients,
-// for the broker's late-response gauge.
+// for the broker's late-response gauge. It reads each slot's lock-free
+// client shadow instead of taking s.mu: get holds that mutex across a
+// dial, and a metrics scrape stalling behind a hung dial to one dead
+// peer would freeze the whole admin endpoint (a scrape is the wrong
+// place to pay a connection-establishment deadline). The shadow may
+// trail an in-flight replacement by one assignment; the gauge is
+// sampled, not accounting.
 func (p *clientPool) lateDropped() int64 {
 	total := p.retiredLate.Load()
 	p.mu.Lock()
@@ -129,11 +147,9 @@ func (p *clientPool) lateDropped() int64 {
 	}
 	p.mu.Unlock()
 	for _, s := range slots {
-		s.mu.Lock()
-		if s.client != nil {
-			total += s.client.LateDropped()
+		if c := s.cached.Load(); c != nil {
+			total += c.LateDropped()
 		}
-		s.mu.Unlock()
 	}
 	return total
 }
@@ -153,7 +169,7 @@ func (p *clientPool) closeAll() {
 		s.mu.Lock()
 		if s.client != nil {
 			s.client.Close()
-			s.client = nil
+			s.setClient(nil)
 		}
 		s.mu.Unlock()
 	}

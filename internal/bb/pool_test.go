@@ -1,0 +1,73 @@
+package bb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/signalling"
+)
+
+// TestLateDroppedDoesNotBlockOnHungDial is the regression test for the
+// metrics-scrape stall: get holds the per-peer slot mutex across the
+// dial (deliberately — it singleflights connection establishment), and
+// lateDropped used to take that same mutex per slot, so a scrape would
+// queue behind a hung dial to one dead peer until its deadline. The
+// gauge must read the slot lock-free.
+func TestLateDroppedDoesNotBlockOnHungDial(t *testing.T) {
+	dialStarted := make(chan struct{})
+	release := make(chan struct{})
+	p := newClientPool(func(dn identity.DN) (*signalling.Client, error) {
+		close(dialStarted)
+		<-release // a peer that accepts the connection and goes silent
+		return nil, errors.New("dial aborted")
+	}, nil)
+
+	getDone := make(chan struct{})
+	go func() {
+		defer close(getDone)
+		_, _ = p.get("/CN=dead-peer")
+	}()
+	<-dialStarted
+
+	// The dial is parked inside the slot's critical section now; a
+	// scrape must still complete immediately.
+	scraped := make(chan int64, 1)
+	go func() { scraped <- p.lateDropped() }()
+	select {
+	case v := <-scraped:
+		if v != 0 {
+			t.Errorf("lateDropped = %d, want 0", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("lateDropped blocked behind a hung dial")
+	}
+
+	select {
+	case <-getDone:
+		t.Fatal("get returned before the dial was released")
+	default:
+	}
+	close(release)
+	<-getDone
+}
+
+// TestPoolCloseAllClearsCachedClients pins the lock-free shadow's
+// lifecycle: after closeAll the scrape path must not read retired
+// clients.
+func TestPoolCloseAllClearsCachedClients(t *testing.T) {
+	p := newClientPool(func(dn identity.DN) (*signalling.Client, error) {
+		return nil, errors.New("no transport in this test")
+	}, nil)
+	if _, err := p.get("/CN=peer"); err == nil {
+		t.Fatal("get succeeded without a transport")
+	}
+	p.closeAll()
+	if got := p.lateDropped(); got != 0 {
+		t.Errorf("lateDropped after closeAll = %d, want 0", got)
+	}
+	if _, err := p.get("/CN=peer"); !errors.Is(err, errPoolClosed) {
+		t.Errorf("get after closeAll = %v, want errPoolClosed", err)
+	}
+}

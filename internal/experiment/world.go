@@ -97,6 +97,18 @@ type WorldConfig struct {
 	// RestartDomainFromJournal can rebuild a crashed broker from it.
 	// Empty keeps brokers memory-only.
 	StateDir string
+	// Replicas > 1 makes every domain's broker a replica group of that
+	// size: replica 0 boots as leader serving the domain's well-known
+	// address, the rest boot as followers listening only on their
+	// replica addresses ("bb.<domain>.r<i>"). Requires StateDir — the
+	// replication stream is the journal. KillLeader / PromoteReplica
+	// / PromoteAny drive failover.
+	Replicas int
+	// ElectionTimeout, when set with Replicas > 1, arms automatic
+	// failover: a follower that hears nothing from its leader for this
+	// long (id-staggered) stands for election on its own. Zero keeps
+	// elections manual (PromoteReplica / PromoteAny).
+	ElectionTimeout time.Duration
 	// FsyncPolicy selects the journal durability policy for every
 	// broker: "batch" (default), "always" or "never". Only meaningful
 	// with StateDir set.
@@ -140,14 +152,35 @@ type World struct {
 	// brokerCfgs remembers each broker's assembly config so
 	// RestartDomainFromJournal can rebuild it from scratch.
 	brokerCfgs  map[string]bb.Config
+	replicas    map[string]*replicaGroup
 	enableObs   bool
 	clock       func() time.Time
 	callTimeout time.Duration
 	wire        signalling.WireMode
 }
 
+// replicaGroup tracks one domain's replica set: every broker ever
+// built for the domain (dead ones stay, marked), their endpoints and
+// replica-address listeners, and which replica currently fronts the
+// domain's well-known address.
+type replicaGroup struct {
+	brokers   []*bb.BB
+	endpoints []*transport.Endpoint
+	planes    []*bb.DataPlane
+	recorders []*obs.Recorder
+	servers   map[int]*signalling.Server // replica-address listeners
+	alive     []bool
+	leader    int
+}
+
 // addrOf is the in-memory address convention for a broker.
 func addrOf(domain string) string { return "bb." + domain }
+
+// replicaAddrOf is the address convention for one member of a
+// domain's replica group; the leader additionally serves addrOf.
+func replicaAddrOf(domain string, i int) string {
+	return fmt.Sprintf("bb.%s.r%d", domain, i)
+}
 
 // BuildWorld assembles and starts a testbed.
 func BuildWorld(cfg WorldConfig) (*World, error) {
@@ -190,6 +223,7 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 		endpoints:   make(map[string]*transport.Endpoint),
 		addrs:       make(map[identity.DN]string),
 		brokerCfgs:  make(map[string]bb.Config),
+		replicas:    make(map[string]*replicaGroup),
 		enableObs:   cfg.EnableObs,
 		clock:       cfg.Clock,
 		callTimeout: cfg.CallTimeout,
@@ -322,68 +356,119 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			w.Disk[name] = diskMgr
 		}
 
-		endpoint := w.Net.NewEndpoint(m.key.DN, m.cert.DER)
-		var dialer transport.Dialer = endpoint
-		if cfg.WrapDialer != nil {
-			dialer = cfg.WrapDialer(name, endpoint)
-		}
-		plane := &bb.DataPlane{}
-		w.Planes[name] = plane
 		capacity := cfg.Capacity
 		if c, ok := cfg.Capacities[name]; ok {
 			capacity = c
 		}
-		var reg *obs.Registry
-		if cfg.EnableObs {
-			reg = obs.NewRegistry()
-			w.Metrics[name] = reg
-		}
-		var recorder *obs.Recorder
-		if cfg.EventsDir != "" {
-			recorder, err = obs.OpenRecorder(obs.RecorderOptions{Dir: filepath.Join(cfg.EventsDir, name)})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %w", err)
+		replicas := 1
+		var replicaAddrs map[int]string
+		if cfg.Replicas > 1 {
+			if cfg.StateDir == "" {
+				return nil, fmt.Errorf("experiment: Replicas > 1 requires StateDir (the replication stream is the journal)")
 			}
-			w.Recorders[name] = recorder
+			replicas = cfg.Replicas
+			replicaAddrs = make(map[int]string, replicas)
+			for i := 0; i < replicas; i++ {
+				replicaAddrs[i] = replicaAddrOf(name, i)
+			}
+			w.replicas[name] = &replicaGroup{servers: make(map[int]*signalling.Server)}
 		}
-		bcfg := bb.Config{
-			Domain:           name,
-			Key:              m.key,
-			Cert:             m.cert,
-			Trust:            m.trust,
-			Policy:           ps,
-			Capacity:         capacity,
-			Topo:             topo,
-			InboundSLAs:      inbound,
-			PeerCerts:        peerCerts,
-			PeerAddrs:        w.addrs,
-			Dialer:           dialer,
-			CPU:              cpuMgr,
-			Disk:             diskMgr,
-			Plane:            plane,
-			Clock:            cfg.Clock,
-			CallTimeout:      cfg.CallTimeout,
-			MaxRetries:       cfg.MaxRetries,
-			RetryBackoff:     cfg.RetryBackoff,
-			BreakerThreshold: cfg.BreakerThreshold,
-			BreakerCooldown:  cfg.BreakerCooldown,
-			Logger:           cfg.Logger,
-			Metrics:          reg,
-			Wire:             w.wire,
-			Recorder:         recorder,
-			SampleRate:       cfg.SampleRate,
+		for i := 0; i < replicas; i++ {
+			endpoint := w.Net.NewEndpoint(m.key.DN, m.cert.DER)
+			var dialer transport.Dialer = endpoint
+			if cfg.WrapDialer != nil {
+				dialer = cfg.WrapDialer(name, endpoint)
+			}
+			plane := &bb.DataPlane{}
+			var reg *obs.Registry
+			if cfg.EnableObs {
+				reg = obs.NewRegistry()
+			}
+			var recorder *obs.Recorder
+			if cfg.EventsDir != "" {
+				dir := filepath.Join(cfg.EventsDir, name)
+				if replicas > 1 {
+					dir = filepath.Join(dir, fmt.Sprintf("r%d", i))
+				}
+				recorder, err = obs.OpenRecorder(obs.RecorderOptions{Dir: dir})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %w", err)
+				}
+			}
+			bcfg := bb.Config{
+				Domain:           name,
+				Key:              m.key,
+				Cert:             m.cert,
+				Trust:            m.trust,
+				Policy:           ps,
+				Capacity:         capacity,
+				Topo:             topo,
+				InboundSLAs:      inbound,
+				PeerCerts:        peerCerts,
+				PeerAddrs:        w.addrs,
+				Dialer:           dialer,
+				CPU:              cpuMgr,
+				Disk:             diskMgr,
+				Plane:            plane,
+				Clock:            cfg.Clock,
+				CallTimeout:      cfg.CallTimeout,
+				MaxRetries:       cfg.MaxRetries,
+				RetryBackoff:     cfg.RetryBackoff,
+				BreakerThreshold: cfg.BreakerThreshold,
+				BreakerCooldown:  cfg.BreakerCooldown,
+				Logger:           cfg.Logger,
+				Metrics:          reg,
+				Wire:             w.wire,
+				Recorder:         recorder,
+				SampleRate:       cfg.SampleRate,
+			}
+			if cfg.StateDir != "" {
+				sd := filepath.Join(cfg.StateDir, name)
+				if replicas > 1 {
+					sd = filepath.Join(sd, fmt.Sprintf("r%d", i))
+				}
+				bcfg.StateDir = sd
+				bcfg.Fsync = fsync
+			}
+			if replicas > 1 {
+				bcfg.ReplicaID = i
+				bcfg.ReplicaAddrs = replicaAddrs
+				bcfg.StartAsFollower = i != 0
+				bcfg.ElectionTimeout = cfg.ElectionTimeout
+			}
+			broker, err := bb.New(bcfg)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				// Replica 0 (or the sole broker) fronts the domain: it is
+				// what the rest of the world sees through addrOf.
+				w.brokerCfgs[name] = bcfg
+				w.BBs[name] = broker
+				w.endpoints[name] = endpoint
+				w.Planes[name] = plane
+				if reg != nil {
+					w.Metrics[name] = reg
+				}
+				if recorder != nil {
+					w.Recorders[name] = recorder
+				}
+			}
+			if g := w.replicas[name]; g != nil {
+				g.brokers = append(g.brokers, broker)
+				g.endpoints = append(g.endpoints, endpoint)
+				g.planes = append(g.planes, plane)
+				g.recorders = append(g.recorders, recorder)
+				g.alive = append(g.alive, true)
+				ln, err := endpoint.Listen(replicaAddrs[i])
+				if err != nil {
+					return nil, err
+				}
+				srv := signalling.NewServer(broker, broker.Logger())
+				g.servers[i] = srv
+				go srv.Serve(ln)
+			}
 		}
-		if cfg.StateDir != "" {
-			bcfg.StateDir = filepath.Join(cfg.StateDir, name)
-			bcfg.Fsync = fsync
-		}
-		broker, err := bb.New(bcfg)
-		if err != nil {
-			return nil, err
-		}
-		w.brokerCfgs[name] = bcfg
-		w.BBs[name] = broker
-		w.endpoints[name] = endpoint
 		if err := w.startDomain(name); err != nil {
 			return nil, err
 		}
@@ -437,6 +522,9 @@ func (w *World) RestartDomain(name string) error {
 // killed process would leave it. Only RestartDomainFromJournal can
 // bring the domain back.
 func (w *World) CrashDomain(name string) error {
+	if w.replicas[name] != nil {
+		return fmt.Errorf("experiment: domain %q is a replica group; use KillLeader", name)
+	}
 	if err := w.StopDomain(name); err != nil {
 		return err
 	}
@@ -452,6 +540,9 @@ func (w *World) CrashDomain(name string) error {
 // exactly once per registry), which replaces the domain's entry in
 // World.Metrics.
 func (w *World) RestartDomainFromJournal(name string) error {
+	if w.replicas[name] != nil {
+		return fmt.Errorf("experiment: domain %q is a replica group; use PromoteReplica", name)
+	}
 	if _, running := w.servers[name]; running {
 		return fmt.Errorf("experiment: domain %q is already running", name)
 	}
@@ -479,6 +570,110 @@ func (w *World) RestartDomainFromJournal(name string) error {
 	return w.startDomain(name)
 }
 
+// ---------------------------------------------------------------------
+// Replica-group failover controls.
+
+// LeaderOf returns the replica currently fronting the domain's
+// well-known address (-1 for an unreplicated domain).
+func (w *World) LeaderOf(name string) int {
+	g := w.replicas[name]
+	if g == nil {
+		return -1
+	}
+	return g.leader
+}
+
+// ReplicaBB returns one member of a domain's replica group (nil for
+// unreplicated domains or out-of-range indices). Dead replicas are
+// returned too — their tables are still inspectable.
+func (w *World) ReplicaBB(name string, i int) *bb.BB {
+	g := w.replicas[name]
+	if g == nil || i < 0 || i >= len(g.brokers) {
+		return nil
+	}
+	return g.brokers[i]
+}
+
+// KillLeader kills the domain's current leader the hard way: the
+// public frontend and the leader's replica listener drop, and the
+// broker dies mid-flight without a journal flush — outbound clients
+// close, buffered batch-fsync records are lost, exactly as a killed
+// process. Returns the killed replica's index. The domain serves
+// nothing until PromoteReplica/PromoteAny installs a successor.
+func (w *World) KillLeader(name string) (int, error) {
+	g := w.replicas[name]
+	if g == nil {
+		return -1, fmt.Errorf("experiment: domain %q is not a replica group", name)
+	}
+	idx := g.leader
+	if !g.alive[idx] {
+		return -1, fmt.Errorf("experiment: domain %q leader (replica %d) is already dead", name, idx)
+	}
+	if srv, ok := w.servers[name]; ok {
+		srv.Shutdown()
+		delete(w.servers, name)
+	}
+	if srv, ok := g.servers[idx]; ok {
+		srv.Shutdown()
+		delete(g.servers, idx)
+	}
+	g.brokers[idx].Crash()
+	g.alive[idx] = false
+	return idx, nil
+}
+
+// PromoteReplica stands replica i for election and, on a win, makes it
+// the domain's public face: the well-known address re-listens backed
+// by the promoted broker, so peers' pooled clients transparently
+// redial into the new leader. Fails if the replica is dead or loses
+// the election (e.g. its applied sequence trails a voter's).
+func (w *World) PromoteReplica(name string, i int) error {
+	g := w.replicas[name]
+	if g == nil {
+		return fmt.Errorf("experiment: domain %q is not a replica group", name)
+	}
+	if i < 0 || i >= len(g.brokers) {
+		return fmt.Errorf("experiment: domain %q has no replica %d", name, i)
+	}
+	if !g.alive[i] {
+		return fmt.Errorf("experiment: replica %d of %q is dead", i, name)
+	}
+	if err := g.brokers[i].Promote(); err != nil {
+		return err
+	}
+	g.leader = i
+	w.BBs[name] = g.brokers[i]
+	w.endpoints[name] = g.endpoints[i]
+	w.Planes[name] = g.planes[i]
+	if _, running := w.servers[name]; !running {
+		return w.startDomain(name)
+	}
+	return nil
+}
+
+// PromoteAny promotes the first live replica that can win an election,
+// returning its index. Replicas whose applied sequence trails a
+// voter's lose — the election restriction that keeps every committed
+// record on whoever wins — so this tries each in turn.
+func (w *World) PromoteAny(name string) (int, error) {
+	g := w.replicas[name]
+	if g == nil {
+		return -1, fmt.Errorf("experiment: domain %q is not a replica group", name)
+	}
+	var lastErr error
+	for i := range g.brokers {
+		if !g.alive[i] {
+			continue
+		}
+		if err := w.PromoteReplica(name, i); err != nil {
+			lastErr = err
+			continue
+		}
+		return i, nil
+	}
+	return -1, fmt.Errorf("experiment: no replica of %q could win an election: %v", name, lastErr)
+}
+
 // Close stops all listeners, established connections, brokers and
 // flight recorders.
 func (w *World) Close() {
@@ -486,6 +681,18 @@ func (w *World) Close() {
 		srv.Shutdown()
 	}
 	w.servers = make(map[string]*signalling.Server)
+	for _, g := range w.replicas {
+		for _, srv := range g.servers {
+			srv.Shutdown()
+		}
+		g.servers = make(map[int]*signalling.Server)
+		for _, broker := range g.brokers {
+			broker.Close()
+		}
+		for _, rec := range g.recorders {
+			rec.Close()
+		}
+	}
 	for _, broker := range w.BBs {
 		broker.Close()
 	}

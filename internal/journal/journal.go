@@ -83,6 +83,14 @@ type Options struct {
 	// true (default DefRotateEvery; negative disables the hint).
 	RotateEvery int
 
+	// TailBytes, when positive, keeps the most recent appended frames
+	// in memory (up to this byte budget) for replication streaming:
+	// TailSince serves follower catch-up from the tail without touching
+	// the file, and a reader that fell off the tail takes a snapshot
+	// instead. Zero (the default) disables the tail; unreplicated
+	// brokers pay nothing.
+	TailBytes int
+
 	// OnAppend, OnFsync and OnError, when set, observe each append's
 	// latency, each fsync batch, and each write-path error. They are
 	// called outside the journal's locks and must not call back in.
@@ -176,6 +184,15 @@ type Journal struct {
 	appends   int64
 	fsyncs    int64
 	rotations int64
+
+	// Streaming state (stream.go), guarded by mu: seq numbers every
+	// appended record within this incarnation, tail retains recent
+	// frames for TailSince, and changes is the lazily-created broadcast
+	// channel closed (and replaced) on every append.
+	seq      int64
+	tail     []StreamRecord
+	tailSize int
+	changes  chan struct{}
 }
 
 // Stats is a point-in-time view of the journal's activity.
@@ -255,14 +272,17 @@ func (j *Journal) Append(op string, data any) error {
 		return fmt.Errorf("journal: append after close")
 	}
 	var err error
+	var frame []byte
 	switch j.opts.Fsync {
 	case FsyncBatch:
+		start := len(j.buf)
 		j.buf, err = AppendRecord(j.buf, op, data)
 		if err != nil {
 			j.mu.Unlock()
 			j.fail(err)
 			return err
 		}
+		frame = j.buf[start:]
 		select {
 		case j.kick <- struct{}{}:
 		default:
@@ -274,6 +294,7 @@ func (j *Journal) Append(op string, data any) error {
 			j.fail(err)
 			return err
 		}
+		frame = j.scratch
 		if _, werr := j.f.Write(j.scratch); werr != nil {
 			err = werr
 			j.err = werr
@@ -291,6 +312,7 @@ func (j *Journal) Append(op string, data any) error {
 	}
 	j.records++
 	j.appends++
+	j.noteAppendLocked(frame)
 	j.mu.Unlock()
 	if err != nil {
 		if fn := j.opts.OnError; fn != nil {
@@ -470,6 +492,10 @@ func (j *Journal) Rotate(state func() ([]byte, error)) error {
 	}
 	j.records = 0
 	j.rotations++
+	// The snapshot reflects every tailed record: a stream reader that
+	// needs anything older than the (now empty) tail takes the snapshot.
+	j.tail = nil
+	j.tailSize = 0
 	return nil
 }
 

@@ -1,0 +1,180 @@
+package journal
+
+import "fmt"
+
+// Streaming support: a journal opened with Options.TailBytes > 0 keeps
+// the most recently appended CRC-framed records in an in-memory tail,
+// numbered by a per-incarnation sequence. A replication leader reads
+// the tail with TailSince and ships the raw frames to followers, which
+// re-journal them verbatim with AppendFrame — the follower's WAL ends
+// up byte-identical to the leader's suffix, so recovery replays the
+// same records on either side. A reader that fell off the tail (or a
+// fresh follower) takes a snapshot via SnapshotWith instead.
+//
+// Sequence numbers are deliberately per-incarnation: they start at
+// zero on Open and never try to line up across restarts. Every stream
+// therefore begins with a snapshot carrying the seq it was cut at, and
+// incremental frames only ever extend that snapshot.
+
+// StreamRecord is one framed record as it sits in the WAL: Frame is
+// the complete CRC-framed encoding (header + payload) and Seq its
+// position in this incarnation's append order. Frames handed out by
+// TailSince are immutable; callers must not modify them.
+type StreamRecord struct {
+	Seq   int64
+	Frame []byte
+}
+
+// Seq reports the sequence number of the most recently appended
+// record (zero before the first append of this incarnation).
+func (j *Journal) Seq() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Changes returns a channel closed by the next append. Each call may
+// return a new channel; stream pumps wait on it, then re-call after
+// draining TailSince — the close-and-renew broadcast makes one append
+// wake every waiting pump without per-pump registration.
+func (j *Journal) Changes() <-chan struct{} {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.changes == nil {
+		j.changes = make(chan struct{})
+	}
+	return j.changes
+}
+
+// noteAppendLocked numbers one appended frame, retains it in the tail
+// (within the byte budget) and wakes stream pumps. Caller holds j.mu.
+// The frame is copied before retention: both append paths reuse their
+// buffers.
+func (j *Journal) noteAppendLocked(frame []byte) {
+	j.seq++
+	if j.opts.TailBytes > 0 {
+		j.tail = append(j.tail, StreamRecord{Seq: j.seq, Frame: append([]byte(nil), frame...)})
+		j.tailSize += len(frame)
+		for j.tailSize > j.opts.TailBytes && len(j.tail) > 0 {
+			j.tailSize -= len(j.tail[0].Frame)
+			j.tail[0].Frame = nil
+			j.tail = j.tail[1:]
+		}
+	}
+	if j.changes != nil {
+		close(j.changes)
+		j.changes = nil
+	}
+}
+
+// TailSince returns every retained record with sequence number greater
+// than after, in order. ok is false when the tail no longer reaches
+// back that far — records were evicted by the byte budget or cleared
+// by a rotation — in which case the reader must resynchronise from a
+// snapshot. An after at or past the current seq returns (nil, true):
+// the reader is caught up.
+func (j *Journal) TailSince(after int64) ([]StreamRecord, bool) {
+	if j == nil {
+		return nil, true
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if after >= j.seq {
+		return nil, true
+	}
+	if len(j.tail) == 0 || j.tail[0].Seq > after+1 {
+		return nil, false
+	}
+	i := 0
+	for i < len(j.tail) && j.tail[i].Seq <= after {
+		i++
+	}
+	out := make([]StreamRecord, len(j.tail)-i)
+	copy(out, j.tail[i:])
+	return out, true
+}
+
+// AppendFrame journals one pre-framed record verbatim under the
+// configured fsync policy — the follower half of replication: frames
+// streamed off a leader's tail are re-journaled byte-for-byte, so the
+// follower's own recovery replays exactly what the leader logged. The
+// frame is validated against the CRC framing before it touches the
+// buffer; a frame that does not decode cleanly (or carries trailing
+// bytes) is rejected without corrupting the WAL.
+func (j *Journal) AppendFrame(frame []byte) error {
+	if j == nil {
+		return nil
+	}
+	if _, n, err := DecodeRecord(frame); err != nil {
+		return fmt.Errorf("journal: append-frame: %w", err)
+	} else if n != len(frame) {
+		return fmt.Errorf("journal: append-frame: %d trailing bytes", len(frame)-n)
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: append after close")
+	}
+	var err error
+	switch j.opts.Fsync {
+	case FsyncBatch:
+		j.buf = append(j.buf, frame...)
+		select {
+		case j.kick <- struct{}{}:
+		default:
+		}
+	default:
+		if _, werr := j.f.Write(frame); werr != nil {
+			err = werr
+			j.err = werr
+		} else if j.opts.Fsync == FsyncAlways {
+			if serr := j.f.Sync(); serr != nil {
+				err = serr
+				j.err = serr
+			} else {
+				j.fsyncs++
+				if fn := j.opts.OnFsync; fn != nil {
+					defer fn()
+				}
+			}
+		}
+	}
+	j.records++
+	j.appends++
+	j.noteAppendLocked(frame)
+	j.mu.Unlock()
+	if err != nil {
+		if fn := j.opts.OnError; fn != nil {
+			fn(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// SnapshotWith builds a state snapshot atomically with the journal's
+// sequence counter: state() runs with appends blocked (the same
+// contract as Rotate's state callback — it may take the owning layer's
+// locks, which never hold appends open), so the returned seq is
+// exactly the last record the snapshot reflects. Unlike Rotate nothing
+// is written to disk and the WAL is untouched; this is the catch-up
+// snapshot a leader cuts for a lagging or fresh follower.
+func (j *Journal) SnapshotWith(state func() ([]byte, error)) ([]byte, int64, error) {
+	if j == nil {
+		data, err := state()
+		return data, 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := state()
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: building snapshot: %w", err)
+	}
+	return data, j.seq, nil
+}

@@ -1,0 +1,232 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// streamOpts opens a journal with the replication tail enabled and no
+// fsync (the streaming contract is independent of durability policy).
+func streamOpts(tailBytes int) Options {
+	return Options{Fsync: FsyncNever, TailBytes: tailBytes}
+}
+
+func TestStreamSeqNumbersAppends(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), streamOpts(1<<20))
+	defer j.Close()
+	if got := j.Seq(); got != 0 {
+		t.Fatalf("fresh Seq = %d, want 0", got)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := j.Append("test.op", payload{N: i}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if got := j.Seq(); got != int64(i) {
+			t.Fatalf("Seq after %d appends = %d", i, got)
+		}
+	}
+	recs, ok := j.TailSince(0)
+	if !ok || len(recs) != 5 {
+		t.Fatalf("TailSince(0) = %d records, ok=%t, want 5, true", len(recs), ok)
+	}
+	for i, sr := range recs {
+		if sr.Seq != int64(i+1) {
+			t.Fatalf("record %d has seq %d", i, sr.Seq)
+		}
+		rec, n, err := DecodeRecord(sr.Frame)
+		if err != nil || n != len(sr.Frame) {
+			t.Fatalf("frame %d: decode err=%v consumed=%d/%d", i, err, n, len(sr.Frame))
+		}
+		var p payload
+		if err := rec.Decode(&p); err != nil || p.N != i+1 {
+			t.Fatalf("frame %d decoded to %+v (err %v)", i, p, err)
+		}
+	}
+	// A caught-up reader gets an empty, ok tail.
+	if recs, ok := j.TailSince(j.Seq()); !ok || len(recs) != 0 {
+		t.Fatalf("caught-up TailSince = %d records, ok=%t", len(recs), ok)
+	}
+	// Partial reads resume mid-tail.
+	if recs, ok := j.TailSince(3); !ok || len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("TailSince(3) = %+v, ok=%t", recs, ok)
+	}
+}
+
+func TestStreamTailEvictionForcesResync(t *testing.T) {
+	// A tiny byte budget evicts early records; a reader holding an old
+	// position must be told to resync rather than fed a gapped tail.
+	j, _ := openT(t, t.TempDir(), streamOpts(128))
+	defer j.Close()
+	for i := 0; i < 50; i++ {
+		if err := j.Append("test.op", payload{N: i, S: "padding-padding"}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, ok := j.TailSince(0); ok {
+		t.Fatal("TailSince(0) reported ok over an evicted prefix")
+	}
+	// The newest record is always reachable.
+	recs, ok := j.TailSince(j.Seq() - 1)
+	if !ok || len(recs) != 1 || recs[0].Seq != j.Seq() {
+		t.Fatalf("TailSince(seq-1) = %+v, ok=%t", recs, ok)
+	}
+}
+
+func TestStreamAppendFrameReplicatesVerbatim(t *testing.T) {
+	// Leader journals records; its frames, re-journaled on a follower
+	// with AppendFrame, must produce a byte-identical WAL that recovers
+	// to the same records.
+	leader, _ := openT(t, t.TempDir(), streamOpts(1<<20))
+	defer leader.Close()
+	followerDir := t.TempDir()
+	follower, _ := openT(t, followerDir, streamOpts(1<<20))
+	for i := 0; i < 10; i++ {
+		if err := leader.Append("test.op", payload{N: i}); err != nil {
+			t.Fatalf("leader Append: %v", err)
+		}
+	}
+	recs, ok := leader.TailSince(0)
+	if !ok {
+		t.Fatal("leader tail unexpectedly evicted")
+	}
+	for _, sr := range recs {
+		if err := follower.AppendFrame(sr.Frame); err != nil {
+			t.Fatalf("AppendFrame seq %d: %v", sr.Seq, err)
+		}
+	}
+	if follower.Seq() != leader.Seq() {
+		t.Fatalf("follower seq %d, leader seq %d", follower.Seq(), leader.Seq())
+	}
+	// The follower's retained frames are byte-identical to the leader's.
+	frecs, _ := follower.TailSince(0)
+	for i := range recs {
+		if !bytes.Equal(recs[i].Frame, frecs[i].Frame) {
+			t.Fatalf("frame %d diverged between leader and follower", i)
+		}
+	}
+	if err := follower.Close(); err != nil {
+		t.Fatalf("follower Close: %v", err)
+	}
+	// Recovery replays exactly the streamed records.
+	reopened, recovered := openT(t, followerDir, streamOpts(1<<20))
+	defer reopened.Close()
+	if len(recovered.Records) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(recovered.Records))
+	}
+	for i, rec := range recovered.Records {
+		var p payload
+		if err := rec.Decode(&p); err != nil || p.N != i {
+			t.Fatalf("recovered record %d = %+v (err %v)", i, p, err)
+		}
+	}
+}
+
+func TestStreamAppendFrameRejectsBadFrames(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), streamOpts(1<<20))
+	defer j.Close()
+	if err := j.AppendFrame([]byte("not a frame")); err == nil {
+		t.Fatal("AppendFrame accepted garbage")
+	}
+	good, err := EncodeRecord("test.op", payload{N: 1})
+	if err != nil {
+		t.Fatalf("EncodeRecord: %v", err)
+	}
+	if err := j.AppendFrame(append(good, 0xff)); err == nil {
+		t.Fatal("AppendFrame accepted trailing bytes")
+	}
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := j.AppendFrame(corrupt); err == nil {
+		t.Fatal("AppendFrame accepted a bad CRC")
+	}
+	if got := j.Seq(); got != 0 {
+		t.Fatalf("rejected frames advanced seq to %d", got)
+	}
+	if err := j.AppendFrame(good); err != nil {
+		t.Fatalf("AppendFrame valid frame: %v", err)
+	}
+	if got := j.Seq(); got != 1 {
+		t.Fatalf("Seq after valid frame = %d", got)
+	}
+}
+
+func TestStreamSnapshotWithCutsAtExactSeq(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), streamOpts(1<<20))
+	defer j.Close()
+	for i := 0; i < 7; i++ {
+		if err := j.Append("test.op", payload{N: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	data, seq, err := j.SnapshotWith(func() ([]byte, error) {
+		// state() runs with appends blocked, so the seq reported must be
+		// exactly the journal's sequence at this instant.
+		return []byte("state"), nil
+	})
+	if err != nil {
+		t.Fatalf("SnapshotWith: %v", err)
+	}
+	if string(data) != "state" || seq != 7 {
+		t.Fatalf("SnapshotWith = (%q, %d), want (state, 7)", data, seq)
+	}
+}
+
+func TestStreamChangesBroadcastsOnAppend(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), streamOpts(1<<20))
+	defer j.Close()
+	ch := j.Changes()
+	select {
+	case <-ch:
+		t.Fatal("Changes closed before any append")
+	default:
+	}
+	if err := j.Append("test.op", payload{N: 1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Changes not closed by append")
+	}
+	// The broadcast renews: a fresh channel waits for the next append.
+	ch2 := j.Changes()
+	select {
+	case <-ch2:
+		t.Fatal("renewed Changes channel already closed")
+	default:
+	}
+}
+
+func TestStreamRotateClearsTail(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), streamOpts(1<<20))
+	defer j.Close()
+	for i := 0; i < 5; i++ {
+		if err := j.Append("test.op", payload{N: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	seq := j.Seq()
+	if err := j.Rotate(func() ([]byte, error) { return []byte("snap"), nil }); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if got := j.Seq(); got != seq {
+		t.Fatalf("Rotate moved seq from %d to %d", seq, got)
+	}
+	// Everything pre-rotation is snapshot-only now: readers holding an
+	// old position must resync.
+	if _, ok := j.TailSince(0); ok {
+		t.Fatal("TailSince(0) ok after rotation cleared the tail")
+	}
+	if recs, ok := j.TailSince(seq); !ok || len(recs) != 0 {
+		t.Fatalf("caught-up TailSince after rotate = %d records, ok=%t", len(recs), ok)
+	}
+	// New appends stream again from the post-rotation position.
+	if err := j.Append("test.op", payload{N: 99}); err != nil {
+		t.Fatalf("Append after rotate: %v", err)
+	}
+	recs, ok := j.TailSince(seq)
+	if !ok || len(recs) != 1 || recs[0].Seq != seq+1 {
+		t.Fatalf("post-rotate TailSince = %+v, ok=%t", recs, ok)
+	}
+}

@@ -14,6 +14,10 @@ const (
 	// EventTunnelBatch is one endpoint's settlement of a sub-flow batch
 	// (or a source broker's view of the whole two-endpoint operation).
 	EventTunnelBatch = "tunnel-batch"
+	// EventFailover is a replication role transition: a follower winning
+	// an election, or a deposed leader stepping down. Always forced —
+	// failovers are exactly the events someone will ask about.
+	EventFailover = "failover"
 )
 
 // Event is one wide flight-recorder record: everything a broker knew

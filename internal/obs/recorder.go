@@ -238,9 +238,16 @@ func (f *EventFilter) Match(e *Event) bool {
 }
 
 // ReadEvents walks the event log under dir oldest-segment-first,
-// calling fn for each decoded event until fn returns false. A torn
-// final frame (crash mid-append) ends that segment cleanly; a corrupt
-// frame mid-segment is an error.
+// calling fn for each decoded event until fn returns false.
+//
+// The reader tolerates racing a live writer, because that is exactly
+// when someone reads a flight recorder: a segment that vanishes
+// between the listing and the read was pruned by the writer's rotation
+// (its events were the oldest — the ring's contract says they go), and
+// a frame that fails to decode ends that segment rather than the whole
+// read. The latter covers both a torn tail from a crash and the frame
+// the writer is mid-write right now; bytes after a bad frame are
+// unreachable anyway, since frames are not self-synchronizing.
 func ReadEvents(dir string, fn func(*Event) bool) error {
 	seqs, err := listSegments(dir)
 	if err != nil {
@@ -249,15 +256,15 @@ func ReadEvents(dir string, fn func(*Event) bool) error {
 	for _, seq := range seqs {
 		data, err := os.ReadFile(filepath.Join(dir, segName(seq)))
 		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // pruned by the writer after the listing
+			}
 			return err
 		}
 		for len(data) > 0 {
 			rec, n, err := journal.DecodeRecord(data)
 			if err != nil {
-				if errors.Is(err, journal.ErrTruncated) {
-					break // torn tail: the write the crash interrupted
-				}
-				return fmt.Errorf("segment %s: %w", segName(seq), err)
+				break // torn or in-flight frame: the segment ends here
 			}
 			data = data[n:]
 			if rec.Op != eventOp {

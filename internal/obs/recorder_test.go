@@ -286,6 +286,152 @@ func TestRecorderAppendAllocationFree(t *testing.T) {
 	}
 }
 
+// TestReadEventsRacesLiveWriter is the regression test for reading a
+// flight recorder that is still being written: the writer's rotation
+// prunes the oldest segment with os.Remove (a reader mid-scan sees
+// ENOENT), and the active segment's final frame may be half-written
+// when the reader's ReadFile lands. Neither may fail the read — the
+// reader must deliver every fully-written event it can still reach.
+func TestReadEventsRacesLiveWriter(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so rotation (and pruning) happens constantly.
+	r, err := OpenRecorder(RecorderOptions{Dir: dir, SegmentBytes: 2048, Segments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stop := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				writerDone <- nil
+				return
+			default:
+			}
+			if err := r.Append(sampleEvent(i)); err != nil {
+				writerDone <- err
+				return
+			}
+			i++
+		}
+	}()
+
+	deadline := time.Now().Add(time.Second)
+	reads := 0
+	for time.Now().Before(deadline) {
+		n := 0
+		err := ReadEvents(dir, func(ev *Event) bool {
+			if ev.Kind != EventReserve {
+				t.Errorf("read a mangled event: %+v", ev)
+				return false
+			}
+			n++
+			return true
+		})
+		if err != nil {
+			t.Fatalf("ReadEvents racing the writer: %v", err)
+		}
+		reads++
+	}
+	close(stop)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if reads == 0 {
+		t.Fatal("reader never completed a scan")
+	}
+	// With the writer quiesced a scan must see the surviving ring.
+	n := 0
+	if err := ReadEvents(dir, func(*Event) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no events survived in the ring")
+	}
+}
+
+// TestReadEventsSkipsVanishedSegment pins the ENOENT tolerance
+// deterministically: a segment listed but deleted before it is read
+// (the writer pruned it) is skipped, not an error.
+func TestReadEventsSkipsVanishedSegment(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRecorder(RecorderOptions{Dir: dir, SegmentBytes: 512, Segments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.Append(sampleEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 3 {
+		t.Fatalf("want several segments, got %d", len(seqs))
+	}
+	// ReadEvents lists first, then opens; deleting after the listing is
+	// indistinguishable from the race, so simulate it by removing a
+	// middle segment between two reads of the same listing — the
+	// simplest deterministic stand-in is removing it before the call.
+	if err := os.Remove(filepath.Join(dir, segName(seqs[1]))); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ReadEvents(dir, func(*Event) bool { n++; return true }); err != nil {
+		t.Fatalf("ReadEvents with a vanished segment: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no events read")
+	}
+}
+
+// TestReadEventsToleratesTornActiveFrame pins the half-written-frame
+// tolerance: a segment ending in a partial or corrupt frame (the write
+// in flight at read time) ends there instead of failing the scan.
+func TestReadEventsToleratesTornActiveFrame(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRecorder(RecorderOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := r.Append(sampleEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, segName(seqs[len(seqs)-1]))
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame half-flushed by a concurrent writer: append a full copy
+	// of the file's first 40 bytes — a valid-looking length prefix with
+	// a body that never finished.
+	if err := os.WriteFile(name, append(data, data[:40]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := ReadEvents(dir, func(*Event) bool { got++; return true }); err != nil {
+		t.Fatalf("ReadEvents with torn tail: %v", err)
+	}
+	if got != n {
+		t.Fatalf("read %d events, want %d (torn frame must end the segment, not eat it)", got, n)
+	}
+}
+
 func BenchmarkSamplerSample(b *testing.B) {
 	s := NewSampler(0.01)
 	b.ReportAllocs()

@@ -55,6 +55,43 @@ func TestRateWindowCounterRestart(t *testing.T) {
 	}
 }
 
+// TestRateWindowRestartMidWindowRecovers simulates the full restart
+// shape a live `qosctl top` sees: a broker running at a steady rate,
+// dying, and coming back with fresh zeroed counters mid-window. The
+// reported rate must never go negative at any sample, and must return
+// to the true steady rate once the window refills with post-restart
+// deltas.
+func TestRateWindowRestartMidWindowRecovers(t *testing.T) {
+	w := NewRateWindow(10, time.Second)
+	t0 := time.Unix(4000, 0)
+	// 200/s until the ring is saturated.
+	level := 0.0
+	now := t0
+	for i := 0; i <= 15; i++ {
+		w.Sample(now, level)
+		if got := w.Rate(now); got < 0 {
+			t.Fatalf("rate = %v at sample %d, never negative", got, i)
+		}
+		level += 200
+		now = now.Add(time.Second)
+	}
+	// Restart: the counter restarts from zero and resumes at 200/s.
+	level = 0
+	for i := 0; i <= 15; i++ {
+		w.Sample(now, level)
+		if got := w.Rate(now); got < 0 {
+			t.Fatalf("rate = %v at post-restart sample %d, never negative", got, i)
+		}
+		level += 200
+		now = now.Add(time.Second)
+	}
+	// The window now holds only post-restart deltas; the dropped level
+	// must not have poisoned the steady rate.
+	if got := w.Rate(now.Add(-time.Second)); math.Abs(got-200) > 25 {
+		t.Fatalf("post-restart steady rate = %v, want ~200/s", got)
+	}
+}
+
 func TestTopSnapshotClassifiesMetrics(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("req_total", "requests")

@@ -129,6 +129,114 @@ func (jt *JournaledTable) Checkpoint() error {
 	return jt.Journal.Rotate(jt.Table.Snapshot)
 }
 
+// streamTombHorizon bounds how long a StreamReplayer remembers a
+// compaction tombstone, in applied records. A tombstone only matters
+// when the compact record overtook the admit record it removes — an
+// inversion produced by a goroutine preempted between applying and
+// emitting, so the two records sit within an emission window of each
+// other, never thousands of records apart. The horizon keeps the
+// tombstone set bounded on a long-lived follower.
+const streamTombHorizon = 8192
+
+// StreamReplayer applies journaled table records one at a time, in
+// stream order, with the same tolerance for emission-order inversions
+// that batch Replay gets from its tombstone pre-scan: a compact record
+// that arrives before the admit record it removed leaves a tombstone
+// behind, and the late admit is suppressed when it shows up. A
+// replication follower drives one of these with the records streamed
+// off its leader's journal. Not safe for concurrent use; the follower
+// serializes stream application anyway.
+type StreamReplayer struct {
+	t     *Table
+	seq   int64 // records applied, for tombstone aging
+	tombs map[string]int64
+}
+
+// NewStreamReplayer builds a stream replayer over t.
+func NewStreamReplayer(t *Table) *StreamReplayer {
+	return &StreamReplayer{t: t, tombs: make(map[string]int64)}
+}
+
+// Reset forgets all stream state — called after the follower installs
+// a full snapshot, which already reflects everything the tombstones
+// were guarding against.
+func (s *StreamReplayer) Reset() {
+	s.tombs = make(map[string]int64)
+}
+
+// Apply replays one journaled record. Records outside the "resv."
+// vocabulary are ignored; unknown "resv." ops are an error, exactly as
+// in Replay.
+func (s *StreamReplayer) Apply(rec journal.Record) error {
+	if !strings.HasPrefix(rec.Op, "resv.") {
+		return nil
+	}
+	s.seq++
+	t := s.t
+	switch rec.Op {
+	case opAdmit:
+		var a admitRec
+		if err := rec.Decode(&a); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		if a.Seq > t.seq {
+			t.seq = a.Seq
+		}
+		if _, tombed := s.tombs[a.Resv.Handle]; tombed {
+			// The compact that removed this handle overtook it; the
+			// tombstone has done its job (handles are never reused).
+			delete(s.tombs, a.Resv.Handle)
+		} else if _, ok := t.resv[a.Resv.Handle]; !ok {
+			r := a.Resv
+			t.resv[r.Handle] = &r
+		}
+		t.mu.Unlock()
+	case opModify:
+		var m modifyRec
+		if err := rec.Decode(&m); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		if r, ok := t.resv[m.Handle]; ok && r.Status == Granted {
+			r.Bandwidth = m.Bandwidth
+		}
+		t.mu.Unlock()
+	case opCancel:
+		var c cancelRec
+		if err := rec.Decode(&c); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		if r, ok := t.resv[c.Handle]; ok && r.Status == Granted {
+			r.Status = Cancelled
+			r.CancelledAt = c.CancelledAt
+		}
+		t.mu.Unlock()
+	case opCompact:
+		var c compactRec
+		if err := rec.Decode(&c); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		for _, h := range c.Removed {
+			delete(t.resv, h)
+			s.tombs[h] = s.seq
+		}
+		t.mu.Unlock()
+		if len(s.tombs) > streamTombHorizon {
+			for h, at := range s.tombs {
+				if s.seq-at > streamTombHorizon {
+					delete(s.tombs, h)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("resv: replay: unknown record op %q", rec.Op)
+	}
+	return nil
+}
+
 // Replay applies journaled table records on top of t, which holds the
 // snapshot state (or is empty when no snapshot was ever rotated). It
 // returns the number of records applied. Records with ops outside the

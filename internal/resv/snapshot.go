@@ -76,3 +76,26 @@ func RestoreTable(data []byte) (*Table, error) {
 	}
 	return t, nil
 }
+
+// ResetFrom replaces t's state with the snapshot's, in place: name,
+// capacity, sequence counter and reservation set all come from the
+// snapshot while the clock, retention and emission hook are kept. The
+// table pointer stays valid — a replication follower installing a
+// leader snapshot resets the table its gauges and handlers already
+// hold, instead of swapping in a new one under their feet. The
+// snapshot is fully validated (via RestoreTable) before any state is
+// touched, so a corrupt snapshot leaves t unchanged.
+func (t *Table) ResetFrom(data []byte) error {
+	fresh, err := RestoreTable(data)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.name = fresh.name
+	t.capacity = fresh.capacity
+	t.resv = fresh.resv
+	t.seq = fresh.seq
+	t.admits = 0
+	return nil
+}

@@ -71,6 +71,7 @@ var typeCodes = [...]MsgType{
 	5: MsgTunnelBatch,
 	6: MsgStatus,
 	7: MsgResult,
+	8: MsgJournalStream,
 }
 
 func typeCode(t MsgType) byte {
@@ -104,6 +105,8 @@ func (m *Message) AppendBinary(buf []byte) []byte {
 		buf = wire.AppendString(buf, 1, m.Status.RARID)
 	case m.Result != nil:
 		buf = m.Result.appendFields(buf)
+	case m.JournalStream != nil:
+		buf = m.JournalStream.appendFields(buf)
 	}
 	return buf
 }
@@ -153,6 +156,10 @@ func decodeBinary(data []byte) (*Message, error) {
 		p := &ResultPayload{}
 		err = p.decodeFields(d)
 		m.Result = p
+	case MsgJournalStream:
+		p := &JournalStreamPayload{}
+		err = p.decodeFields(d)
+		m.JournalStream = p
 	}
 	if err != nil {
 		return nil, fmt.Errorf("signalling: decode %s: %w", m.Type, err)
@@ -411,9 +418,58 @@ func (a *DomainApproval) decodeFields(d *wire.Dec) error {
 	return d.Err()
 }
 
+// JournalStreamPayload: 1=domain 2=term 3=leader_id 4=from_seq
+// 5=commit_seq 6=snapshot 7=snap_seq 8=records(repeated) 9=kind.
+func (p *JournalStreamPayload) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, p.Domain)
+	buf = wire.AppendInt(buf, 2, p.Term)
+	buf = wire.AppendInt(buf, 3, int64(p.LeaderID))
+	buf = wire.AppendInt(buf, 4, p.FromSeq)
+	buf = wire.AppendInt(buf, 5, p.CommitSeq)
+	buf = wire.AppendBytes(buf, 6, p.Snapshot)
+	buf = wire.AppendInt(buf, 7, p.SnapSeq)
+	for _, rec := range p.Records {
+		// Records may legitimately be empty placeholders on the JSON
+		// side, but the journal never frames a zero-byte record, so the
+		// always-emit form (AppendBytes omits empties) is safe here.
+		buf = wire.AppendBytes(buf, 8, rec)
+	}
+	buf = wire.AppendInt(buf, 9, int64(p.Kind))
+	return buf
+}
+
+func (p *JournalStreamPayload) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			p.Domain = d.String()
+		case f == 2 && wt == wire.TVarint:
+			p.Term = d.Varint()
+		case f == 3 && wt == wire.TVarint:
+			p.LeaderID = int(d.Varint())
+		case f == 4 && wt == wire.TVarint:
+			p.FromSeq = d.Varint()
+		case f == 5 && wt == wire.TVarint:
+			p.CommitSeq = d.Varint()
+		case f == 6 && wt == wire.TBytes:
+			p.Snapshot = append([]byte(nil), d.Bytes()...)
+		case f == 7 && wt == wire.TVarint:
+			p.SnapSeq = d.Varint()
+		case f == 8 && wt == wire.TBytes:
+			p.Records = append(p.Records, append([]byte(nil), d.Bytes()...))
+		case f == 9 && wt == wire.TVarint:
+			p.Kind = int(d.Varint())
+		default:
+			skipUnknown(d, wt)
+		}
+	}
+	return d.Err()
+}
+
 // ResultPayload: 1=granted 2=reason 3=handle 4=approvals(repeated)
 // 5=policy_info(repeated k/v pairs, key-sorted) 6=trace_id
-// 7=trace(repeated spans) 8=batch_results(repeated).
+// 7=trace(repeated spans) 8=batch_results(repeated) 9=ack_seq 10=term.
 func (p *ResultPayload) appendFields(buf []byte) []byte {
 	buf = wire.AppendBool(buf, 1, p.Granted)
 	buf = wire.AppendString(buf, 2, p.Reason)
@@ -438,6 +494,8 @@ func (p *ResultPayload) appendFields(buf []byte) []byte {
 		buf = p.BatchResults[i].appendFields(buf)
 		buf = wire.EndNested(buf, start)
 	}
+	buf = wire.AppendInt(buf, 9, p.AckSeq)
+	buf = wire.AppendInt(buf, 10, p.Term)
 	return buf
 }
 
@@ -484,6 +542,10 @@ func (p *ResultPayload) decodeFields(d *wire.Dec) error {
 				return err
 			}
 			p.BatchResults = append(p.BatchResults, r)
+		case f == 9 && wt == wire.TVarint:
+			p.AckSeq = d.Varint()
+		case f == 10 && wt == wire.TVarint:
+			p.Term = d.Varint()
 		default:
 			skipUnknown(d, wt)
 		}

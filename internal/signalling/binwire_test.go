@@ -130,6 +130,55 @@ func goldenMessages() []struct {
 				"3a250a07446f6d61696e41120f2f4f3d477269642f434e3d62622d611a076772616e7465645054" +
 				"42060a027331100142110a0273321a0b6e6f206361706163697479",
 		},
+		{
+			// A leader shipping two raw journal frames to a follower.
+			name: "journal-stream",
+			msg: &Message{Type: MsgJournalStream, ID: 10, JournalStream: &JournalStreamPayload{
+				Domain:    "DomainA",
+				Term:      3,
+				LeaderID:  1,
+				FromSeq:   7,
+				CommitSeq: 6,
+				Records:   [][]byte{{0xB1, 0x01}, {0xB1, 0x02}},
+			}},
+			hex: "e201080a0a07446f6d61696e4110061802200e280c4202b1014202b102",
+		},
+		{
+			// Catch-up: a full snapshot cut at seq 5 for a fresh follower.
+			name: "journal-stream-snapshot",
+			msg: &Message{Type: MsgJournalStream, ID: 11, JournalStream: &JournalStreamPayload{
+				Domain:   "DomainA",
+				Term:     3,
+				LeaderID: 2,
+				Snapshot: []byte{0xB3, 0x0A},
+				SnapSeq:  5,
+			}},
+			hex: "e201080b0a07446f6d61696e41100618043202b30a380a",
+		},
+		{
+			// An election vote request: candidate 2 standing for term 4
+			// with last applied seq 9.
+			name: "journal-stream-vote",
+			msg: &Message{Type: MsgJournalStream, ID: 12, JournalStream: &JournalStreamPayload{
+				Kind:     StreamVote,
+				Domain:   "DomainA",
+				Term:     4,
+				LeaderID: 2,
+				FromSeq:  9,
+			}},
+			hex: "e201080c0a07446f6d61696e411008180420124802",
+		},
+		{
+			// A follower's stream acknowledgement rides the plain result
+			// payload: applied seq plus the follower's term.
+			name: "result-stream-ack",
+			msg: &Message{Type: MsgResult, ID: 13, Result: &ResultPayload{
+				Granted: true,
+				AckSeq:  42,
+				Term:    3,
+			}},
+			hex: "e201070d080148545006",
+		},
 	}
 }
 

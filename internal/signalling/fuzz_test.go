@@ -22,6 +22,9 @@ func FuzzDecodeMessage(f *testing.F) {
 		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"","batch_id":"","ops":[]}}`),
 		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-5","ops":[{"a":"flood","id":"s"}]}}`),
 		[]byte(`{"type":"result","id":6,"result":{"granted":false,"batch_results":[{"id":"s1","ok":true},{"id":"s2","err":"no capacity"}]}}`),
+		[]byte(`{"type":"journal-stream","id":7,"journal_stream":{"domain":"DomainA","term":3,"leader_id":1,"from_seq":7,"commit_seq":6,"records":["sQE=","sQI="]}}`),
+		[]byte(`{"type":"journal-stream","id":8,"journal_stream":{"kind":1,"domain":"DomainA","term":4,"leader_id":2,"from_seq":9}}`),
+		[]byte(`{"type":"result","id":9,"result":{"granted":true,"ack_seq":42,"term":3}}`),
 		[]byte(`{"type":"tunnel-batch","tunnel_batch":{"tunnel_rar_id":"r","batch_id":"B-7","ops":[{"a":"all`),
 		[]byte(`{}`),
 		[]byte(`null`),

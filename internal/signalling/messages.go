@@ -40,6 +40,12 @@ const (
 	MsgStatus MsgType = "status"
 	// MsgResult is the response to any request.
 	MsgResult MsgType = "result"
+	// MsgJournalStream carries broker replication traffic between the
+	// replicas of one domain: journal record batches and heartbeats
+	// from the leader, catch-up snapshots for lagging followers, and
+	// vote requests during leader election. Only a peer holding the
+	// domain's own broker identity may send it.
+	MsgJournalStream MsgType = "journal-stream"
 )
 
 // ReserveMode selects the propagation behaviour of a reserve request.
@@ -71,6 +77,7 @@ type Message struct {
 	TunnelBatch   *TunnelBatchPayload   `json:"tunnel_batch,omitempty"`
 	Status        *StatusPayload        `json:"status,omitempty"`
 	Result        *ResultPayload        `json:"result,omitempty"`
+	JournalStream *JournalStreamPayload `json:"journal_stream,omitempty"`
 }
 
 // ReservePayload carries the RAR envelope.
@@ -211,6 +218,54 @@ type StatusPayload struct {
 	RARID string `json:"rar_id"`
 }
 
+// Journal stream kinds (JournalStreamPayload.Kind).
+const (
+	// StreamRecords ships a batch of raw journal frames (possibly
+	// preceded by a catch-up snapshot) from the leader to a follower.
+	// An empty batch is a heartbeat: it asserts the leader's term and
+	// shares the group commit sequence.
+	StreamRecords = 0
+	// StreamVote requests an election vote: the candidate's Term is the
+	// term it is standing for and FromSeq the last sequence it applied.
+	StreamVote = 1
+)
+
+// JournalStreamPayload is the replication message exchanged between
+// the replicas of one domain (DESIGN.md §6.8). The leader streams raw
+// CRC-framed journal records in Records starting at FromSeq+1; a
+// follower that lags past the leader's in-memory tail first receives a
+// full Snapshot cut at SnapSeq, with Records extending it. CommitSeq
+// is the highest sequence acknowledged by a majority; followers answer
+// with a ResultPayload carrying their own AckSeq and Term.
+type JournalStreamPayload struct {
+	// Kind discriminates record batches (StreamRecords) from vote
+	// requests (StreamVote).
+	Kind int `json:"kind,omitempty"`
+	// Domain is the replicated domain; a replica rejects streams for a
+	// domain it does not serve.
+	Domain string `json:"domain"`
+	// Term is the sender's election term. A receiver with a higher term
+	// answers Granted=false with its own term, fencing the stale leader.
+	Term int64 `json:"term"`
+	// LeaderID identifies the sending replica (the candidate, for
+	// votes).
+	LeaderID int `json:"leader_id"`
+	// FromSeq is the sequence number the first record in Records
+	// extends (i.e. records cover FromSeq+1 .. FromSeq+len(Records)).
+	// For votes it is the candidate's last applied sequence.
+	FromSeq int64 `json:"from_seq,omitempty"`
+	// CommitSeq is the group's majority-acknowledged sequence.
+	CommitSeq int64 `json:"commit_seq,omitempty"`
+	// Snapshot, when non-empty, is a full broker state snapshot the
+	// follower must install before applying Records; SnapSeq is the
+	// journal sequence it was cut at.
+	Snapshot []byte `json:"snapshot,omitempty"`
+	SnapSeq  int64  `json:"snap_seq,omitempty"`
+	// Records are raw journal frames, exactly as they sit in the
+	// leader's WAL.
+	Records [][]byte `json:"records,omitempty"`
+}
+
 // ResultPayload answers any request. For reserve requests, Approvals
 // carries one signed approval per domain on the path, appended as the
 // grant propagates back upstream (§6.4: "the BB adds its own signed
@@ -233,6 +288,13 @@ type ResultPayload struct {
 	// BatchResults carries the per-op verdicts for a tunnel batch, in
 	// request order. Granted above is the AND of all op verdicts.
 	BatchResults []TunnelOpResult `json:"batch_results,omitempty"`
+	// AckSeq acknowledges a journal stream: the highest sequence the
+	// answering follower has applied (and re-journaled). Zero outside
+	// replication traffic.
+	AckSeq int64 `json:"ack_seq,omitempty"`
+	// Term is the answering replica's election term, echoed so a stale
+	// leader (or candidate) learns it has been superseded.
+	Term int64 `json:"term,omitempty"`
 }
 
 // DomainApproval is one domain's signed statement about a RAR.

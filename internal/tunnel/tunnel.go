@@ -351,6 +351,19 @@ func (r *Registry) Replace(e *Endpoint) {
 	r.tunnels[e.RARID] = e
 }
 
+// ResetTo replaces the whole endpoint set in place. A replication
+// follower installing a leader snapshot resets the registry its broker
+// (and its broker's gauges) already point at, instead of swapping the
+// registry out from under them.
+func (r *Registry) ResetTo(eps []*Endpoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tunnels = make(map[string]*Endpoint, len(eps))
+	for _, e := range eps {
+		r.tunnels[e.RARID] = e
+	}
+}
+
 // Get looks an endpoint up.
 func (r *Registry) Get(rarID string) (*Endpoint, bool) {
 	r.mu.RLock()

@@ -29,6 +29,11 @@
 #                          streaming unit tests, follower convergence,
 #                          and the randomized leader-kill/promote
 #                          failover property suite
+#   make race-fleet        scenario-fleet smoke tier under -race: all four
+#                          scenario families (diurnal, flash crowd, churn,
+#                          misreservation) at reduced population plus the
+#                          seeded-determinism digest check, and the netsim
+#                          data-plane concurrency battery
 #   make alloc-gate        allocs-per-op gates: binary frame encode,
 #                          journal record append, quantile-histogram
 #                          Observe and sampled-event append must all be
@@ -50,10 +55,13 @@
 #   make bench-replication end-to-end admission, unreplicated vs a
 #                          3-replica commit-gated group (the numbers
 #                          recorded in BENCH_replication.json)
+#   make bench-fleet       full scenario fleet at 100k users; regenerates
+#                          BENCH_scale.json (grant-latency and goodput
+#                          p50/p99/p999 per scenario)
 
 GO ?= go
 
-.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs bench-replication metrics-lint race-concurrency race-recovery race-subflow race-replication fuzz-short
+.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs bench-replication bench-fleet metrics-lint race-concurrency race-recovery race-subflow race-replication race-fleet fuzz-short
 
 build:
 	$(GO) build ./...
@@ -61,7 +69,7 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow race-replication fuzz-short
+verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow race-replication race-fleet fuzz-short
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -82,6 +90,10 @@ race-subflow:
 race-replication:
 	$(GO) test -race -run 'Stream' ./internal/journal
 	$(GO) test -race -run 'Replicat|Failover' ./internal/bb
+
+race-fleet:
+	$(GO) test -race -run 'Fleet' ./internal/experiment
+	$(GO) test -race -run 'Concurrent|OnOffSourceStats|PolicerDropVsRemark|PolicerByteAndPacket' ./internal/netsim
 
 fuzz-short:
 	$(GO) test -run NONE -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/envelope
@@ -109,3 +121,6 @@ bench-obs:
 
 bench-replication:
 	$(GO) test -run NONE -bench 'ReplicatedAdmit' -benchtime 500x -count 3 .
+
+bench-fleet:
+	$(GO) run ./cmd/experiments -exp fleet -fleet-users 100000 -fleet-bench BENCH_scale.json

@@ -11,19 +11,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"e2eqos/internal/experiment"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, keydist, billing, diffserv, faults, failover, all")
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, fleet, keydist, billing, diffserv, faults, failover, all")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
 	trials := flag.Int("trials", 3, "trials per signalling measurement")
 	callTimeout := flag.Duration("call-timeout", 100*time.Millisecond, "per-hop signalling deadline for the faults experiment")
 	faultTrials := flag.Int("fault-trials", 20, "reservations per cell of the faults sweep")
+	fleetUsers := flag.Int("fleet-users", 100_000, "simulated population for the fleet experiment")
+	fleetSeed := flag.Uint64("fleet-seed", 1, "RNG seed for the fleet experiment")
+	fleetBench := flag.String("fleet-bench", "", "write the fleet run as a BENCH_scale.json-style file at this path")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -124,6 +128,28 @@ func main() {
 		}
 		emit(t)
 	}
+	// The fleet runs only when asked for by name: at its default
+	// 100k-user population it dominates the suite's wall clock.
+	if *exp == "fleet" {
+		start := time.Now()
+		res, t, err := experiment.RunFleetExperiment(experiment.FleetConfig{
+			Users: *fleetUsers,
+			Seed:  *fleetSeed,
+		})
+		if err != nil {
+			fail("fleet", err)
+		}
+		emit(t)
+		if *fleetBench != "" {
+			machine := fmt.Sprintf("linux, Intel Xeon @ 2.10GHz, 1 hardware thread (nproc=%d)", runtime.NumCPU())
+			date := time.Now().Format("2006-01-02")
+			if err := experiment.WriteFleetBench(res, *fleetBench, machine, date, time.Since(start)); err != nil {
+				fail("fleet-bench", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *fleetBench)
+		}
+	}
+
 	if run("keydist") {
 		t, err := experiment.RunKeyDistribution(8)
 		if err != nil {

@@ -14,10 +14,10 @@ import (
 
 	"e2eqos/internal/core"
 	"e2eqos/internal/cpusched"
+	"e2eqos/internal/dataplane"
 	"e2eqos/internal/disksched"
 	"e2eqos/internal/identity"
 	"e2eqos/internal/journal"
-	"e2eqos/internal/netsim"
 	"e2eqos/internal/obs"
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policysrv"
@@ -29,24 +29,9 @@ import (
 	"e2eqos/internal/units"
 )
 
-// DataPlane is the broker's hook into the domain's DiffServ devices:
-// the per-flow edge marker at the first hop (source domains) and the
-// per-aggregate ingress policer. Either may be nil when the broker
-// runs control-plane-only (daemons, signalling benchmarks).
-type DataPlane struct {
-	Edge    *netsim.EdgeMarker
-	Policer *netsim.Policer
-	// BucketBytes is the burst allowance configured with every profile
-	// (default 30 kB).
-	BucketBytes int64
-}
-
-func (d *DataPlane) bucket() int64 {
-	if d == nil || d.BucketBytes <= 0 {
-		return 30_000
-	}
-	return d.BucketBytes
-}
+// defaultBucketBytes is the burst allowance configured with every
+// installed profile and aggregate when Config.BucketBytes is unset.
+const defaultBucketBytes = 30_000
 
 // Config assembles a broker.
 type Config struct {
@@ -77,8 +62,15 @@ type Config struct {
 	// CPU / Disk are the co-managed local resource managers (optional).
 	CPU  *cpusched.Manager
 	Disk *disksched.Manager
-	// Plane is the data plane hook (optional).
-	Plane *DataPlane
+	// Plane is the broker's hook into the domain's DiffServ devices —
+	// the per-flow edge marker at the first hop (source domains) and
+	// the per-aggregate ingress policer — behind the dataplane
+	// interface. Nil when the broker runs control-plane-only (daemons,
+	// signalling benchmarks).
+	Plane dataplane.DataPlane
+	// BucketBytes is the burst allowance configured with every
+	// installed profile and aggregate (default 30 kB).
+	BucketBytes int64
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 
@@ -358,11 +350,19 @@ func (b *BB) Crash() {
 	b.journal.Crash()
 }
 
+// bucket is the burst allowance pushed with every profile.
+func (b *BB) bucket() int64 {
+	if b.cfg.BucketBytes > 0 {
+		return b.cfg.BucketBytes
+	}
+	return defaultBucketBytes
+}
+
 // syncDataPlane pushes the currently committed aggregate into the
 // domain's ingress policer.
 func (b *BB) syncDataPlane() {
 	p := b.cfg.Plane
-	if p == nil || p.Policer == nil {
+	if p == nil {
 		return
 	}
 	rate := b.table.CommittedAt(b.cfg.Clock())
@@ -370,29 +370,29 @@ func (b *BB) syncDataPlane() {
 		// A closed policer: nothing admitted, no premium passes.
 		rate = 1 // 1 b/s effectively blocks premium traffic
 	}
-	p.Policer.SetAggregateRate(rate, p.bucket())
+	p.SetAggregate(sla.TrafficProfile{Rate: rate, BucketBytes: b.bucket()})
 }
 
 // installEdgeFlow programs the source-domain edge marker for a granted
 // flow.
 func (b *BB) installEdgeFlow(spec *core.Spec) {
 	p := b.cfg.Plane
-	if p == nil || p.Edge == nil {
+	if p == nil {
 		return
 	}
-	p.Edge.InstallReservation(netsim.FlowID(spec.RARID), sla.TrafficProfile{
+	p.InstallProfile(spec.RARID, sla.TrafficProfile{
 		Rate:        spec.Bandwidth,
-		BucketBytes: p.bucket(),
+		BucketBytes: b.bucket(),
 	})
 }
 
 // removeEdgeFlow deprograms a cancelled flow.
 func (b *BB) removeEdgeFlow(rarID string) {
 	p := b.cfg.Plane
-	if p == nil || p.Edge == nil {
+	if p == nil {
 		return
 	}
-	p.Edge.RemoveReservation(netsim.FlowID(rarID))
+	p.RemoveProfile(rarID)
 }
 
 // signApproval builds this domain's signed approval record.

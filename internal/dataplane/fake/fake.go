@@ -1,0 +1,230 @@
+// Package fake provides a counting data plane for tests and the
+// large-scale scenario fleet. It enforces the same (r, b) token-bucket
+// semantics as the packet simulator, but in closed form at byte
+// granularity: marking or policing N bytes is O(1), independent of
+// packet count, which is what makes 10^5–10^6 simulated users
+// affordable. Every control-plane call is counted so tests can assert
+// on broker behaviour without a network.
+package fake
+
+import (
+	"sync"
+	"time"
+
+	"e2eqos/internal/dataplane"
+	"e2eqos/internal/sla"
+)
+
+// bucket is a closed-form (r, b) token bucket at byte granularity.
+type bucket struct {
+	rate   float64 // bytes per second
+	burst  float64 // bucket depth, bytes
+	tokens float64
+	last   time.Duration
+	primed bool
+}
+
+func newBucket(p sla.TrafficProfile) *bucket {
+	return &bucket{
+		rate:   float64(p.Rate) / 8,
+		burst:  float64(p.BucketBytes),
+		tokens: float64(p.BucketBytes),
+	}
+}
+
+// touch advances the bucket to virtual time now. Refill earned since
+// the last call is credited in full: a take models traffic offered
+// over the whole elapsed window, not at an instant, so conformance
+// over the window is (residual tokens + rate·dt). The bucket-depth cap
+// is applied to the residual carried forward, not to the in-window
+// refill.
+func (b *bucket) touch(now time.Duration) {
+	if !b.primed {
+		b.last = now
+		b.primed = true
+		return
+	}
+	if now <= b.last {
+		return
+	}
+	b.tokens += (now - b.last).Seconds() * b.rate
+	b.last = now
+}
+
+// take consumes up to bytes tokens for traffic offered over the window
+// since the previous call, and returns how many it got.
+func (b *bucket) take(bytes int64, now time.Duration) int64 {
+	b.touch(now)
+	got := float64(bytes)
+	if got > b.tokens {
+		got = b.tokens
+	}
+	if got < 0 {
+		got = 0
+	}
+	b.tokens -= got
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	return int64(got)
+}
+
+type flowState struct {
+	profile sla.TrafficProfile
+	meter   *bucket
+	premium int64
+	demoted int64
+}
+
+// Calls counts control-plane operations against the plane.
+type Calls struct {
+	Installs      int64
+	Removes       int64
+	AggregateSets int64
+}
+
+// Plane is the counting fake backend. It is safe for concurrent use.
+type Plane struct {
+	mu    sync.Mutex
+	flows map[string]*flowState
+	agg   *bucket
+	prof  sla.TrafficProfile
+	stats dataplane.ClassStats
+	calls Calls
+}
+
+var _ dataplane.DataPlane = (*Plane)(nil)
+
+// New returns an empty fake plane with a zero aggregate (all premium
+// traffic is excess until SetAggregate is called).
+func New() *Plane {
+	return &Plane{
+		flows: make(map[string]*flowState),
+		agg:   newBucket(sla.TrafficProfile{}),
+	}
+}
+
+// Name identifies the backend.
+func (p *Plane) Name() string { return "fake" }
+
+// InstallProfile gives flow a premium profile, replacing (and
+// resetting the meter of) any existing one.
+func (p *Plane) InstallProfile(flow string, prof sla.TrafficProfile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls.Installs++
+	p.flows[flow] = &flowState{profile: prof, meter: newBucket(prof)}
+}
+
+// RemoveProfile tears the flow's profile down.
+func (p *Plane) RemoveProfile(flow string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls.Removes++
+	delete(p.flows, flow)
+}
+
+// SetAggregate reconfigures the admitted aggregate.
+func (p *Plane) SetAggregate(prof sla.TrafficProfile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls.AggregateSets++
+	p.prof = prof
+	p.agg = newBucket(prof)
+}
+
+// Aggregate returns the currently configured aggregate profile.
+func (p *Plane) Aggregate() sla.TrafficProfile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.prof
+}
+
+// Mark meters bytes of flow traffic in closed form against the flow's
+// profile; unreserved flows mark nothing premium. The bytes are
+// treated as offered over the window since the flow's previous Mark —
+// call Mark with zero bytes at a window's start to open it (priming
+// the meter) and with the accumulated bytes at its end.
+func (p *Plane) Mark(flow string, bytes int64, now time.Duration) int64 {
+	if bytes < 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fs, ok := p.flows[flow]
+	if !ok {
+		return 0
+	}
+	if bytes == 0 {
+		fs.meter.touch(now)
+		return 0
+	}
+	premium := fs.meter.take(bytes, now)
+	fs.premium += premium
+	fs.demoted += bytes - premium
+	return premium
+}
+
+// Police meters premium bytes against the aggregate in closed form,
+// with the same window semantics as Mark.
+func (p *Plane) Police(premium int64, now time.Duration) int64 {
+	if premium < 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if premium == 0 {
+		p.agg.touch(now)
+		return 0
+	}
+	passed := p.agg.take(premium, now)
+	p.stats.PremiumBytes += passed
+	p.stats.ExcessPremiumBytes += premium - passed
+	return passed
+}
+
+// RecordBestEffort accounts best-effort bytes crossing the ingress
+// (the policer forwards them untouched; the fake only counts them).
+func (p *Plane) RecordBestEffort(bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.BestEffortBytes += bytes
+}
+
+// FlowStats returns the flow's marking counters.
+func (p *Plane) FlowStats(flow string) (dataplane.FlowStats, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fs, ok := p.flows[flow]
+	if !ok {
+		return dataplane.FlowStats{}, false
+	}
+	return dataplane.FlowStats{
+		Installed:    true,
+		Profile:      fs.profile,
+		PremiumBytes: fs.premium,
+		DemotedBytes: fs.demoted,
+	}, true
+}
+
+// ClassStats returns the aggregate byte accounting.
+func (p *Plane) ClassStats() dataplane.ClassStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// CallCounts returns how many control-plane operations the plane has
+// seen, for tests asserting on broker behaviour.
+func (p *Plane) CallCounts() Calls {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// InstalledFlows returns how many flows currently hold a profile.
+func (p *Plane) InstalledFlows() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.flows)
+}

@@ -1,0 +1,48 @@
+// Package nop provides a data plane that enforces nothing: profiles
+// are accepted and forgotten, every offered byte passes. It exists for
+// benchmarks and tests that exercise only the control plane and must
+// not pay for enforcement bookkeeping.
+package nop
+
+import (
+	"time"
+
+	"e2eqos/internal/dataplane"
+	"e2eqos/internal/sla"
+)
+
+// Plane is the no-op backend. The zero value is ready to use and safe
+// for concurrent use (it holds no state at all).
+type Plane struct{}
+
+var _ dataplane.DataPlane = Plane{}
+
+// New returns a no-op data plane.
+func New() Plane { return Plane{} }
+
+// Name identifies the backend.
+func (Plane) Name() string { return "nop" }
+
+// InstallProfile discards the profile.
+func (Plane) InstallProfile(string, sla.TrafficProfile) {}
+
+// RemoveProfile does nothing.
+func (Plane) RemoveProfile(string) {}
+
+// SetAggregate discards the aggregate.
+func (Plane) SetAggregate(sla.TrafficProfile) {}
+
+// Aggregate reports an empty profile.
+func (Plane) Aggregate() sla.TrafficProfile { return sla.TrafficProfile{} }
+
+// Mark passes every byte as premium: no enforcement.
+func (Plane) Mark(_ string, bytes int64, _ time.Duration) int64 { return bytes }
+
+// Police passes every byte: no enforcement.
+func (Plane) Police(premium int64, _ time.Duration) int64 { return premium }
+
+// FlowStats reports no flow state.
+func (Plane) FlowStats(string) (dataplane.FlowStats, bool) { return dataplane.FlowStats{}, false }
+
+// ClassStats reports zero counters.
+func (Plane) ClassStats() dataplane.ClassStats { return dataplane.ClassStats{} }

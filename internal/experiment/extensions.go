@@ -191,7 +191,7 @@ func buildSimplePipeline(w *World, rarID string) (*dsim.Sim, *netsim.Sink, *nets
 	sink := netsim.NewSink(sim)
 	link := netsim.NewLink(sim, 100_000_000, time.Millisecond, 0, sink)
 	marker := netsim.NewEdgeMarker(sim, link)
-	w.Planes["DomainA"].Edge = marker
+	w.NetsimPlane("DomainA").AttachEdge(marker)
 	marker.InstallReservation(netsim.FlowID(rarID), sla.TrafficProfile{Rate: 10_000_000, BucketBytes: 30_000})
 	return sim, sink, marker
 }

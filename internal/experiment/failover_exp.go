@@ -150,9 +150,9 @@ func RunFailover(cfg FailoverConfig) (*Table, error) {
 	}
 
 	t := &Table{
-		ID:    "failover",
-		Title: "Leader failover in a replicated bandwidth-broker group",
-		Claim: "Killing a leader mid-load loses nothing a caller ever saw: a promoted follower serves the same grants, answers retransmissions from its replicated replay cache, and admits new work.",
+		ID:      "failover",
+		Title:   "Leader failover in a replicated bandwidth-broker group",
+		Claim:   "Killing a leader mid-load loses nothing a caller ever saw: a promoted follower serves the same grants, answers retransmissions from its replicated replay cache, and admits new work.",
 		Columns: []string{"measure", "value"},
 	}
 	t.AddRow("replica group size", fmt.Sprintf("%d", cfg.Replicas))

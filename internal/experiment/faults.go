@@ -25,6 +25,9 @@ type FaultSweepConfig struct {
 	// RetryBudgets are the MaxRetries settings compared per
 	// probability (default 0 and 2).
 	RetryBudgets []int
+	// Seed drives the fault injection (default 1). Same seed, same
+	// faults: the sweep never reads the clock for randomness.
+	Seed uint64
 }
 
 // faultCell is one measured (probability, retry-budget) combination.
@@ -43,7 +46,10 @@ type faultCell struct {
 func runFaultCell(cfg FaultSweepConfig, prob float64, retries int) (faultCell, error) {
 	var out faultCell
 	var dialers []*transport.FaultyDialer
-	seed := int64(1)
+	// Per-dialer seeds come from the config's seed stream, not a
+	// counter from 1: distinct (seed, prob, retries) cells inject
+	// distinct-but-reproducible fault patterns.
+	seeds := newRNG(cfg.Seed, uint64(prob*1e6)<<8|uint64(retries))
 	w, err := BuildWorld(WorldConfig{
 		NumDomains:   cfg.Domains,
 		Capacity:     units.Gbps,
@@ -51,6 +57,7 @@ func runFaultCell(cfg FaultSweepConfig, prob float64, retries int) (faultCell, e
 		MaxRetries:   retries,
 		RetryBackoff: 2 * time.Millisecond,
 		EnableObs:    true,
+		Seed:         cfg.Seed,
 		WrapDialer: func(domain string, d transport.Dialer) transport.Dialer {
 			if prob <= 0 {
 				return d
@@ -58,9 +65,8 @@ func runFaultCell(cfg FaultSweepConfig, prob float64, retries int) (faultCell, e
 			fd := transport.NewFaultyDialer(d, transport.FaultConfig{
 				SendDropProb: prob,
 				RecvDropProb: prob,
-				Seed:         seed,
+				Seed:         int64(seeds.Uint64() >> 1),
 			})
-			seed++
 			dialers = append(dialers, fd)
 			return fd
 		},
@@ -140,6 +146,9 @@ func RunFaultSweep(cfg FaultSweepConfig) (*Table, error) {
 	}
 	if len(cfg.RetryBudgets) == 0 {
 		cfg.RetryBudgets = []int{0, 2}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	t := &Table{
 		ID:    "faults",

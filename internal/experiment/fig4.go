@@ -212,10 +212,10 @@ func runFig4ScenarioRate(scenario string, duration time.Duration, davidRate unit
 	policerB := netsim.NewPolicer(sim, sla.TrafficProfile{Rate: 1, BucketBytes: 1}, sla.Drop, linkBC)
 	markerA := netsim.NewEdgeMarker(sim, policerB) // A's edge feeds B's ingress
 	markerD := netsim.NewEdgeMarker(sim, policerB) // D's edge feeds B's ingress
-	w.Planes["DomainA"].Edge = markerA
-	w.Planes["DomainD"].Edge = markerD
-	w.Planes["DomainB"].Policer = policerB
-	w.Planes["DomainC"].Policer = policerC
+	w.NetsimPlane("DomainA").AttachEdge(markerA)
+	w.NetsimPlane("DomainD").AttachEdge(markerD)
+	w.NetsimPlane("DomainB").AttachPolicer(policerB)
+	w.NetsimPlane("DomainC").AttachPolicer(policerC)
 
 	// Alice reserves end-to-end in both scenarios.
 	aliceSpec := alice.NewSpec(SpecOptions{DestDomain: "DomainC", Bandwidth: 10 * units.Mbps, Window: win})

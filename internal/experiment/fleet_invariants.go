@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"sort"
+	"time"
+
+	"e2eqos/internal/resv"
+	"e2eqos/internal/units"
+)
+
+// Cross-cutting invariant checkers, asserted after every scenario.
+// They re-derive ground truth from the reservation tables and compare
+// it against the engine's own ledger — the point is to catch admission
+// or bookkeeping regressions, so nothing here trusts the code path
+// that produced the state. A failed check lands in e.violations and
+// fails the whole fleet run.
+
+// checkInvariants runs the battery and returns the names of the
+// checks that passed (violations accumulate separately).
+func (e *fleetEngine) checkInvariants() []string {
+	var passed []string
+	if e.checkCapacity() {
+		passed = append(passed, "granted<=capacity")
+	}
+	if e.checkLedger() {
+		passed = append(passed, "zero-lost-or-double-grants")
+	}
+	if e.checkCommittedSums() {
+		passed = append(passed, "aggregate-sums-consistent")
+	}
+	if e.checkDrained() {
+		passed = append(passed, "drained-to-zero")
+	}
+	return passed
+}
+
+// checkCapacity asserts that no admission shard is overcommitted at
+// any point of the scenario: the peak committed bandwidth over the
+// whole horizon must leave Available non-negative.
+func (e *fleetEngine) checkCapacity() bool {
+	ok := true
+	whole := units.Window{Start: fleetEpoch, End: e.at(e.sim.Now() + fleetWindowSlack)}
+	for _, d := range e.domains {
+		for _, shard := range d.shards {
+			if avail := shard.Available(whole); avail < 0 {
+				e.violate("shard %s overcommitted: available %v", shard.Name(), avail)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// checkLedger cross-checks every booking the engine ever granted
+// against the tables: live bookings must exist exactly once with
+// matching bandwidth (zero lost grants), and no shard may hold a
+// granted reservation the ledger doesn't know (zero double grants).
+func (e *fleetEngine) checkLedger() bool {
+	ok := true
+	// Every handle the ledger thinks is live.
+	liveHandles := make(map[string]units.Bandwidth)
+	flows := make([]string, 0, len(e.bookings))
+	for f := range e.bookings {
+		flows = append(flows, f)
+	}
+	sort.Strings(flows)
+	for _, f := range flows {
+		b := e.bookings[f]
+		for i, di := range b.path {
+			shard := e.domains[di].shards[e.userShard[b.user]]
+			r, found := shard.Lookup(b.handles[i])
+			if b.cancelled {
+				// A cancelled booking may already be compacted away;
+				// if still visible it must not consume capacity.
+				if found && r.Status == resv.Granted {
+					e.violate("cancelled booking %s still granted as %s", f, b.handles[i])
+					ok = false
+				}
+				continue
+			}
+			liveHandles[b.handles[i]] = b.bw
+			if !found {
+				e.violate("lost grant: %s handle %s missing from %s", f, b.handles[i], shard.Name())
+				ok = false
+				continue
+			}
+			if r.Status != resv.Granted || r.Bandwidth != b.bw {
+				e.violate("grant %s mutated: status %v bw %v (want %v)", b.handles[i], r.Status, r.Bandwidth, b.bw)
+				ok = false
+			}
+		}
+	}
+	// Every granted table entry must be in the ledger.
+	for _, d := range e.domains {
+		for _, shard := range d.shards {
+			for _, r := range shard.All() {
+				if r.Status != resv.Granted {
+					continue
+				}
+				if _, known := liveHandles[r.Handle]; !known {
+					e.violate("double grant: %s holds %s the ledger never granted (or already cancelled)", shard.Name(), r.Handle)
+					ok = false
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// checkCommittedSums asserts the running aggregate each domain pushed
+// to its policer equals the table-derived committed bandwidth.
+func (e *fleetEngine) checkCommittedSums() bool {
+	ok := true
+	now := e.at(e.sim.Now())
+	for _, d := range e.domains {
+		var fromTables units.Bandwidth
+		for _, shard := range d.shards {
+			fromTables += shard.CommittedAt(now)
+		}
+		if fromTables != d.committed {
+			e.violate("domain %s aggregate drift: tables say %v, running sum %v", d.name, fromTables, d.committed)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// checkDrained asserts scenario teardown released everything: after
+// drain, every domain's committed aggregate is zero.
+func (e *fleetEngine) checkDrained() bool {
+	if !e.drained {
+		return false
+	}
+	ok := true
+	now := e.at(e.sim.Now())
+	for _, d := range e.domains {
+		if d.committed != 0 {
+			e.violate("domain %s not drained: %v still committed", d.name, d.committed)
+			ok = false
+		}
+		for _, shard := range d.shards {
+			if c := shard.CommittedAt(now); c != 0 {
+				e.violate("shard %s not drained: %v committed", shard.Name(), c)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// checkCompactionBounded is the churn scenario's extra check: the
+// tables must not accumulate every reservation ever admitted. After a
+// forced compact one retention past the horizon, nothing may remain.
+func (e *fleetEngine) checkCompactionBounded(totalAdmits int64) bool {
+	ok := true
+	var lenBefore int64
+	for _, d := range e.domains {
+		for _, shard := range d.shards {
+			lenBefore += int64(shard.Len())
+		}
+	}
+	if totalAdmits > 1000 && lenBefore >= totalAdmits {
+		e.violate("compaction never ran: %d entries retained of %d admits", lenBefore, totalAdmits)
+		ok = false
+	}
+	horizon := e.at(e.sim.Now() + resv.DefaultRetention + fleetWindowSlack + time.Minute)
+	for _, d := range e.domains {
+		for _, shard := range d.shards {
+			shard.Compact(horizon)
+			if n := shard.Len(); n != 0 {
+				e.violate("shard %s leaked %d entries past retention", shard.Name(), n)
+				ok = false
+			}
+		}
+	}
+	return ok
+}

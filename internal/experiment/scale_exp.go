@@ -33,6 +33,46 @@ type ScaleLoadConfig struct {
 	EventsDir string
 }
 
+// validate rejects configurations that used to be absorbed silently:
+// a negative sampling probability or latency is always a caller bug,
+// not a request for the default.
+func (c ScaleLoadConfig) validate() error {
+	if c.SampleRate < 0 {
+		return fmt.Errorf("scale: SampleRate %v is negative; use 0 to disable sampling", c.SampleRate)
+	}
+	if c.SampleRate > 1 {
+		return fmt.Errorf("scale: SampleRate %v exceeds 1 (a probability)", c.SampleRate)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("scale: Latency %v is negative; use 0 for no modelled latency", c.Latency)
+	}
+	return nil
+}
+
+// totalOps returns Users×Reserves + BatchOps + 1 — the 1 Mb/s
+// reservation count the capacity budget is sized from — or an error
+// when the product overflows the int64 bandwidth math. Overflow used
+// to wrap silently and build a world with a nonsense (possibly
+// negative) capacity; now it is the caller's error.
+func (c ScaleLoadConfig) totalOps() (int64, error) {
+	ops := int64(c.Users) * int64(c.Reserves)
+	if c.Users != 0 && ops/int64(c.Users) != int64(c.Reserves) {
+		return 0, fmt.Errorf("scale: Users (%d) × Reserves (%d) overflows the capacity budget", c.Users, c.Reserves)
+	}
+	total := ops + int64(c.BatchOps) + 1
+	if total < ops {
+		return 0, fmt.Errorf("scale: Users×Reserves + BatchOps (%d + %d) overflows the capacity budget", ops, c.BatchOps)
+	}
+	// The world is built with twice the budget in bandwidth units.
+	if total > int64(maxBandwidth/(2*units.Mbps)) {
+		return 0, fmt.Errorf("scale: %d reservations × 1 Mb/s exceeds the representable capacity budget", total)
+	}
+	return total, nil
+}
+
+// maxBandwidth is the largest representable bandwidth.
+const maxBandwidth = units.Bandwidth(1<<63 - 1)
+
 // RunScaleLoad drives mixed reserve and sub-flow load through an
 // instrumented world and reports, per broker-side stage, the latency
 // quantiles the striped histograms measured while the load ran. This
@@ -40,6 +80,9 @@ type ScaleLoadConfig struct {
 // the table shows what the p999 requester experiences at each stage,
 // not just the mean the throughput numbers imply.
 func RunScaleLoad(cfg ScaleLoadConfig) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Users <= 0 {
 		cfg.Users = 8
 	}
@@ -52,7 +95,10 @@ func RunScaleLoad(cfg ScaleLoadConfig) (*Table, error) {
 	if cfg.Domains < 2 {
 		cfg.Domains = 5
 	}
-	reserveNeed := units.Bandwidth(cfg.Users*cfg.Reserves) * units.Mbps
+	if _, err := cfg.totalOps(); err != nil {
+		return nil, err
+	}
+	reserveNeed := units.Bandwidth(cfg.Users) * units.Bandwidth(cfg.Reserves) * units.Mbps
 	tunnelNeed := units.Bandwidth(cfg.BatchOps+1) * units.Mbps
 	w, err := BuildWorld(WorldConfig{
 		NumDomains:  cfg.Domains,

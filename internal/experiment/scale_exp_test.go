@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScaleLoadConfigValidation pins the config checks RunScaleLoad
+// used to skip: negative sampling probabilities and latencies were
+// silently absorbed, and a Users×Reserves product that overflowed the
+// int64 bandwidth budget built a world with wrapped capacity.
+func TestScaleLoadConfigValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     ScaleLoadConfig
+		wantErr string
+	}{
+		{
+			name:    "negative sample rate",
+			cfg:     ScaleLoadConfig{SampleRate: -0.01},
+			wantErr: "SampleRate",
+		},
+		{
+			name:    "sample rate above one",
+			cfg:     ScaleLoadConfig{SampleRate: 1.5},
+			wantErr: "exceeds 1",
+		},
+		{
+			name:    "negative latency",
+			cfg:     ScaleLoadConfig{Latency: -time.Millisecond},
+			wantErr: "Latency",
+		},
+		{
+			name:    "users times reserves overflows",
+			cfg:     ScaleLoadConfig{Users: math.MaxInt64 / 4, Reserves: 8},
+			wantErr: "overflows",
+		},
+		{
+			name:    "budget exceeds representable bandwidth",
+			cfg:     ScaleLoadConfig{Users: 1 << 31, Reserves: 1 << 31},
+			wantErr: "exceeds the representable",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunScaleLoad(tc.cfg)
+			if err == nil {
+				t.Fatalf("RunScaleLoad(%+v) succeeded, want error containing %q", tc.cfg, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestScaleLoadConfigAccepts pins the boundary values that must keep
+// working: zeroes mean "use the default", not "reject".
+func TestScaleLoadConfigAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ScaleLoadConfig
+	}{
+		{name: "zero everything defaults", cfg: ScaleLoadConfig{}},
+		{name: "zero sample rate disables sampling", cfg: ScaleLoadConfig{SampleRate: 0}},
+		{name: "probability one", cfg: ScaleLoadConfig{SampleRate: 1}},
+		{name: "zero latency", cfg: ScaleLoadConfig{Latency: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.validate(); err != nil {
+				t.Fatalf("validate(%+v): %v", tc.cfg, err)
+			}
+			c := tc.cfg
+			if c.Users <= 0 {
+				c.Users = 8
+			}
+			if c.Reserves <= 0 {
+				c.Reserves = 64
+			}
+			if c.BatchOps <= 0 {
+				c.BatchOps = 2048
+			}
+			if _, err := c.totalOps(); err != nil {
+				t.Fatalf("totalOps(%+v): %v", c, err)
+			}
+		})
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"e2eqos/internal/bb"
 	"e2eqos/internal/cas"
 	"e2eqos/internal/cpusched"
+	"e2eqos/internal/dataplane"
+	"e2eqos/internal/dataplane/netsimdp"
 	"e2eqos/internal/disksched"
 	"e2eqos/internal/group"
 	"e2eqos/internal/identity"
@@ -63,6 +65,15 @@ type WorldConfig struct {
 	Disks map[string]units.Bandwidth
 	// Clock is the shared time source (default time.Now).
 	Clock func() time.Time
+	// Seed seeds every deterministic driver built on the world (the
+	// scenario fleet's RNG streams); it never feeds from the date or
+	// any other ambient source. Zero means 1.
+	Seed uint64
+	// DataPlaneFor, when set, supplies the data plane each broker
+	// replica is wired against. Nil gives every broker an unattached
+	// netsim backend (enforcement begins when an experiment attaches
+	// edge/policer devices through NetsimPlane).
+	DataPlaneFor func(domain string, replica int) dataplane.DataPlane
 
 	// CallTimeout bounds every signalling call made by brokers and by
 	// users created with NewUser (0 = wait forever).
@@ -136,7 +147,10 @@ type World struct {
 	Policy map[string]*policysrv.Server
 	CPU    map[string]*cpusched.Manager
 	Disk   map[string]*disksched.Manager
-	Planes map[string]*bb.DataPlane
+	Planes map[string]dataplane.DataPlane
+	// Seed is the deterministic seed the world was built with (from
+	// WorldConfig.Seed; zero becomes 1).
+	Seed uint64
 	// Metrics holds each domain's broker registry (nil unless
 	// WorldConfig.EnableObs); NetMetrics aggregates transport counters
 	// across the whole in-memory network.
@@ -166,7 +180,7 @@ type World struct {
 type replicaGroup struct {
 	brokers   []*bb.BB
 	endpoints []*transport.Endpoint
-	planes    []*bb.DataPlane
+	planes    []dataplane.DataPlane
 	recorders []*obs.Recorder
 	servers   map[int]*signalling.Server // replica-address listeners
 	alive     []bool
@@ -196,6 +210,9 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
 	topo := cfg.Topo
 	if topo == nil {
 		if cfg.NumDomains < 1 {
@@ -210,13 +227,14 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 	w := &World{
 		Net:         transport.NewNetwork(cfg.Latency),
 		Topo:        topo,
+		Seed:        cfg.Seed,
 		Domains:     topo.Domains(),
 		BBs:         make(map[string]*bb.BB),
 		BBCerts:     make(map[string]*pki.Certificate),
 		Policy:      make(map[string]*policysrv.Server),
 		CPU:         make(map[string]*cpusched.Manager),
 		Disk:        make(map[string]*disksched.Manager),
-		Planes:      make(map[string]*bb.DataPlane),
+		Planes:      make(map[string]dataplane.DataPlane),
 		Metrics:     make(map[string]*obs.Registry),
 		Recorders:   make(map[string]*obs.Recorder),
 		servers:     make(map[string]*signalling.Server),
@@ -379,7 +397,10 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 			if cfg.WrapDialer != nil {
 				dialer = cfg.WrapDialer(name, endpoint)
 			}
-			plane := &bb.DataPlane{}
+			var plane dataplane.DataPlane = netsimdp.New()
+			if cfg.DataPlaneFor != nil {
+				plane = cfg.DataPlaneFor(name, i)
+			}
 			var reg *obs.Registry
 			if cfg.EnableObs {
 				reg = obs.NewRegistry()
@@ -703,6 +724,14 @@ func (w *World) Close() {
 
 // SourceDomain returns the first domain (where users live by default).
 func (w *World) SourceDomain() string { return w.Domains[0] }
+
+// NetsimPlane returns the domain's data plane as the netsim backend,
+// so experiments can attach packet-level devices to it. It returns
+// nil when the domain was built with a different backend.
+func (w *World) NetsimPlane(domain string) *netsimdp.Plane {
+	p, _ := w.Planes[domain].(*netsimdp.Plane)
+	return p
+}
 
 // DestDomain returns the last domain.
 func (w *World) DestDomain() string { return w.Domains[len(w.Domains)-1] }

@@ -1,0 +1,306 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"e2eqos/internal/dsim"
+	"e2eqos/internal/sla"
+	"e2eqos/internal/units"
+)
+
+// These tests pin the thread-safety contract the dataplane backends
+// rely on: markers, policers and meters are hammered from many
+// goroutines and must stay exact, not just race-free. Run them with
+// -race (make verify does).
+
+// TestTokenBucketConcurrentConformance checks the bucket stays a
+// conserved quantity under contention: with virtual time frozen there
+// is no refill, so across every goroutine exactly burst/size packets
+// may conform — no more (lost updates would admit extra), no fewer.
+func TestTokenBucketConcurrentConformance(t *testing.T) {
+	const (
+		size    = 100
+		packets = 200
+		burst   = 10_000 // admits exactly 100 packets of 100B
+		workers = 8
+	)
+	tb := NewTokenBucket(8*units.Mbps, burst)
+	var conformed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < packets; i++ {
+				if tb.Conform(size, 0) {
+					local++
+				}
+			}
+			mu.Lock()
+			conformed += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if want := int64(burst / size); conformed != want {
+		t.Fatalf("conformed %d packets across %d goroutines, want exactly %d", conformed, workers, want)
+	}
+	if tokens := tb.Tokens(0); tokens >= size {
+		t.Fatalf("bucket still holds %.0f tokens after exhaustion", tokens)
+	}
+	// After one packet-time of refill the bucket admits again.
+	refillTime := time.Duration(float64(size*8) / float64(8*units.Mbps) * float64(time.Second))
+	if !tb.Conform(size, refillTime+time.Millisecond) {
+		t.Fatalf("bucket did not refill after %v", refillTime)
+	}
+}
+
+// TestTokenBucketConcurrentReaders checks Tokens and TimeToConform can
+// run alongside Conform without corrupting the meter.
+func TestTokenBucketConcurrentReaders(t *testing.T) {
+	tb := NewTokenBucket(units.Mbps, 5_000)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for now := time.Duration(0); ; now += time.Microsecond {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tb.Tokens(now)
+				tb.TimeToConform(1500, now)
+			}
+		}()
+	}
+	for i := 0; i < 2_000; i++ {
+		tb.Conform(125, time.Duration(i)*time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestOnOffSourceStatsDuringRun reads source and sink statistics from
+// reader goroutines while the simulation emits packets — the live
+// telemetry path fleet tooling uses mid-run.
+func TestOnOffSourceStatsDuringRun(t *testing.T) {
+	sim := dsim.New()
+	sink := NewSink(sim)
+	marker := NewEdgeMarker(sim, sink)
+	marker.InstallReservation("f1", sla.TrafficProfile{Rate: 4 * units.Mbps, BucketBytes: 30_000})
+	src := NewOnOffSource(sim, "f1", 8*units.Mbps, 1250, Premium, 20*time.Millisecond, 20*time.Millisecond, marker)
+	if err := src.Install(0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src.Emitted()
+				marker.FlowStats("f1")
+				marker.DropsSnapshot()
+				if st := sink.Stats("f1"); st != nil {
+					_ = st.RxBytes
+				}
+			}
+		}()
+	}
+	sim.Run(2 * time.Second)
+	close(stop)
+	wg.Wait()
+	emitted := src.Emitted()
+	if emitted == 0 {
+		t.Fatal("source emitted nothing")
+	}
+	st := sink.Stats("f1")
+	if st == nil || st.RxPackets != emitted {
+		t.Fatalf("sink saw %+v, want %d packets", st, emitted)
+	}
+	fs := marker.FlowStats("f1")
+	if fs.PremiumBytes+fs.DemotedBytes != emitted*1250 {
+		t.Fatalf("marker accounted %d+%d bytes, want %d", fs.PremiumBytes, fs.DemotedBytes, emitted*1250)
+	}
+}
+
+// TestEdgeMarkerConcurrentControlAndData reconfigures reservations
+// from control goroutines while data goroutines push bytes through
+// MarkBytes for other flows; per-flow accounting must stay exact.
+func TestEdgeMarkerConcurrentControlAndData(t *testing.T) {
+	sim := dsim.New()
+	marker := NewEdgeMarker(sim, NewSink(sim))
+	profile := sla.TrafficProfile{Rate: 8 * units.Mbps, BucketBytes: 10_000}
+	marker.InstallReservation("steady", profile)
+	var wg sync.WaitGroup
+	// Control plane: churn an unrelated flow's reservation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			marker.InstallReservation("churny", profile)
+			marker.RemoveReservation("churny")
+		}
+	}()
+	// Data plane: the steady flow marks within its burst at t=0.
+	var premium int64
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 50; i++ {
+				local += marker.MarkBytes("steady", 100, 100, 0)
+			}
+			mu.Lock()
+			premium += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// 4×50×100B = 20_000B offered at t=0 against a 10_000B burst:
+	// exactly the burst may be marked premium, the rest demoted.
+	if premium != 10_000 {
+		t.Fatalf("premium = %d, want exactly the 10000B burst", premium)
+	}
+	fs := marker.FlowStats("steady")
+	if fs.PremiumBytes != 10_000 || fs.DemotedBytes != 10_000 {
+		t.Fatalf("flow stats %+v, want 10000 premium / 10000 demoted", fs)
+	}
+	if marker.Installed("churny") {
+		t.Fatal("churny flow left installed")
+	}
+}
+
+// TestPolicerDropVsRemarkBoundary pins the exact boundary packet: an
+// aggregate with a one-packet bucket must pass the packet that lands
+// on the burst and apply the excess treatment to the next one.
+func TestPolicerDropVsRemarkBoundary(t *testing.T) {
+	const pkt = 1250
+	cases := []struct {
+		name   string
+		excess sla.ExcessTreatment
+		// after offering burst+1 packets at t=0:
+		wantDropped, wantRemarked int64
+		wantBestEffort            int64
+	}{
+		{name: "drop", excess: sla.Drop, wantDropped: 1},
+		{name: "remark", excess: sla.Remark, wantRemarked: 1, wantBestEffort: pkt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := dsim.New()
+			var forwarded []Class
+			next := ReceiverFunc(func(p *Packet) { forwarded = append(forwarded, p.Class) })
+			po := NewPolicer(sim, sla.TrafficProfile{Rate: units.Mbps, BucketBytes: 2 * pkt}, tc.excess, next)
+			for i := 0; i < 3; i++ {
+				po.Receive(newPacket("f", pkt, Premium, 0))
+			}
+			tot := po.Totals()
+			if tot.PremiumPassedBytes != 2*pkt {
+				t.Fatalf("premium passed %d, want %d (the full bucket)", tot.PremiumPassedBytes, 2*pkt)
+			}
+			if tot.ExcessPremiumBytes != pkt {
+				t.Fatalf("excess premium %d, want %d", tot.ExcessPremiumBytes, pkt)
+			}
+			if tot.Drops.Dropped != tc.wantDropped || tot.Drops.Remarked != tc.wantRemarked {
+				t.Fatalf("drops %v, want dropped=%d remarked=%d", tot.Drops, tc.wantDropped, tc.wantRemarked)
+			}
+			if tot.BestEffortBytes != tc.wantBestEffort {
+				t.Fatalf("best-effort bytes %d, want %d", tot.BestEffortBytes, tc.wantBestEffort)
+			}
+			wantForwarded := 2
+			if tc.excess == sla.Remark {
+				wantForwarded = 3
+				if forwarded[2] != BestEffort {
+					t.Fatalf("boundary packet forwarded as %v, want best-effort", forwarded[2])
+				}
+			}
+			if len(forwarded) != wantForwarded {
+				t.Fatalf("forwarded %d packets, want %d", len(forwarded), wantForwarded)
+			}
+		})
+	}
+}
+
+// TestPolicerByteAndPacketPathsAgree drives the same offered load
+// through Receive and PoliceBytes and requires identical accounting —
+// the dataplane byte path must not drift from the packet path.
+func TestPolicerByteAndPacketPathsAgree(t *testing.T) {
+	const pkt = 1000
+	profile := sla.TrafficProfile{Rate: units.Mbps, BucketBytes: 5 * pkt}
+	simA := dsim.New()
+	pktPath := NewPolicer(simA, profile, sla.Remark, NewSink(simA))
+	for i := 0; i < 12; i++ {
+		pktPath.Receive(newPacket("f", pkt, Premium, 0))
+	}
+	simB := dsim.New()
+	bytePath := NewPolicer(simB, profile, sla.Remark, NewSink(simB))
+	bytePath.PoliceBytes(12*pkt, pkt, 0)
+	a, b := pktPath.Totals(), bytePath.Totals()
+	if a != b {
+		t.Fatalf("paths disagree:\n packet %+v\n bytes  %+v", a, b)
+	}
+}
+
+// TestPolicerConcurrentReconfigure races SetAggregateRate against
+// PoliceBytes and checks the final totals stay internally consistent:
+// every offered byte is either passed or excess, never both or neither.
+func TestPolicerConcurrentReconfigure(t *testing.T) {
+	sim := dsim.New()
+	po := NewPolicer(sim, sla.TrafficProfile{Rate: units.Mbps, BucketBytes: 10_000}, sla.Drop, NewSink(sim))
+	const (
+		workers = 4
+		rounds  = 200
+		chunk   = 500
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			po.SetAggregateRate(units.Bandwidth(1+i)*units.Mbps, 10_000)
+		}
+	}()
+	var passed int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < rounds; i++ {
+				local += po.PoliceBytes(chunk, chunk, 0)
+			}
+			mu.Lock()
+			passed += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	tot := po.Totals()
+	offered := int64(workers * rounds * chunk)
+	if tot.PremiumPassedBytes+tot.ExcessPremiumBytes != offered {
+		t.Fatalf("passed %d + excess %d != offered %d", tot.PremiumPassedBytes, tot.ExcessPremiumBytes, offered)
+	}
+	if tot.PremiumPassedBytes != passed {
+		t.Fatalf("totals say %d passed, callers saw %d", tot.PremiumPassedBytes, passed)
+	}
+	if tot.Drops.Dropped != tot.ExcessPremiumBytes/chunk {
+		t.Fatalf("dropped %d chunks, want %d", tot.Drops.Dropped, tot.ExcessPremiumBytes/chunk)
+	}
+}

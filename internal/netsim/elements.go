@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"e2eqos/internal/dsim"
@@ -28,7 +30,7 @@ type Source struct {
 	// policers and produce pathological win/lose patterns.
 	Jitter float64
 
-	emitted int64
+	emitted atomic.Int64
 	rng     uint64
 }
 
@@ -87,59 +89,169 @@ func (s *Source) emit() {
 	if s.Stop > 0 && now >= s.Stop {
 		return
 	}
-	s.emitted++
+	s.emitted.Add(1)
 	s.Next.Receive(newPacket(s.Flow, s.Size, s.Class, now))
 	_, _ = s.sim.After(s.interval(), s.emit)
 }
 
-// Emitted returns the number of packets generated so far.
-func (s *Source) Emitted() int64 { return s.emitted }
+// Emitted returns the number of packets generated so far. Safe to call
+// from any goroutine while the simulation runs.
+func (s *Source) Emitted() int64 { return s.emitted.Load() }
+
+// flowMeter is one installed reservation at an edge marker: the
+// negotiated profile, the token bucket metering against it, and the
+// per-flow marking outcome counters.
+type flowMeter struct {
+	profile      sla.TrafficProfile
+	tb           *TokenBucket
+	premiumBytes int64
+	demotedBytes int64
+}
+
+// FlowMarkStats is the per-flow outcome of edge marking: how many
+// bytes left the edge with the premium marking and how many were
+// demoted to best effort for exceeding the installed profile.
+type FlowMarkStats struct {
+	Installed    bool
+	Profile      sla.TrafficProfile
+	PremiumBytes int64
+	DemotedBytes int64
+}
 
 // EdgeMarker is the first-hop device of a DiffServ domain: it
 // recognises packets "on a per flow base" and marks conforming packets
 // of flows with an installed reservation as Premium; everything else
 // is (re)marked best effort. This is the only per-flow element in the
 // network, exactly as the DiffServ architecture prescribes.
+//
+// The marker is safe for concurrent use: the control plane installs
+// and removes reservations from broker goroutines while the data path
+// classifies packets.
 type EdgeMarker struct {
-	Next Receiver
-	// meters maps flow -> its reservation profile meter.
-	meters map[FlowID]*TokenBucket
+	Next  Receiver
+	Drops DropStats
+
+	mu     sync.Mutex
+	meters map[FlowID]*flowMeter
 	nowFn  func() time.Duration
-	Drops  DropStats
 }
 
 // NewEdgeMarker creates an edge marker feeding next.
 func NewEdgeMarker(sim *dsim.Sim, next Receiver) *EdgeMarker {
-	return &EdgeMarker{Next: next, meters: make(map[FlowID]*TokenBucket), nowFn: sim.Now}
+	return &EdgeMarker{Next: next, meters: make(map[FlowID]*flowMeter), nowFn: sim.Now}
 }
 
 // InstallReservation gives flow a premium profile (what the BB does to
 // the edge router when a reservation is granted).
 func (m *EdgeMarker) InstallReservation(flow FlowID, profile sla.TrafficProfile) {
-	m.meters[flow] = NewTokenBucket(profile.Rate, profile.BucketBytes)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.meters[flow] = &flowMeter{profile: profile, tb: NewTokenBucket(profile.Rate, profile.BucketBytes)}
 }
 
 // RemoveReservation tears the profile down.
 func (m *EdgeMarker) RemoveReservation(flow FlowID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	delete(m.meters, flow)
+}
+
+// Installed reports whether flow currently has a reservation profile.
+func (m *EdgeMarker) Installed(flow FlowID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.meters[flow]
+	return ok
+}
+
+// FlowStats returns the flow's installed profile and marking counters.
+// A flow whose profile was removed reports Installed=false with zeroed
+// counters (the marker does not keep state for torn-down flows).
+func (m *EdgeMarker) FlowStats(flow FlowID) FlowMarkStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm, ok := m.meters[flow]
+	if !ok {
+		return FlowMarkStats{}
+	}
+	return FlowMarkStats{
+		Installed:    true,
+		Profile:      fm.profile,
+		PremiumBytes: fm.premiumBytes,
+		DemotedBytes: fm.demotedBytes,
+	}
+}
+
+// DropsSnapshot returns the marker's drop/remark counters; safe to
+// call while the data path runs.
+func (m *EdgeMarker) DropsSnapshot() DropStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Drops
+}
+
+// classifyLocked runs the marking decision for size bytes of flow at
+// virtual time now, updating per-flow counters. Caller holds m.mu.
+func (m *EdgeMarker) classifyLocked(flow FlowID, size int, now time.Duration) Class {
+	fm, reserved := m.meters[flow]
+	if !reserved {
+		return BestEffort
+	}
+	if fm.tb.Conform(size, now) {
+		fm.premiumBytes += int64(size)
+		return Premium
+	}
+	// Out-of-profile traffic of a reserved flow rides best effort.
+	fm.demotedBytes += int64(size)
+	m.Drops.Remarked++
+	return BestEffort
 }
 
 // Receive classifies and marks the packet.
 func (m *EdgeMarker) Receive(p *Packet) {
-	meter, reserved := m.meters[p.Flow]
-	if !reserved {
-		p.Class = BestEffort
-		m.Next.Receive(p)
-		return
-	}
-	if meter.Conform(p.Size, m.nowFn()) {
-		p.Class = Premium
-	} else {
-		// Out-of-profile traffic of a reserved flow rides best effort.
-		p.Class = BestEffort
-		m.Drops.Remarked++
-	}
+	m.mu.Lock()
+	p.Class = m.classifyLocked(p.Flow, p.Size, m.nowFn())
+	m.mu.Unlock()
 	m.Next.Receive(p)
+}
+
+// MarkBytes classifies bytes of flow traffic offered at virtual time
+// now against the same per-flow meter the packet path uses, without
+// injecting packets into a pipeline: the traffic is metered in pktSize
+// chunks (plus a remainder chunk) and the number of bytes that left
+// the edge marked premium is returned; the rest ride best effort. This
+// is the decision entry point the dataplane backends use.
+func (m *EdgeMarker) MarkBytes(flow FlowID, bytes int64, pktSize int, now time.Duration) (premium int64) {
+	if pktSize <= 0 {
+		pktSize = 1250
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for bytes > 0 {
+		size := pktSize
+		if int64(size) > bytes {
+			size = int(bytes)
+		}
+		if m.classifyLocked(flow, size, now) == Premium {
+			premium += int64(size)
+		}
+		bytes -= int64(size)
+	}
+	return premium
+}
+
+// PolicerTotals is a policer's cumulative byte accounting.
+type PolicerTotals struct {
+	// PremiumPassedBytes counts premium bytes that conformed to the
+	// aggregate profile and passed.
+	PremiumPassedBytes int64
+	// BestEffortBytes counts best-effort bytes forwarded untouched,
+	// including premium excess remarked down to best effort.
+	BestEffortBytes int64
+	// ExcessPremiumBytes counts premium bytes offered beyond the
+	// aggregate profile, whatever their excess treatment.
+	ExcessPremiumBytes int64
+	Drops              DropStats
 }
 
 // Policer is a per-aggregate ingress policer: it meters the *sum* of
@@ -147,63 +259,157 @@ func (m *EdgeMarker) Receive(p *Packet) {
 // profile, without distinguishing flows. Non-conforming premium
 // packets are dropped, remarked or shaped per the SLA's excess
 // treatment. Best-effort packets pass untouched.
+//
+// The policer is safe for concurrent use: the control plane
+// reconfigures the aggregate from broker goroutines while the data
+// path meters packets.
 type Policer struct {
 	sim    *dsim.Sim
 	Next   Receiver
-	meter  *TokenBucket
-	excess sla.ExcessTreatment
 	Drops  DropStats
+	excess sla.ExcessTreatment
+
+	mu              sync.Mutex
+	meter           *TokenBucket
+	profile         sla.TrafficProfile
+	premiumPassed   int64
+	bestEffortBytes int64
+	excessPremium   int64
 }
 
 // NewPolicer creates an ingress policer with the given aggregate
 // profile.
 func NewPolicer(sim *dsim.Sim, profile sla.TrafficProfile, excess sla.ExcessTreatment, next Receiver) *Policer {
 	return &Policer{
-		sim:    sim,
-		Next:   next,
-		meter:  NewTokenBucket(profile.Rate, profile.BucketBytes),
-		excess: excess,
+		sim:     sim,
+		Next:    next,
+		meter:   NewTokenBucket(profile.Rate, profile.BucketBytes),
+		profile: profile,
+		excess:  excess,
 	}
 }
 
 // SetAggregateRate reconfigures the admitted aggregate (what the BB
 // does as reservations come and go).
 func (po *Policer) SetAggregateRate(rate units.Bandwidth, bucketBytes int64) {
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	po.profile = sla.TrafficProfile{Rate: rate, BucketBytes: bucketBytes}
 	po.meter = NewTokenBucket(rate, bucketBytes)
+}
+
+// AggregateProfile returns the currently configured aggregate profile.
+func (po *Policer) AggregateProfile() sla.TrafficProfile {
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	return po.profile
+}
+
+// Totals returns the policer's cumulative byte accounting; safe to
+// call while the data path runs.
+func (po *Policer) Totals() PolicerTotals {
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	return PolicerTotals{
+		PremiumPassedBytes: po.premiumPassed,
+		BestEffortBytes:    po.bestEffortBytes,
+		ExcessPremiumBytes: po.excessPremium,
+		Drops:              po.Drops,
+	}
 }
 
 // Receive polices premium packets against the aggregate profile.
 func (po *Policer) Receive(p *Packet) {
 	if p.Class != Premium {
+		po.mu.Lock()
+		po.bestEffortBytes += int64(p.Size)
+		po.mu.Unlock()
 		po.Next.Receive(p)
 		return
 	}
 	now := po.sim.Now()
+	po.mu.Lock()
 	if po.meter.Conform(p.Size, now) {
+		po.premiumPassed += int64(p.Size)
+		po.mu.Unlock()
 		po.Next.Receive(p)
 		return
 	}
+	po.excessPremium += int64(p.Size)
 	switch po.excess {
 	case sla.Drop:
 		po.Drops.Dropped++
+		po.mu.Unlock()
 	case sla.Remark:
 		p.Class = BestEffort
 		po.Drops.Remarked++
+		po.bestEffortBytes += int64(p.Size)
+		po.mu.Unlock()
 		po.Next.Receive(p)
 	case sla.Shape:
 		po.Drops.Shaped++
 		delay := po.meter.TimeToConform(p.Size, now)
+		po.mu.Unlock()
 		pkt := p
 		if _, err := po.sim.After(delay, func() {
-			if po.meter.Conform(pkt.Size, po.sim.Now()) {
-				po.Next.Receive(pkt)
+			po.mu.Lock()
+			ok := po.meter.Conform(pkt.Size, po.sim.Now())
+			if ok {
+				po.premiumPassed += int64(pkt.Size)
 			} else {
 				po.Drops.Dropped++
 			}
+			po.mu.Unlock()
+			if ok {
+				po.Next.Receive(pkt)
+			}
 		}); err != nil {
+			po.mu.Lock()
 			po.Drops.Dropped++
+			po.mu.Unlock()
 		}
+	default:
+		po.mu.Unlock()
 	}
+}
+
+// PoliceBytes meters bytes of aggregate premium traffic offered at
+// virtual time now against the same aggregate meter the packet path
+// uses, in pktSize chunks, and returns how many bytes conformed and
+// passed. Non-conforming bytes are accounted per the excess treatment
+// (dropped or remarked; shaping has no timed release on this byte
+// path and counts as shaped-then-dropped). This is the decision entry
+// point the dataplane backends use.
+func (po *Policer) PoliceBytes(bytes int64, pktSize int, now time.Duration) (passed int64) {
+	if pktSize <= 0 {
+		pktSize = 1250
+	}
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	for bytes > 0 {
+		size := pktSize
+		if int64(size) > bytes {
+			size = int(bytes)
+		}
+		if po.meter.Conform(size, now) {
+			po.premiumPassed += int64(size)
+			passed += int64(size)
+		} else {
+			po.excessPremium += int64(size)
+			switch po.excess {
+			case sla.Remark:
+				po.Drops.Remarked++
+				po.bestEffortBytes += int64(size)
+			case sla.Shape:
+				po.Drops.Shaped++
+				po.Drops.Dropped++
+			default:
+				po.Drops.Dropped++
+			}
+		}
+		bytes -= int64(size)
+	}
+	return passed
 }
 
 // Link models an output port plus wire: strict-priority service
@@ -303,9 +509,11 @@ func (l *Link) transmitNext() {
 // QueuedBytes reports current occupancy (premium, best effort).
 func (l *Link) QueuedBytes() (int, int) { return l.premBytes, l.beBytes }
 
-// Sink terminates flows and accumulates statistics.
+// Sink terminates flows and accumulates statistics. It is safe for
+// concurrent use; Stats returns a snapshot copy.
 type Sink struct {
 	sim   *dsim.Sim
+	mu    sync.Mutex
 	flows map[FlowID]*FlowStats
 }
 
@@ -316,6 +524,8 @@ func NewSink(sim *dsim.Sim) *Sink {
 
 // Receive records the packet.
 func (s *Sink) Receive(p *Packet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := s.flows[p.Flow]
 	if st == nil {
 		st = &FlowStats{RxBytesByCls: make(map[Class]int64), FirstRx: s.sim.Now()}
@@ -329,11 +539,27 @@ func (s *Sink) Receive(p *Packet) {
 	st.LatencySum += now - p.Sent
 }
 
-// Stats returns the accumulated statistics for flow (nil if none).
-func (s *Sink) Stats(flow FlowID) *FlowStats { return s.flows[flow] }
+// Stats returns a snapshot of the accumulated statistics for flow
+// (nil if none).
+func (s *Sink) Stats(flow FlowID) *FlowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.flows[flow]
+	if st == nil {
+		return nil
+	}
+	cp := *st
+	cp.RxBytesByCls = make(map[Class]int64, len(st.RxBytesByCls))
+	for c, b := range st.RxBytesByCls {
+		cp.RxBytesByCls[c] = b
+	}
+	return &cp
+}
 
 // Flows lists the flows observed.
 func (s *Sink) Flows() []FlowID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]FlowID, 0, len(s.flows))
 	for f := range s.flows {
 		out = append(out, f)

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync/atomic"
 	"time"
 
 	"e2eqos/internal/dsim"
@@ -27,7 +28,7 @@ type OnOffSource struct {
 
 	stop    time.Duration
 	on      bool
-	emitted int64
+	emitted atomic.Int64
 	rng     uint64
 }
 
@@ -55,8 +56,9 @@ func (s *OnOffSource) MeanRate() units.Bandwidth {
 	return units.Bandwidth(float64(s.PeakRate) * float64(s.OnTime) / float64(total))
 }
 
-// Emitted returns the number of packets generated so far.
-func (s *OnOffSource) Emitted() int64 { return s.emitted }
+// Emitted returns the number of packets generated so far. Safe to
+// call from any goroutine while the simulation runs.
+func (s *OnOffSource) Emitted() int64 { return s.emitted.Load() }
 
 // Install schedules the first ON period. Stop of zero runs until the
 // simulation horizon.
@@ -124,7 +126,7 @@ func (s *OnOffSource) emit(onEnd time.Duration) {
 	if !s.on || s.done() || s.sim.Now() >= onEnd {
 		return
 	}
-	s.emitted++
+	s.emitted.Add(1)
 	s.Next.Receive(newPacket(s.Flow, s.Size, s.Class, s.sim.Now()))
 	_, _ = s.sim.After(s.interval(), func() { s.emit(onEnd) })
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync"
 	"time"
 
 	"e2eqos/internal/units"
@@ -8,11 +9,13 @@ import (
 
 // TokenBucket is the classic (r, b) traffic meter used by edge markers
 // and ingress policers. Tokens are measured in bytes and refill
-// continuously at Rate.
+// continuously at Rate. It is safe for concurrent use; Rate and
+// BucketBytes must not be mutated after construction.
 type TokenBucket struct {
 	Rate        units.Bandwidth
 	BucketBytes float64
 
+	mu     sync.Mutex
 	tokens float64
 	last   time.Duration
 	primed bool
@@ -44,6 +47,8 @@ func (tb *TokenBucket) refill(now time.Duration) {
 // Conform consumes size bytes of tokens if available at virtual time
 // now and reports whether the packet conformed.
 func (tb *TokenBucket) Conform(size int, now time.Duration) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
 	tb.refill(now)
 	if float64(size) <= tb.tokens {
 		tb.tokens -= float64(size)
@@ -55,6 +60,8 @@ func (tb *TokenBucket) Conform(size int, now time.Duration) bool {
 // TimeToConform returns how long after now the bucket will hold size
 // tokens, assuming no intermediate consumption. Used by shapers.
 func (tb *TokenBucket) TimeToConform(size int, now time.Duration) time.Duration {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
 	tb.refill(now)
 	deficit := float64(size) - tb.tokens
 	if deficit <= 0 {
@@ -69,6 +76,8 @@ func (tb *TokenBucket) TimeToConform(size int, now time.Duration) time.Duration 
 
 // Tokens reports the current token level at virtual time now.
 func (tb *TokenBucket) Tokens(now time.Duration) float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
 	tb.refill(now)
 	return tb.tokens
 }

@@ -34,6 +34,11 @@
 #                          misreservation) at reduced population plus the
 #                          seeded-determinism digest check, and the netsim
 #                          data-plane concurrency battery
+#   make race-multipath    multipath battery under -race: the k-disjoint
+#                          path property tests, the saga coordinator
+#                          suite (abort, crash-resume, abandonment), the
+#                          broker re-route/breaker-skip/split/crash
+#                          tests, and the fleet reroute scenario
 #   make alloc-gate        allocs-per-op gates: binary frame encode,
 #                          journal record append, quantile-histogram
 #                          Observe and sampled-event append must all be
@@ -58,10 +63,14 @@
 #   make bench-fleet       full scenario fleet at 100k users; regenerates
 #                          BENCH_scale.json (grant-latency and goodput
 #                          p50/p99/p999 per scenario)
+#   make bench-route       route-lookup micro-benchmarks with -benchmem:
+#                          cached NextHop (the per-RAR forwarding read)
+#                          and the cold k-disjoint Paths computation
+#                          (the numbers recorded in BENCH_route.json)
 
 GO ?= go
 
-.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs bench-replication bench-fleet metrics-lint race-concurrency race-recovery race-subflow race-replication race-fleet fuzz-short
+.PHONY: build test verify alloc-gate bench bench-codec bench-concurrency bench-subflow bench-obs bench-replication bench-fleet bench-route metrics-lint race-concurrency race-recovery race-subflow race-replication race-fleet race-multipath fuzz-short
 
 build:
 	$(GO) build ./...
@@ -69,7 +78,7 @@ build:
 test: build
 	$(GO) test ./...
 
-verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow race-replication race-fleet fuzz-short
+verify: build metrics-lint alloc-gate race-concurrency race-recovery race-subflow race-replication race-fleet race-multipath fuzz-short
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -94,6 +103,12 @@ race-replication:
 race-fleet:
 	$(GO) test -race -run 'Fleet' ./internal/experiment
 	$(GO) test -race -run 'Concurrent|OnOffSourceStats|PolicerDropVsRemark|PolicerByteAndPacket' ./internal/netsim
+
+race-multipath:
+	$(GO) test -race -run 'Paths|PathCache' ./internal/topology
+	$(GO) test -race ./internal/saga
+	$(GO) test -race -run 'Reroute|Breaker|Split|Abandoned' ./internal/bb
+	$(GO) test -race -run 'FleetReroute' ./internal/experiment
 
 fuzz-short:
 	$(GO) test -run NONE -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/envelope
@@ -124,3 +139,6 @@ bench-replication:
 
 bench-fleet:
 	$(GO) run ./cmd/experiments -exp fleet -fleet-users 100000 -fleet-bench BENCH_scale.json
+
+bench-route:
+	$(GO) test -run NONE -bench 'NextHop|PathsCold' -benchmem ./internal/topology

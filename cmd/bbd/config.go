@@ -59,6 +59,15 @@ type FileConfig struct {
 	// circuit for BreakerCooldown (e.g. "5s"). Zero disables.
 	BreakerThreshold int    `json:"breaker_threshold,omitempty"`
 	BreakerCooldown  string `json:"breaker_cooldown,omitempty"`
+	// MaxPaths enables multipath routing at this broker's ingress: up
+	// to max_paths edge-disjoint domain paths are tried in cost order,
+	// re-routing around dead peers, open breakers and mid-chain
+	// denials. Zero or one keeps single-path routing.
+	MaxPaths int `json:"max_paths,omitempty"`
+	// SplitParts caps how many paths one reservation may be split
+	// across when no single path has the capacity (requires
+	// max_paths > 1; zero disables splitting).
+	SplitParts int `json:"split_parts,omitempty"`
 
 	// StateDir, when set, makes the broker durable: reservation and
 	// RAR-cache mutations are journaled there and recovered on boot, so
@@ -358,6 +367,8 @@ func (cfg *FileConfig) Build() (*bb.BB, *transport.TLSListener, *obs.Recorder, e
 		RetryBackoff:     retryBackoff,
 		BreakerThreshold: cfg.BreakerThreshold,
 		BreakerCooldown:  breakerCooldown,
+		MaxPaths:         cfg.MaxPaths,
+		SplitParts:       cfg.SplitParts,
 		Logger:           logger,
 		Metrics:          metrics,
 		StateDir:         cfg.StateDir,

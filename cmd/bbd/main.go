@@ -34,6 +34,8 @@ func main() {
 	retryBackoff := flag.String("retry-backoff", "", "override retry_backoff, e.g. 50ms")
 	breakerThreshold := flag.Int("breaker-threshold", -1, "override breaker_threshold (0 disables the circuit breaker)")
 	breakerCooldown := flag.String("breaker-cooldown", "", "override breaker_cooldown, e.g. 5s")
+	maxPaths := flag.Int("max-paths", -1, "override max_paths: disjoint domain paths tried per reservation (0/1 = single-path)")
+	splitParts := flag.Int("split-parts", -1, "override split_parts: max paths one reservation may be split across (0 disables)")
 	stateDir := flag.String("state-dir", "", "override state_dir: journal broker state here and recover it on boot (empty = memory-only)")
 	fsyncPolicy := flag.String("fsync-policy", "", "override fsync_policy: batch, always or never (default batch)")
 	adminAddr := flag.String("admin-addr", "", "override admin_addr: serve /metrics, /top and /debug/pprof/ here (empty disables)")
@@ -65,6 +67,12 @@ func main() {
 	}
 	if *breakerCooldown != "" {
 		cfg.BreakerCooldown = *breakerCooldown
+	}
+	if *maxPaths >= 0 {
+		cfg.MaxPaths = *maxPaths
+	}
+	if *splitParts >= 0 {
+		cfg.SplitParts = *splitParts
 	}
 	if *stateDir != "" {
 		cfg.StateDir = *stateDir

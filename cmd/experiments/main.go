@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, fleet, keydist, billing, diffserv, faults, failover, all")
+	exp := flag.String("exp", "all", "experiment to run: fig1, fig3, fig4, fig5, fig6, fig7, trust, trust-scaling, tunnel, subflows, scale, fleet, keydist, billing, diffserv, faults, multipath, failover, all")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	hopLatency := flag.Duration("latency", 5*time.Millisecond, "one-way signalling latency per hop")
 	duration := flag.Duration("duration", 2*time.Second, "simulated traffic duration for fig4")
@@ -171,6 +171,13 @@ func main() {
 		})
 		if err != nil {
 			fail("faults", err)
+		}
+		emit(t)
+	}
+	if run("multipath") {
+		t, err := experiment.RunMultipathExp(experiment.MultipathConfig{})
+		if err != nil {
+			fail("multipath", err)
 		}
 		emit(t)
 	}

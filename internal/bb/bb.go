@@ -22,6 +22,7 @@ import (
 	"e2eqos/internal/pki"
 	"e2eqos/internal/policysrv"
 	"e2eqos/internal/resv"
+	"e2eqos/internal/saga"
 	"e2eqos/internal/signalling"
 	"e2eqos/internal/sla"
 	"e2eqos/internal/topology"
@@ -92,6 +93,16 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit refuses calls before
 	// letting a probe through (default 5s).
 	BreakerCooldown time.Duration
+	// MaxPaths enables multipath routing at this broker's ingress: up
+	// to MaxPaths edge-disjoint domain paths are tried in cost order
+	// when the preferred one is breaker-open, denied mid-chain, or
+	// fails in transport. Values <= 1 keep the single-path behaviour.
+	MaxPaths int
+	// SplitParts caps how many disjoint paths one reservation may be
+	// split across when no single path grants it whole (per-path child
+	// RARs settling atomically through the saga layer). Values < 2
+	// disable splitting. Requires MaxPaths > 1 to matter.
+	SplitParts int
 
 	// Logger receives the broker's structured log records; the domain
 	// is attached to every record. Nil discards everything.
@@ -172,6 +183,20 @@ type rarState struct {
 	// journal (ids may reappear after a cancel; epochs never repeat).
 	// Immutable after registration.
 	epoch int64
+	// downKey is the route key this hop forwarded downstream under — it
+	// differs from the entry's own key when the ingress re-routed onto
+	// an alternate path (attempt-salted keys). Cancels propagate it.
+	downKey string
+	// children are the per-path child RARs of a split reservation at
+	// its ingress (empty otherwise); cancels fan out to all of them.
+	children []childRoute
+}
+
+// childRoute is one downstream leg of a split reservation.
+type childRoute struct {
+	Next identity.DN `json:"next"`
+	Key  string      `json:"key"`
+	BW   int64       `json:"bw,omitempty"`
 }
 
 // BB is a bandwidth broker.
@@ -204,6 +229,12 @@ type BB struct {
 	// repl is the replication engine (nil when the broker runs
 	// unreplicated — every caller checks).
 	repl *replicator
+
+	// sagas is the two-phase compensation layer: split reservations and
+	// downstream rollback cancels register compensations here, and the
+	// coordinator retries them persistently (journal-backed, so they
+	// resume across crash recovery). Never nil.
+	sagas *saga.Coordinator
 
 	tunnels *tunnelRegistry
 
@@ -249,6 +280,10 @@ func New(cfg Config) (*BB, error) {
 		sampler:  obs.NewSampler(cfg.SampleRate),
 	}
 	b.pool = newClientPool(b.dialPeer, func() { b.m.clientEvictions.Inc() })
+	// The saga coordinator exists before the journal opens: recovery
+	// replays "saga." records into it, and compensation only starts
+	// once Resume runs below.
+	b.sagas = b.newSagaCoordinator()
 	if b.replicated() && cfg.StateDir == "" {
 		return nil, fmt.Errorf("bb %s: replication requires StateDir (the stream is the journal)", cfg.Domain)
 	}
@@ -259,9 +294,18 @@ func New(cfg Config) (*BB, error) {
 		if err := b.openJournal(); err != nil {
 			return nil, err
 		}
+		b.sagas.AttachJournal(b.journal)
 	}
 	if b.replicated() {
 		b.repl = newReplicator(b)
+	}
+	if !cfg.StartAsFollower {
+		// Presumed abort: sagas recovered without a commit record restart
+		// their compensations. Followers only mirror saga state; the
+		// leader (or a promoted follower) runs the compensations.
+		if n := b.sagas.Resume(); n > 0 {
+			b.log.Info("saga: resumed compensation after recovery", "sagas", n)
+		}
 	}
 	b.registerGauges(cfg.Metrics)
 	return b, nil
@@ -333,6 +377,7 @@ func (b *BB) clientFor(dn identity.DN) (*signalling.Client, error) {
 // Close tears down all outbound clients and, when the broker is
 // durable, flushes and closes its journal — the graceful shutdown.
 func (b *BB) Close() {
+	b.sagas.Close()
 	b.repl.close()
 	b.pool.closeAll()
 	if err := b.journal.Close(); err != nil {
@@ -345,6 +390,7 @@ func (b *BB) Close() {
 // records still in the fsync batch buffer are lost. Crash-recovery
 // tests and the experiment World use it; production code wants Close.
 func (b *BB) Crash() {
+	b.sagas.Close()
 	b.repl.close()
 	b.pool.closeAll()
 	b.journal.Crash()

@@ -33,8 +33,32 @@ func decodeOutcome(d *wire.Dec) (*signalling.Message, error) {
 	return signalling.DecodeMessage(b)
 }
 
+// childRoute: 1=next 2=key 3=bw.
+func (c childRoute) appendFields(buf []byte) []byte {
+	buf = wire.AppendString(buf, 1, string(c.Next))
+	buf = wire.AppendString(buf, 2, c.Key)
+	return wire.AppendInt(buf, 3, c.BW)
+}
+
+func (c *childRoute) decodeFields(d *wire.Dec) error {
+	for d.More() {
+		f, wt := d.Tag()
+		switch {
+		case f == 1 && wt == wire.TBytes:
+			c.Next = identity.DN(d.String())
+		case f == 2 && wt == wire.TBytes:
+			c.Key = d.String()
+		case f == 3 && wt == wire.TVarint:
+			c.BW = d.Varint()
+		default:
+			d.Skip(wt)
+		}
+	}
+	return d.Err()
+}
+
 // rarRec: 1=rar_id 2=epoch 3=handle 4=next 5=tunnel 6=source_bb
-// 7=outcome.
+// 7=outcome 8=down_key 9=children(repeated).
 func (r rarRec) AppendBinary(buf []byte) []byte {
 	buf = wire.AppendString(buf, 1, r.RARID)
 	buf = wire.AppendInt(buf, 2, r.Epoch)
@@ -42,7 +66,15 @@ func (r rarRec) AppendBinary(buf []byte) []byte {
 	buf = wire.AppendString(buf, 4, string(r.Next))
 	buf = wire.AppendBool(buf, 5, r.Tunnel)
 	buf = wire.AppendString(buf, 6, string(r.SourceBB))
-	return appendOutcome(buf, 7, r.Outcome)
+	buf = appendOutcome(buf, 7, r.Outcome)
+	buf = wire.AppendString(buf, 8, r.DownKey)
+	for i := range r.Children {
+		var start int
+		buf, start = wire.BeginNested(buf, 9)
+		buf = r.Children[i].appendFields(buf)
+		buf = wire.EndNested(buf, start)
+	}
+	return buf
 }
 
 func (r *rarRec) DecodeBinary(data []byte) error {
@@ -68,6 +100,15 @@ func (r *rarRec) DecodeBinary(data []byte) error {
 				return err
 			}
 			r.Outcome = m
+		case f == 8 && wt == wire.TBytes:
+			r.DownKey = d.String()
+		case f == 9 && wt == wire.TBytes:
+			sub := wire.Dec{Buf: d.Bytes()}
+			var c childRoute
+			if err := c.decodeFields(&sub); err != nil {
+				return err
+			}
+			r.Children = append(r.Children, c)
 		default:
 			d.Skip(wt)
 		}
@@ -235,8 +276,8 @@ func (r *tunnelBatchSnap) DecodeBinary(data []byte) error {
 
 // Broker snapshot binary layout: bbSnapMagic, bbSnapVersion, then
 // 1=table(the resv snapshot bytes) 2=rars 3=tunnels 4=tunnel_batches
-// 5=epoch. recoverState still accepts the JSON form written before
-// the binary codec existed.
+// 5=epoch 6=sagas(the coordinator's JSON snapshot). recoverState still
+// accepts the JSON form written before the binary codec existed.
 const (
 	bbSnapMagic   = 0xB3
 	bbSnapVersion = 1
@@ -263,7 +304,8 @@ func (st *brokerState) appendBinary(buf []byte) []byte {
 		buf = st.TunnelBatches[i].AppendBinary(buf)
 		buf = wire.EndNested(buf, start)
 	}
-	return wire.AppendInt(buf, 5, st.Epoch)
+	buf = wire.AppendInt(buf, 5, st.Epoch)
+	return wire.AppendBytes(buf, 6, st.Sagas)
 }
 
 func (st *brokerState) decodeBinary(data []byte) error {
@@ -299,6 +341,8 @@ func (st *brokerState) decodeBinary(data []byte) error {
 			st.TunnelBatches = append(st.TunnelBatches, bs)
 		case f == 5 && wt == wire.TVarint:
 			st.Epoch = d.Varint()
+		case f == 6 && wt == wire.TBytes:
+			st.Sagas = append([]byte(nil), d.Bytes()...)
 		default:
 			d.Skip(wt)
 		}

@@ -1,8 +1,10 @@
 package bb
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"e2eqos/internal/policysrv"
 	"e2eqos/internal/resv"
 	"e2eqos/internal/signalling"
+	"e2eqos/internal/topology"
 	"e2eqos/internal/tunnel"
 	"e2eqos/internal/units"
 )
@@ -140,6 +143,54 @@ func (t *tunnelRegistry) settledBatches() []tunnelBatchSnap {
 		return out[i].BatchID < out[j].BatchID
 	})
 	return out
+}
+
+// Route keys. The RAR id is user-signed, so the broker cannot mint
+// fresh ids for re-route attempts or split children — instead the
+// per-hop idempotency key salts the id with the unsigned attempt/split
+// fields: a re-routed copy must not be mistaken for a retransmission
+// at a domain two disjoint paths share. '~' is reserved as the
+// separator (RAR ids come from NewRARID and never contain it).
+//
+//	RARID        ingress / primary attempt
+//	RARID~a<n>   re-route attempt n
+//	RARID~s<p>   split child p
+//
+// Cancels carry route keys in their (opaque) RARID field, so teardown
+// follows the same identity the reserve created.
+func routeKey(rarID string, p *signalling.ReservePayload) string {
+	switch {
+	case p.SplitPart > 0:
+		return fmt.Sprintf("%s~s%d", rarID, p.SplitPart)
+	case p.Attempt > 0:
+		return fmt.Sprintf("%s~a%d", rarID, p.Attempt)
+	default:
+		return rarID
+	}
+}
+
+// baseRARID strips the route-key salt: tunnel endpoints and edge flows
+// are registered under the signed id, whatever key the hop holds.
+func baseRARID(key string) string {
+	if i := strings.IndexByte(key, '~'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// maxPaths / splitParts resolve the multipath knobs (<=1 / <2 disable).
+func (b *BB) maxPaths() int {
+	if b.cfg.MaxPaths > 1 {
+		return b.cfg.MaxPaths
+	}
+	return 1
+}
+
+func (b *BB) splitParts() int {
+	if b.cfg.SplitParts >= 2 {
+		return b.cfg.SplitParts
+	}
+	return 0
 }
 
 // Handle implements signalling.Handler: the broker's message dispatch.
@@ -282,19 +333,23 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 		span = &obs.Span{Domain: b.cfg.Domain, BB: string(b.cfg.Key.DN), VerifyNS: verifyNS}
 	}
 
-	// Duplicate RAR ids would corrupt cancellation state. A duplicate
-	// is (almost always) a retransmission from an upstream hop that
-	// lost the response: wait out any still-in-flight first copy, then
-	// replay its outcome verbatim, so retries are idempotent
-	// (re-admitting would double-book, denying a granted chain would
-	// strand it). The placeholder registered for fresh RARs is what
-	// lets a concurrent retransmission find the first copy.
+	// Duplicate route keys would corrupt cancellation state. The key is
+	// the RAR id salted with the unsigned attempt/split fields, so a
+	// re-routed or split copy crossing a shared domain is a fresh
+	// registration while a retransmission from an upstream hop that
+	// lost the response still collides. A duplicate waits out any
+	// still-in-flight first copy, then replays its outcome verbatim, so
+	// retries are idempotent (re-admitting would double-book, denying a
+	// granted chain would strand it). The placeholder registered for
+	// fresh keys is what lets a concurrent retransmission find the
+	// first copy.
+	key := routeKey(spec.RARID, payload)
 	b.mu.Lock()
-	st, dup := b.routes[spec.RARID]
+	st, dup := b.routes[key]
 	if !dup {
 		b.rarEpoch++
 		st = &rarState{spec: spec, done: make(chan struct{}), epoch: b.rarEpoch}
-		b.routes[spec.RARID] = st
+		b.routes[key] = st
 	}
 	b.mu.Unlock()
 	if dup {
@@ -315,7 +370,7 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 		}
 		return b.deny(spec.RARID, fmt.Sprintf("%s: duplicate RAR id %s", b.cfg.Domain, spec.RARID))
 	}
-	resp := b.processReserve(peer, payload, env, verified, now, span)
+	resp := b.processReserve(key, peer, payload, env, verified, now, span)
 	if resp.Result != nil {
 		if resp.Result.Granted {
 			b.m.granted.Inc()
@@ -339,7 +394,7 @@ func (b *BB) handleReserve(peer signalling.Peer, payload *signalling.ReservePayl
 	b.mu.Unlock()
 	// Journal the settled entry before releasing waiters, so a cancel
 	// that was blocked on done always journals after this record.
-	b.journalRAR(spec.RARID, st)
+	b.journalRAR(key, st)
 	// Group commit: in a replica group the outcome is withheld until a
 	// majority holds everything up to and including that record, so a
 	// grant the caller ever saw survives this leader's death.
@@ -385,12 +440,34 @@ func (b *BB) rollback(handle, rarID, why string) {
 // where the hop's time went; processReserve pins span.Verdict only
 // when the result alone cannot distinguish the failure mode (transport
 // error vs. own denial vs. rolled-back admission).
-func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, now time.Time, span *obs.Span) *signalling.Message {
+func (b *BB) processReserve(key string, peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, now time.Time, span *obs.Span) *signalling.Message {
 	spec := verified.Spec
 
 	// Identify the upstream entity. A single-layer chain came from the
 	// user directly; otherwise the outermost signer is the upstream BB.
 	fromUser := len(verified.Path) == 1
+	// The multipath fields are broker-internal: the user signs the RAR
+	// but never pins paths, claims re-route attempts or carries split
+	// shares — those are minted hop-to-hop, under broker signatures.
+	if fromUser && (len(payload.PathPin) > 0 || payload.Attempt != 0 ||
+		payload.SplitPart != 0 || payload.SplitOf != 0 || payload.SplitBW != 0) {
+		return b.deny(spec.RARID, fmt.Sprintf("%s: multipath fields are broker-internal", b.cfg.Domain))
+	}
+	// bw is what this hop admits: the signed total or, for a split
+	// child, the unsigned share — which may only reduce the signed
+	// bandwidth, never raise it (that is why it can ride unsigned).
+	bw := spec.Bandwidth
+	if payload.SplitPart != 0 || payload.SplitOf != 0 || payload.SplitBW != 0 {
+		switch {
+		case payload.SplitOf < 2 || payload.SplitPart < 1 || payload.SplitPart > payload.SplitOf:
+			return b.deny(spec.RARID, fmt.Sprintf("%s: malformed split part %d of %d", b.cfg.Domain, payload.SplitPart, payload.SplitOf))
+		case payload.SplitBW <= 0 || units.Bandwidth(payload.SplitBW) > spec.Bandwidth:
+			return b.deny(spec.RARID, fmt.Sprintf("%s: split share outside the signed bandwidth", b.cfg.Domain))
+		case spec.Tunnel:
+			return b.deny(spec.RARID, fmt.Sprintf("%s: tunnel reservations cannot split", b.cfg.Domain))
+		}
+		bw = units.Bandwidth(payload.SplitBW)
+	}
 	if !fromUser {
 		upBB := verified.Path[len(verified.Path)-1]
 		upDomain, ok := b.domainOfBB(upBB)
@@ -407,7 +484,7 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 			return b.deny(spec.RARID, fmt.Sprintf("%s: SLA with %s not valid", b.cfg.Domain, upDomain))
 		}
 		committed := b.cfg.Capacity - b.table.Available(spec.Window)
-		if err := contract.Conforms(committed, spec.Bandwidth); err != nil {
+		if err := contract.Conforms(committed, bw); err != nil {
 			return b.deny(spec.RARID, fmt.Sprintf("%s: %v", b.cfg.Domain, err))
 		}
 	}
@@ -416,7 +493,7 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 	// capability-chain verification and local policy.
 	q := &policysrv.Query{
 		User:               spec.User,
-		Bandwidth:          spec.Bandwidth,
+		Bandwidth:          bw,
 		Window:             spec.Window,
 		Available:          b.table.Available(spec.Window),
 		SourceDomain:       spec.SourceDomain,
@@ -444,7 +521,7 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		User:      spec.User,
 		SrcHost:   spec.SrcHost,
 		DstHost:   spec.DstHost,
-		Bandwidth: spec.Bandwidth,
+		Bandwidth: bw,
 		Window:    spec.Window,
 		Tunnel:    spec.Tunnel,
 	})
@@ -459,67 +536,120 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 	local := payload.Mode == signalling.ModeLocal
 
 	if isDest || local {
-		return b.finishGrant(peer, verified, r, fromUser, isDest && !local)
+		return b.finishGrant(key, peer, verified, r, fromUser, isDest && !local)
 	}
 
-	// Forward downstream (hop-by-hop).
+	// Forward downstream. A pinned payload (a re-route attempt or split
+	// child minted by the ingress) follows its pin — NextHop would put
+	// the copy right back on the broken primary path. The ingress, with
+	// multipath enabled, owns path choice; everyone else forwards
+	// hop-by-hop along the shortest path as before.
+	if len(payload.PathPin) > 0 {
+		next, ok := pinnedNext(payload.PathPin, b.cfg.Domain)
+		if !ok {
+			b.rollback(r.Handle, spec.RARID, "not on pinned path")
+			return b.deny(spec.RARID, fmt.Sprintf("%s: not on pinned path", b.cfg.Domain))
+		}
+		return b.forwardVia(key, next, peer, payload, env, verified, res, r, span)
+	}
+	if fromUser && b.maxPaths() > 1 {
+		return b.forwardMultipath(key, peer, payload, env, verified, res, r, span)
+	}
 	nextDomain, err := b.cfg.Topo.NextHop(b.cfg.Domain, spec.DestDomain)
 	if err != nil {
 		b.rollback(r.Handle, spec.RARID, "no route")
 		return b.deny(spec.RARID, fmt.Sprintf("%s: routing: %v", b.cfg.Domain, err))
 	}
-	nd, _ := b.cfg.Topo.Domain(nextDomain)
+	return b.forwardVia(key, nextDomain, peer, payload, env, verified, res, r, span)
+}
+
+// pinnedNext finds the successor of domain on a pinned path.
+func pinnedNext(pin []string, domain string) (string, bool) {
+	for i, d := range pin {
+		if d == domain && i+1 < len(pin) {
+			return pin[i+1], true
+		}
+	}
+	return "", false
+}
+
+// forwardChild performs one downstream forward of the (possibly
+// pinned, possibly split) payload and settles the transport layer: on
+// a transport failure or a result-less response it fires the
+// journaled rollback cancel for the child key — the hop below may
+// have admitted before the response was lost — and returns an error;
+// otherwise the downstream result, grant or denial, comes back as is.
+// The caller owns the local admission either way.
+func (b *BB) forwardChild(childKey string, nd *topology.Domain, peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, res *policysrv.Result, span *obs.Span) (*signalling.Message, error) {
 	nextCert := b.cfg.PeerCerts[nd.BBDN]
 	if nextCert == nil {
-		b.rollback(r.Handle, spec.RARID, "no next-hop certificate")
-		return b.deny(spec.RARID, fmt.Sprintf("%s: no certificate for next hop %s", b.cfg.Domain, nd.BBDN))
+		return nil, fmt.Errorf("no certificate for next hop %s", nd.BBDN)
 	}
 	extended, err := b.proto.Extend(env, peer.CertDER, verified, nextCert, res.Additions)
 	if err != nil {
-		b.rollback(r.Handle, spec.RARID, "extend failed")
-		return b.deny(spec.RARID, fmt.Sprintf("%s: extend: %v", b.cfg.Domain, err))
+		return nil, fmt.Errorf("extend: %w", err)
 	}
 	fwd, err := signalling.NewReserveMessage(signalling.ModeEndToEnd, extended)
 	if err != nil {
-		b.rollback(r.Handle, spec.RARID, "encode failed")
-		return b.deny(spec.RARID, fmt.Sprintf("%s: encode: %v", b.cfg.Domain, err))
+		return nil, fmt.Errorf("encode: %w", err)
 	}
 	// The trace id and sampling decision ride the whole chain so every
-	// hop below records a span into the same trace.
+	// hop below records a span into the same trace; the pin and split
+	// fields ride it so every hop below computes the same route key.
 	fwd.Reserve.TraceID = payload.TraceID
 	fwd.Reserve.Sampled = payload.Sampled
+	fwd.Reserve.PathPin = payload.PathPin
+	fwd.Reserve.Attempt = payload.Attempt
+	fwd.Reserve.SplitPart = payload.SplitPart
+	fwd.Reserve.SplitOf = payload.SplitOf
+	fwd.Reserve.SplitBW = payload.SplitBW
 	b.m.forwarded.Inc()
 	tDown := time.Now()
 	downstream, retries, err := b.callPeer(nd.BBDN, fwd)
 	b.m.downstreamSeconds.ObserveSince(tDown)
 	if span != nil {
-		span.DownstreamNS = time.Since(tDown).Nanoseconds()
-		span.Retries = retries
+		// Accumulate: a re-routing ingress forwards more than once.
+		span.DownstreamNS += time.Since(tDown).Nanoseconds()
+		span.Retries += retries
+	}
+	if err == nil && downstream.Result == nil {
+		err = fmt.Errorf("downstream sent no result")
 	}
 	if err != nil {
-		// Roll back the optimistic local admission and, because the
-		// downstream outcome is unknown (the hop may have admitted the
-		// reservation and the response was lost), fire a best-effort
-		// cancel so no hop below the failure strands bandwidth.
+		b.cancelDownstream(nd.BBDN, childKey)
+		b.log.Error("reserve: downstream call failed",
+			obs.AttrRAR, childKey, obs.AttrPeer, string(nd.BBDN),
+			obs.AttrTrace, payload.TraceID, "retries", retries, "err", err)
+		return nil, err
+	}
+	return downstream, nil
+}
+
+// forwardVia forwards to one named next hop and settles the outcome —
+// the single-path case: legacy hop-by-hop forwarding and mid-chain
+// hops of a pinned path. Transport failure or denial rolls back the
+// local admission and propagates; a grant records the route.
+func (b *BB) forwardVia(key, nextDomain string, peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, res *policysrv.Result, r *resv.Reservation, span *obs.Span) *signalling.Message {
+	spec := verified.Spec
+	nd, ok := b.cfg.Topo.Domain(nextDomain)
+	if !ok {
+		b.rollback(r.Handle, spec.RARID, "unknown next hop")
+		return b.deny(spec.RARID, fmt.Sprintf("%s: unknown next hop %s", b.cfg.Domain, nextDomain))
+	}
+	if _, adjacent := b.cfg.Topo.LinkBetween(b.cfg.Domain, nextDomain); !adjacent {
+		b.rollback(r.Handle, spec.RARID, "next hop not adjacent")
+		return b.deny(spec.RARID, fmt.Sprintf("%s: pinned next hop %s is not a neighbour", b.cfg.Domain, nextDomain))
+	}
+	downstream, err := b.forwardChild(key, nd, peer, payload, env, verified, res, span)
+	if err != nil {
+		// Roll back the optimistic local admission; forwardChild already
+		// scheduled the downstream cancel for the unknown-outcome case.
 		b.rollback(r.Handle, spec.RARID, "downstream call failed")
-		b.cancelDownstream(nd.BBDN, spec.RARID)
 		if span != nil {
 			span.Verdict = obs.VerdictError
 			span.Reason = err.Error()
 		}
-		b.log.Error("reserve: downstream call failed",
-			obs.AttrRAR, spec.RARID, obs.AttrPeer, string(nd.BBDN),
-			obs.AttrTrace, payload.TraceID, "retries", retries, "err", err)
 		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream call: %v", b.cfg.Domain, err))
-	}
-	if downstream.Result == nil {
-		b.rollback(r.Handle, spec.RARID, "downstream sent no result")
-		b.cancelDownstream(nd.BBDN, spec.RARID)
-		if span != nil {
-			span.Verdict = obs.VerdictError
-			span.Reason = "downstream sent no result"
-		}
-		return b.deny(spec.RARID, fmt.Sprintf("%s: downstream sent no result", b.cfg.Domain))
 	}
 	if !downstream.Result.Granted {
 		// Roll back the optimistic local admission and propagate the
@@ -537,7 +667,235 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 		}
 		return resp
 	}
+	return b.settleGrant(key, key, nd.BBDN, peer, verified, r, downstream)
+}
 
+// deniedAtDest reports whether a denial came from the destination
+// domain itself — its signed refusal is on the approval stack — as
+// opposed to a mid-chain hop a disjoint path can route around. Every
+// disjoint path converges on the destination, so its refusal is
+// terminal for re-routing and splitting alike.
+func deniedAtDest(res *signalling.ResultPayload, dest string) bool {
+	for _, a := range res.Approvals {
+		if a.Domain == dest && !a.Granted {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardMultipath is the ingress forwarding strategy once
+// Config.MaxPaths enables re-route: try each disjoint path in cost
+// order — skipping paths whose first-hop breaker is already open,
+// pinning the chosen path onto the forwarded copy, salting the route
+// key per attempt so a shared downstream domain cannot mistake a
+// re-route for a retransmission — and, when no single path grants the
+// full bandwidth because of a mid-chain refusal, fall back to
+// splitting the reservation across paths.
+func (b *BB) forwardMultipath(key string, peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, res *policysrv.Result, r *resv.Reservation, span *obs.Span) *signalling.Message {
+	spec := verified.Spec
+	paths, err := b.cfg.Topo.Paths(b.cfg.Domain, spec.DestDomain, b.maxPaths())
+	if err != nil {
+		b.rollback(r.Handle, spec.RARID, "no route")
+		return b.deny(spec.RARID, fmt.Sprintf("%s: routing: %v", b.cfg.Domain, err))
+	}
+	var lastDenial *signalling.ResultPayload
+	midDenials := 0
+	attempted := 0
+	for i, path := range paths {
+		nd, ok := b.cfg.Topo.Domain(path[1])
+		if !ok {
+			continue
+		}
+		if wait, open := b.breakerFor(nd.BBDN).open(b.cfg.Clock()); open {
+			b.m.rerouteSkips.Inc()
+			b.log.Info("reserve: skipping path, first-hop breaker open",
+				obs.AttrRAR, spec.RARID, obs.AttrPeer, string(nd.BBDN),
+				"path", strings.Join(path, ">"), "reopens_in", wait.Round(time.Millisecond))
+			continue
+		}
+		child := *payload
+		child.PathPin = path
+		child.Attempt = i
+		childKey := routeKey(spec.RARID, &child)
+		if attempted > 0 {
+			b.m.reroutes.Inc()
+			b.log.Info("reserve: re-routing onto disjoint path",
+				obs.AttrRAR, spec.RARID, "attempt", i, "path", strings.Join(path, ">"))
+		}
+		attempted++
+		downstream, err := b.forwardChild(childKey, nd, peer, &child, env, verified, res, span)
+		if err != nil {
+			continue // transport failure; the rollback cancel is scheduled
+		}
+		if downstream.Result.Granted {
+			return b.settleGrant(key, childKey, nd.BBDN, peer, verified, r, downstream)
+		}
+		lastDenial = downstream.Result
+		if deniedAtDest(downstream.Result, spec.DestDomain) {
+			break
+		}
+		midDenials++
+	}
+	if midDenials > 0 && b.splitParts() > 0 && len(paths) >= 2 && !spec.Tunnel {
+		if resp := b.splitAcross(key, peer, payload, env, verified, res, r, paths, span); resp != nil {
+			return resp
+		}
+	}
+	b.rollback(r.Handle, spec.RARID, "no path granted")
+	if lastDenial != nil {
+		resp := signalling.ErrorResult(lastDenial.Reason)
+		resp.Result.Approvals = lastDenial.Approvals
+		resp.Result.Trace = lastDenial.Trace
+		if a, err := b.signApproval(spec.RARID, "", false, "upstream of denial"); err == nil {
+			resp.Result.Approvals = append(resp.Result.Approvals, a)
+		}
+		if span != nil {
+			span.Verdict = obs.VerdictRolledBack
+		}
+		return resp
+	}
+	if span != nil {
+		span.Verdict = obs.VerdictError
+		span.Reason = "no usable path"
+	}
+	return b.deny(spec.RARID, fmt.Sprintf("%s: no usable path to %s (%d disjoint, all failed)", b.cfg.Domain, spec.DestDomain, len(paths)))
+}
+
+// splitAcross places the reservation as per-path children, each
+// carrying an unsigned share of the signed bandwidth; the shares sum
+// to it exactly. The children settle atomically through a saga: the
+// "release" compensation for the local admission is journaled first
+// (compensations run newest-first, so it lands last), each child's
+// "cancel" debt is journaled before its forward — a crash inside the
+// call window must still withdraw whatever that path admitted. All
+// children granted commits the saga and drops the debt; any refusal
+// aborts, and the compensations withdraw the granted siblings and
+// release the local admission (the caller must then NOT rollback
+// again). Returns nil when fewer than two paths were usable — the
+// caller falls through to the ordinary denial.
+func (b *BB) splitAcross(key string, peer signalling.Peer, payload *signalling.ReservePayload, env *envelope.Envelope, verified *core.VerifiedRequest, res *policysrv.Result, r *resv.Reservation, paths [][]string, span *obs.Span) *signalling.Message {
+	spec := verified.Spec
+	parts := b.splitParts()
+	usable := make([][]string, 0, parts)
+	nds := make([]*topology.Domain, 0, parts)
+	for _, path := range paths {
+		nd, ok := b.cfg.Topo.Domain(path[1])
+		if !ok {
+			continue
+		}
+		if _, open := b.breakerFor(nd.BBDN).open(b.cfg.Clock()); open {
+			continue
+		}
+		usable = append(usable, path)
+		nds = append(nds, nd)
+		if len(usable) == parts {
+			break
+		}
+	}
+	if len(usable) < 2 {
+		return nil
+	}
+	parts = len(usable)
+	total := int64(spec.Bandwidth)
+	share := total / int64(parts)
+	shares := make([]int64, parts)
+	for p := range shares {
+		shares[p] = share
+	}
+	shares[0] += total - share*int64(parts)
+
+	sagaID := b.mintSagaID("split:" + key)
+	b.m.sagasStarted.Inc()
+	if err := b.sagas.Begin(sagaID); err != nil {
+		return nil
+	}
+	relData, _ := json.Marshal(releaseComp{Handle: r.Handle, Key: key})
+	_ = b.sagas.Did(sagaID, "release", relData)
+	b.log.Info("reserve: splitting across disjoint paths",
+		obs.AttrRAR, spec.RARID, "parts", parts, "bw", spec.Bandwidth.String())
+
+	children := make([]childRoute, 0, parts)
+	var approvals []signalling.DomainApproval
+	var trace []obs.Span
+	policyInfo := map[string]string{}
+	var failure *signalling.ResultPayload
+	for p := 0; p < parts; p++ {
+		child := *payload
+		child.PathPin = usable[p]
+		child.SplitPart = p + 1
+		child.SplitOf = parts
+		child.SplitBW = shares[p]
+		childKey := routeKey(spec.RARID, &child)
+		cd, _ := json.Marshal(cancelComp{Peer: nds[p].BBDN, Key: childKey})
+		_ = b.sagas.Did(sagaID, "cancel", cd)
+		downstream, err := b.forwardChild(childKey, nds[p], peer, &child, env, verified, res, span)
+		if err != nil {
+			break
+		}
+		if !downstream.Result.Granted {
+			failure = downstream.Result
+			break
+		}
+		children = append(children, childRoute{Next: nds[p].BBDN, Key: childKey, BW: shares[p]})
+		approvals = append(approvals, downstream.Result.Approvals...)
+		trace = append(trace, downstream.Result.Trace...)
+		for k, v := range downstream.Result.PolicyInfo {
+			policyInfo[k] = v
+		}
+	}
+	if len(children) == parts {
+		b.sagas.Commit(sagaID)
+		b.m.sagasCommitted.Inc()
+		b.m.splits.Inc()
+		b.recordRoute(key, spec, r.Handle, "", "", children, peer)
+		b.installEdgeFlow(spec)
+		b.syncDataPlane()
+		b.log.Info("reserve: split reservation granted",
+			obs.AttrRAR, spec.RARID, "parts", parts)
+		resp := &signalling.Message{Type: signalling.MsgResult, Result: &signalling.ResultPayload{
+			Granted:    true,
+			Handle:     r.Handle,
+			Approvals:  approvals,
+			PolicyInfo: policyInfo,
+			Trace:      trace,
+		}}
+		if a, err := b.signApproval(spec.RARID, r.Handle, true, ""); err == nil {
+			resp.Result.Approvals = append(resp.Result.Approvals, a)
+		}
+		return resp
+	}
+	// Partial failure: abort — the compensations withdraw every child
+	// forwarded so far (granted or unknown) and release the local
+	// admission, so no b.rollback here.
+	b.m.splitFails.Inc()
+	b.sagas.Abort(sagaID)
+	reason := fmt.Sprintf("%s: split reservation aborted", b.cfg.Domain)
+	if failure != nil && failure.Reason != "" {
+		reason = failure.Reason
+	}
+	resp := signalling.ErrorResult(reason)
+	if failure != nil {
+		resp.Result.Approvals = failure.Approvals
+		resp.Result.Trace = failure.Trace
+	}
+	if a, err := b.signApproval(spec.RARID, "", false, "split aborted"); err == nil {
+		resp.Result.Approvals = append(resp.Result.Approvals, a)
+	}
+	if span != nil {
+		span.Verdict = obs.VerdictRolledBack
+	}
+	return resp
+}
+
+// settleGrant records a forwarded grant: tunnel registration, route
+// state — downKey is the route key the downstream leg runs under,
+// which differs from the hop's own key when the ingress re-routed —
+// the data plane, and this domain's approval stacked on top of the
+// downstream ones.
+func (b *BB) settleGrant(key, downKey string, next identity.DN, peer signalling.Peer, verified *core.VerifiedRequest, r *resv.Reservation, downstream *signalling.Message) *signalling.Message {
+	spec := verified.Spec
+	fromUser := len(verified.Path) == 1
 	// Tunnel registration happens before the grant is recorded: a RAR
 	// id colliding with a live tunnel must surface as a denial (with the
 	// admission rolled back and the downstream chain cancelled), not
@@ -545,13 +903,11 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 	if fromUser && spec.Tunnel {
 		if err := b.registerTunnelSource(spec, downstream.Result); err != nil {
 			b.rollback(r.Handle, spec.RARID, "tunnel registration failed")
-			b.cancelDownstream(nd.BBDN, spec.RARID)
+			b.cancelDownstream(next, downKey)
 			return b.deny(spec.RARID, fmt.Sprintf("%s: tunnel registration: %v", b.cfg.Domain, err))
 		}
 	}
-	// Grant: record state, configure the data plane, stack our signed
-	// approval on top of the downstream ones.
-	b.recordRoute(spec, r.Handle, nd.BBDN, fromUser, peer)
+	b.recordRoute(key, spec, r.Handle, next, downKey, nil, peer)
 	if fromUser {
 		// Source domain: program the per-flow edge marker.
 		b.installEdgeFlow(spec)
@@ -572,7 +928,7 @@ func (b *BB) processReserve(peer signalling.Peer, payload *signalling.ReservePay
 
 // finishGrant completes a grant at the destination domain (or a
 // local-mode reservation).
-func (b *BB) finishGrant(peer signalling.Peer, verified *core.VerifiedRequest, r *resv.Reservation, fromUser, isDest bool) *signalling.Message {
+func (b *BB) finishGrant(key string, peer signalling.Peer, verified *core.VerifiedRequest, r *resv.Reservation, fromUser, isDest bool) *signalling.Message {
 	spec := verified.Spec
 	if isDest && spec.Tunnel {
 		// Register before granting: a duplicate tunnel RAR id is a
@@ -582,7 +938,7 @@ func (b *BB) finishGrant(peer signalling.Peer, verified *core.VerifiedRequest, r
 			return b.deny(spec.RARID, fmt.Sprintf("%s: tunnel registration: %v", b.cfg.Domain, err))
 		}
 	}
-	b.recordRoute(spec, r.Handle, "", fromUser, peer)
+	b.recordRoute(key, spec, r.Handle, "", "", nil, peer)
 	if fromUser {
 		b.installEdgeFlow(spec)
 	}
@@ -594,13 +950,14 @@ func (b *BB) finishGrant(peer signalling.Peer, verified *core.VerifiedRequest, r
 	return resp
 }
 
-// recordRoute fills in the RAR's in-flight placeholder for
-// cancellation and tunnel use. The entry itself was registered when
-// the reserve arrived, so retransmissions and cancels can find it.
-func (b *BB) recordRoute(spec *core.Spec, handle string, next identity.DN, fromUser bool, peer signalling.Peer) {
+// recordRoute fills in the route entry's in-flight placeholder for
+// cancellation and tunnel use. The entry itself was registered under
+// its route key when the reserve arrived, so retransmissions and
+// cancels can find it.
+func (b *BB) recordRoute(key string, spec *core.Spec, handle string, next identity.DN, downKey string, children []childRoute, peer signalling.Peer) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	st, ok := b.routes[spec.RARID]
+	st, ok := b.routes[key]
 	if !ok {
 		return
 	}
@@ -609,7 +966,8 @@ func (b *BB) recordRoute(spec *core.Spec, handle string, next identity.DN, fromU
 	st.tunnel = spec.Tunnel
 	st.sourceBB = peer.DN
 	st.spec = spec
-	_ = fromUser
+	st.downKey = downKey
+	st.children = children
 }
 
 // validateLinkedHandles checks the co-reservation references against
@@ -661,12 +1019,15 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	// Tear the tunnel endpoint down before the table cancel can bail
 	// out: the route entry is already gone, and a stale endpoint left
 	// behind would collide with a re-establishment of the same RAR id.
-	if ep, live := b.tunnels.reg.Get(payload.RARID); live {
-		b.tunnels.reg.Remove(payload.RARID)
-		b.tunnels.dropBatches(payload.RARID, ep.Epoch)
-		b.journalTunnelRemove(payload.RARID, ep.Epoch)
+	// Tunnels and edge flows live under the signed RAR id, whatever
+	// route-key salt this hop holds.
+	base := baseRARID(payload.RARID)
+	if ep, live := b.tunnels.reg.Get(base); live {
+		b.tunnels.reg.Remove(base)
+		b.tunnels.dropBatches(base, ep.Epoch)
+		b.journalTunnelRemove(base, ep.Epoch)
 	}
-	b.removeEdgeFlow(payload.RARID)
+	b.removeEdgeFlow(base)
 	if err := b.table.Cancel(st.handle); err != nil {
 		return signalling.ErrorResult(fmt.Sprintf("%s: %v", b.cfg.Domain, err))
 	}
@@ -675,12 +1036,27 @@ func (b *BB) handleCancel(peer signalling.Peer, payload *signalling.CancelPayloa
 	// the call deadline: a dead hop must not wedge the cancel chain).
 	// If the synchronous attempt fails, hand the cancel to the
 	// persistent async path so hops below the failure don't stay booked.
-	if st.next != "" {
+	// A split ingress fans out to every child leg under that leg's own
+	// route key; a re-routed ingress propagates the key the surviving
+	// attempt ran under (downKey), not its own.
+	for _, c := range st.children {
+		if _, _, err := b.callPeer(c.Next, &signalling.Message{
+			Type:   signalling.MsgCancel,
+			Cancel: &signalling.CancelPayload{RARID: c.Key},
+		}); err != nil {
+			b.cancelDownstream(c.Next, c.Key)
+		}
+	}
+	if len(st.children) == 0 && st.next != "" {
+		downKey := st.downKey
+		if downKey == "" {
+			downKey = payload.RARID
+		}
 		if _, _, err := b.callPeer(st.next, &signalling.Message{
 			Type:   signalling.MsgCancel,
-			Cancel: &signalling.CancelPayload{RARID: payload.RARID},
+			Cancel: &signalling.CancelPayload{RARID: downKey},
 		}); err != nil {
-			b.cancelDownstream(st.next, payload.RARID)
+			b.cancelDownstream(st.next, downKey)
 		}
 	}
 	b.log.Info("cancel: released reservation",

@@ -9,6 +9,7 @@ import (
 	"e2eqos/internal/identity"
 	"e2eqos/internal/journal"
 	"e2eqos/internal/resv"
+	"e2eqos/internal/saga"
 	"e2eqos/internal/signalling"
 	"e2eqos/internal/tunnel"
 	"e2eqos/internal/units"
@@ -46,6 +47,8 @@ type rarRec struct {
 	Next     identity.DN         `json:"next,omitempty"`
 	Tunnel   bool                `json:"tunnel,omitempty"`
 	SourceBB identity.DN         `json:"source_bb,omitempty"`
+	DownKey  string              `json:"down_key,omitempty"`
+	Children []childRoute        `json:"children,omitempty"`
 	Outcome  *signalling.Message `json:"outcome,omitempty"`
 }
 
@@ -104,7 +107,10 @@ type brokerState struct {
 	RARs          []rarRec                  `json:"rars,omitempty"`
 	Tunnels       []tunnel.EndpointSnapshot `json:"tunnels,omitempty"`
 	TunnelBatches []tunnelBatchSnap         `json:"tunnel_batches,omitempty"`
-	Epoch         int64                     `json:"epoch"`
+	// Sagas is the compensation coordinator's snapshot (saga.SnapshotJSON):
+	// rollback debt still owed when the journal rotated.
+	Sagas json.RawMessage `json:"sagas,omitempty"`
+	Epoch int64           `json:"epoch"`
 }
 
 // openJournal opens (or creates) the broker's journal directory,
@@ -192,6 +198,11 @@ func (b *BB) recoverState(rec *journal.Recovered) (int, error) {
 		}
 		for _, bs := range st.TunnelBatches {
 			b.tunnels.restoreBatch(bs.RARID, bs.Epoch, bs.BatchID, bs.Outcome)
+		}
+		if len(st.Sagas) > 0 {
+			if err := b.sagas.RestoreJSON(st.Sagas); err != nil {
+				return 0, fmt.Errorf("restoring sagas: %w", err)
+			}
 		}
 	}
 	applied, err := resv.Replay(b.table, rec.Records)
@@ -334,6 +345,13 @@ func (b *BB) applyBBRecord(r journal.Record) ([]tunnelOpRecord, bool, error) {
 		b.tunnels.restoreBatch(br.RARID, br.Epoch, br.BatchID, br.Outcome)
 		return ops, true, nil
 	default:
+		// Saga records (the rollback-debt ledger) replay into the
+		// coordinator; Resume, after the scan, presumed-aborts whatever
+		// is still live and restarts its compensations.
+		if saga.IsSagaOp(r.Op) {
+			_, err := b.sagas.ApplyRecord(r.Op, r.Decode)
+			return nil, err == nil, err
+		}
 		return nil, false, nil
 	}
 }
@@ -388,6 +406,8 @@ func recoveredRARState(r rarRec) *rarState {
 		next:     r.Next,
 		tunnel:   r.Tunnel,
 		sourceBB: r.SourceBB,
+		downKey:  r.DownKey,
+		children: r.Children,
 		outcome:  r.Outcome,
 		epoch:    r.Epoch,
 		done:     done,
@@ -417,10 +437,13 @@ func (b *BB) snapshotState() ([]byte, error) {
 			Next:     rs.next,
 			Tunnel:   rs.tunnel,
 			SourceBB: rs.sourceBB,
+			DownKey:  rs.downKey,
+			Children: rs.children,
 			Outcome:  rs.outcome,
 		})
 	}
 	b.mu.Unlock()
+	st.Sagas = b.sagas.SnapshotJSON()
 	sort.Slice(st.RARs, func(i, j int) bool { return st.RARs[i].RARID < st.RARs[j].RARID })
 	// Registry.All is sorted by RAR id and Endpoint.Snapshot sorts
 	// sub-flows, so identical state always marshals identically.
@@ -496,6 +519,8 @@ func (b *BB) journalRAR(rarID string, st *rarState) {
 		Next:     st.next,
 		Tunnel:   st.tunnel,
 		SourceBB: st.sourceBB,
+		DownKey:  st.downKey,
+		Children: st.children,
 		Outcome:  st.outcome,
 	}
 	b.mu.Unlock()

@@ -20,6 +20,17 @@ type bbMetrics struct {
 	breakerOpens    *obs.Counter // circuit-breaker open transitions
 	replays         *obs.Counter // idempotent replays of recorded outcomes
 	clientEvictions *obs.Counter // pooled peer clients retired after faults
+	// Multipath routing counters.
+	reroutes     *obs.Counter // RARs re-forwarded onto an alternate disjoint path
+	rerouteSkips *obs.Counter // candidate paths skipped because the first hop's breaker was open
+	splits       *obs.Counter // reservations split across disjoint paths
+	splitFails   *obs.Counter // split attempts rolled back after a partial denial or failure
+	// Saga-layer counters.
+	sagasStarted       *obs.Counter // multi-step sagas begun
+	sagasCommitted     *obs.Counter // sagas whose forward path fully succeeded
+	sagasAborted       *obs.Counter // sagas aborted into compensation
+	sagaCompensations  *obs.Counter // compensations executed to completion
+	rollbacksAbandoned *obs.Counter // compensations abandoned after exhausting retries
 	// Tunnel sub-flow hot-path counters.
 	tunnelAllocs       *obs.Counter // sub-flow allocations admitted
 	tunnelReleases     *obs.Counter // sub-flow releases applied
@@ -77,6 +88,17 @@ func newBBMetrics(r *obs.Registry) bbMetrics {
 		replays:      r.Counter("bb_replays_total", "idempotent replays of recorded RAR outcomes"),
 		clientEvictions: r.Counter("bb_client_evictions_total",
 			"pooled peer clients retired after transport faults or dead demux loops"),
+
+		reroutes:     r.Counter("bb_reroutes_total", "reserve requests re-forwarded onto an alternate disjoint path"),
+		rerouteSkips: r.Counter("bb_reroute_path_skips_total", "candidate paths skipped because the first hop's circuit breaker was open"),
+		splits:       r.Counter("bb_splits_total", "reservations split across multiple disjoint paths"),
+		splitFails:   r.Counter("bb_split_failures_total", "split reservations rolled back after a partial denial or failure"),
+
+		sagasStarted:       r.Counter("bb_sagas_started_total", "multi-step compensation sagas begun"),
+		sagasCommitted:     r.Counter("bb_sagas_committed_total", "sagas committed after their forward path fully succeeded"),
+		sagasAborted:       r.Counter("bb_sagas_aborted_total", "sagas aborted into compensation"),
+		sagaCompensations:  r.Counter("bb_saga_compensations_total", "saga compensations executed to completion"),
+		rollbacksAbandoned: r.Counter("bb_rollbacks_abandoned_total", "rollback compensations abandoned after exhausting retries, downstream state unknown"),
 
 		tunnelAllocs:       r.Counter("bb_tunnel_allocs_total", "tunnel sub-flow allocations admitted"),
 		tunnelReleases:     r.Counter("bb_tunnel_releases_total", "tunnel sub-flow releases applied"),
@@ -137,6 +159,8 @@ func (b *BB) registerGauges(r *obs.Registry) {
 		})
 	r.GaugeFunc("bb_late_responses_dropped", "downstream responses that arrived after their call gave up",
 		func() float64 { return float64(b.pool.lateDropped()) })
+	r.GaugeFunc("bb_sagas_live", "compensation sagas currently open (active or compensating)",
+		func() float64 { return float64(b.sagas.Live()) })
 	if b.repl != nil {
 		r.GaugeFunc("bb_repl_is_leader", "1 while this replica leads its group",
 			func() float64 {

@@ -661,6 +661,13 @@ func (r *replicator) installSnapshot(data []byte, seq int64) error {
 	}
 	b.tunnels.reg.ResetTo(eps)
 	b.tunnels.resetBatches(st.TunnelBatches)
+	if len(st.Sagas) > 0 {
+		// The leader's open rollback debt rides its snapshot; a follower
+		// holds it passively until promotion resumes the compensations.
+		if err := b.sagas.RestoreJSON(st.Sagas); err != nil {
+			b.log.Error("replication: saga snapshot restore failed", "err", err)
+		}
+	}
 	// Stream-side scratch state is superseded wholesale.
 	r.pendingOps = make(map[string][]tunnelOpRecord)
 	r.resvApply.Reset()
@@ -771,6 +778,11 @@ func (r *replicator) promote() error {
 	b.rarEpoch += epochFenceStride
 	b.mu.Unlock()
 	b.syncDataPlane()
+	// The dead leader's rollback debt streamed here with its journal;
+	// as leader this replica now owes it, so start the compensations.
+	if n := b.sagas.Resume(); n > 0 {
+		b.log.Info("saga: resumed compensation after failover", "sagas", n)
+	}
 	b.m.replElections.Inc()
 	b.recordFailoverEvent(term)
 	b.log.Info("replication: won election", "term", term, "replica", r.id)

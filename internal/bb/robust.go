@@ -63,6 +63,33 @@ func (br *breaker) ok() {
 	br.openUntil = time.Time{}
 }
 
+// trip forces the circuit open as if the threshold had just been
+// crossed. Fault-injection hook: breakers configured off (threshold 0)
+// arm themselves at threshold 1 so the trip sticks.
+func (br *breaker) trip(now time.Time) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.threshold <= 0 {
+		br.threshold = 1
+	}
+	br.failures = br.threshold
+	br.openUntil = now.Add(br.cooldown)
+}
+
+// TripBreaker forces this broker's circuit to the named neighbour
+// domain open for one cooldown period — the fault-injection hook the
+// multipath re-route tests drive mid-signalling.
+func (b *BB) TripBreaker(domain string) error {
+	nd, ok := b.cfg.Topo.Domain(domain)
+	if !ok {
+		return fmt.Errorf("bb %s: unknown domain %s", b.cfg.Domain, domain)
+	}
+	b.breakerFor(nd.BBDN).trip(b.cfg.Clock())
+	b.m.breakerOpens.Inc()
+	b.log.Warn("circuit breaker tripped by operator", obs.AttrPeer, string(nd.BBDN))
+	return nil
+}
+
 // breakerFor returns (creating if needed) the peer's circuit breaker.
 func (b *BB) breakerFor(dn identity.DN) *breaker {
 	b.mu.Lock()
@@ -146,49 +173,9 @@ func (b *BB) noteFailure(br *breaker, dn identity.DN) {
 	}
 }
 
-// cancelAttempts bounds the persistence of cancelDownstream. It is
-// deliberately independent of (and larger than) Config.MaxRetries: a
-// stranded reservation costs real bandwidth until its window expires,
-// whereas a redundant cancel is refused harmlessly.
-const cancelAttempts = 5
-
-// cancelDownstream issues a best-effort asynchronous cancel towards a
-// hop whose reserve outcome is unknown (timeout or transport failure
-// mid-call): the request may have been admitted downstream with the
-// response lost, and without this cancel that bandwidth would stay
-// stranded in every hop below the failure. The cancel itself crosses
-// the same unreliable link, so it is retried with backoff until any
-// response arrives — a refusal for a RAR the peer never saw counts as
-// settled. Protocol errors are ignored.
-func (b *BB) cancelDownstream(dn identity.DN, rarID string) {
-	go func() {
-		backoff := b.cfg.RetryBackoff
-		if backoff <= 0 {
-			backoff = defaultRetryBackoff
-		}
-		for attempt := 0; attempt < cancelAttempts; attempt++ {
-			if attempt > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
-			}
-			client, err := b.clientFor(dn)
-			if err != nil {
-				continue
-			}
-			_, err = client.CallTimeout(&signalling.Message{
-				Type:   signalling.MsgCancel,
-				Cancel: &signalling.CancelPayload{RARID: rarID},
-			}, b.cfg.CallTimeout)
-			if err == nil {
-				b.log.Info("rollback cancel settled downstream",
-					obs.AttrRAR, rarID, obs.AttrPeer, string(dn), "attempts", attempt+1)
-				return
-			}
-			b.dropClient(dn, client)
-		}
-		// Bandwidth below the failed hop may now stay stranded until the
-		// reservation window expires; the operator must hear about it.
-		b.log.Error("rollback cancel abandoned, downstream state unknown",
-			obs.AttrRAR, rarID, obs.AttrPeer, string(dn), "attempts", cancelAttempts)
-	}()
-}
+// The downstream rollback cancel — formerly an ad-hoc goroutine here —
+// now lives in the saga layer: see cancelDownstream in sagas.go. The
+// compensation is journaled, so it survives a crash instead of dying
+// with the process, and an exhausted retry budget is counted
+// (bb_rollbacks_abandoned_total) and force-recorded instead of only
+// logged.

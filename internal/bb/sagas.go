@@ -1,0 +1,155 @@
+package bb
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"e2eqos/internal/identity"
+	"e2eqos/internal/obs"
+	"e2eqos/internal/saga"
+	"e2eqos/internal/signalling"
+)
+
+// Saga integration: the broker's two compensation kinds, wired into
+// the reusable coordinator in internal/saga. "cancel" undoes a
+// downstream forward whose outcome is unknown or must be withdrawn
+// (the persistent replacement for the old ad-hoc cancelDownstream
+// goroutine); "release" undoes an optimistic local admission. Both are
+// journal-backed through the broker's WAL, so a crashed broker resumes
+// its rollback debt on recovery.
+
+// cancelComp is the argument of a "cancel" compensation: withdraw the
+// route key at the downstream peer.
+type cancelComp struct {
+	Peer identity.DN `json:"peer"`
+	Key  string      `json:"key"`
+}
+
+// releaseComp is the argument of a "release" compensation: cancel the
+// local admission held under Handle.
+type releaseComp struct {
+	Handle string `json:"handle"`
+	Key    string `json:"key"`
+}
+
+// cancelAttempts bounds each compensation incarnation's retries. It is
+// deliberately independent of (and larger than) Config.MaxRetries: a
+// stranded reservation costs real bandwidth until its window expires,
+// whereas a redundant cancel is refused harmlessly — and unlike the
+// pre-saga rollback goroutine, an exhausted budget is now re-armed on
+// restart because the debt is journaled.
+const cancelAttempts = 5
+
+// newSagaCoordinator builds the broker's coordinator with both
+// executors registered. The journal attaches later (after recovery).
+func (b *BB) newSagaCoordinator() *saga.Coordinator {
+	c := saga.New(saga.Options{
+		Backoff:     b.cfg.RetryBackoff,
+		MaxAttempts: cancelAttempts,
+		OnAborted:   func(string) { b.m.sagasAborted.Inc() },
+		OnCompensated: func(id string, step saga.Step) {
+			b.m.sagaCompensations.Inc()
+			b.log.Info("saga: compensation settled", "saga", id, "kind", step.Kind)
+		},
+		OnAbandoned: func(id string, step saga.Step) { b.compAbandoned(id, step) },
+	})
+	c.RegisterExec("cancel", b.execCancelComp)
+	c.RegisterExec("release", b.execReleaseComp)
+	return c
+}
+
+// execCancelComp sends one cancel toward the peer. Transport failures
+// schedule a retry; any protocol-level response — including a refusal
+// for a key the peer never saw — counts as settled, exactly like the
+// old best-effort rollback cancel.
+func (b *BB) execCancelComp(data []byte) error {
+	var c cancelComp
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil // malformed debt is unpayable; don't retry forever
+	}
+	client, err := b.clientFor(c.Peer)
+	if err != nil {
+		return err
+	}
+	_, err = client.CallTimeout(&signalling.Message{
+		Type:   signalling.MsgCancel,
+		Cancel: &signalling.CancelPayload{RARID: c.Key},
+	}, b.cfg.CallTimeout)
+	if err != nil {
+		b.dropClient(c.Peer, client)
+		return err
+	}
+	b.log.Info("rollback cancel settled downstream",
+		obs.AttrRAR, c.Key, obs.AttrPeer, string(c.Peer))
+	return nil
+}
+
+// execReleaseComp cancels the local admission. An unknown handle means
+// the admission is already gone (cancelled through another path, or
+// never replayed) — settled either way.
+func (b *BB) execReleaseComp(data []byte) error {
+	var rc releaseComp
+	if err := json.Unmarshal(data, &rc); err != nil {
+		return nil
+	}
+	if err := b.table.Cancel(rc.Handle); err == nil {
+		b.m.rollbacks.Inc()
+		b.log.Info("saga: released local admission", obs.AttrRAR, rc.Key, "handle", rc.Handle)
+	}
+	b.syncDataPlane()
+	return nil
+}
+
+// compAbandoned surfaces a compensation this incarnation gave up on:
+// bandwidth below the failed hop may stay stranded until the window
+// expires. Counted, logged at error, and force-recorded — the journal
+// still owes the debt, so a restarted broker retries it.
+func (b *BB) compAbandoned(id string, step saga.Step) {
+	b.m.rollbacksAbandoned.Inc()
+	var key, peer string
+	switch step.Kind {
+	case "cancel":
+		var c cancelComp
+		_ = json.Unmarshal(step.Data, &c)
+		key, peer = c.Key, string(c.Peer)
+	case "release":
+		var rc releaseComp
+		_ = json.Unmarshal(step.Data, &rc)
+		key = rc.Key
+	}
+	b.log.Error("rollback cancel abandoned, downstream state unknown",
+		obs.AttrRAR, key, obs.AttrPeer, peer, "saga", id, "attempts", cancelAttempts)
+	if b.cfg.Recorder != nil {
+		b.m.eventsForced.Inc()
+		b.appendEvent(&obs.Event{
+			Kind:    obs.EventRollbackAbandoned,
+			RARID:   key,
+			Verdict: obs.VerdictError,
+			Reason:  fmt.Sprintf("compensation %s to %s abandoned after %d attempts", step.Kind, peer, cancelAttempts),
+		})
+	}
+}
+
+// mintSagaID builds a unique saga id from the broker's epoch counter
+// (epochs survive recovery, so restarted brokers never collide with
+// journaled sagas).
+func (b *BB) mintSagaID(prefix string) string {
+	b.mu.Lock()
+	b.rarEpoch++
+	e := b.rarEpoch
+	b.mu.Unlock()
+	return fmt.Sprintf("%s#%d", prefix, e)
+}
+
+// cancelDownstream hands a downstream withdrawal to the saga layer: a
+// one-step saga whose "cancel" compensation is retried with backoff
+// and, being journaled, survives a crash (the pre-saga version was a
+// fire-and-forget goroutine that died with the process).
+func (b *BB) cancelDownstream(dn identity.DN, key string) {
+	data, _ := json.Marshal(cancelComp{Peer: dn, Key: key})
+	id := b.mintSagaID("cancel:" + key)
+	b.m.sagasStarted.Inc()
+	if err := b.sagas.RunOne(id, "cancel", data); err != nil {
+		b.log.Error("saga: rollback cancel not scheduled", obs.AttrRAR, key, "err", err)
+	}
+}

@@ -81,7 +81,8 @@ type FleetConfig struct {
 	// Seed drives every RNG stream (default 1).
 	Seed uint64
 	// Scenarios selects a subset by name (diurnal, flash, churn,
-	// misreservation); nil runs all four.
+	// misreservation, reroute); nil runs the first four — reroute is
+	// opt-in because its disjoint-branch fan needs four domains.
 	Scenarios []string
 }
 
@@ -511,6 +512,8 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			res, err = runChurn(cfg)
 		case "misreservation":
 			res, err = runMisreservation(cfg)
+		case "reroute":
+			res, err = runReroute(cfg)
 		default:
 			return nil, fmt.Errorf("fleet: unknown scenario %q", name)
 		}

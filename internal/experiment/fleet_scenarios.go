@@ -158,6 +158,89 @@ func (e *fleetEngine) churnLoop(u int, r *rng, path []int, until time.Duration) 
 	})
 }
 
+// runReroute is the fleet-scale face of the multipath work: a fan of
+// two disjoint transit branches between ingress and destination.
+// During a mid-horizon "outage" window, blocker load books the primary
+// branch solid, shard by shard; sessions that deny mid-chain on the
+// primary immediately re-route onto the alternate branch, exactly as
+// the broker's multipath forwarder does. Not in the default scenario
+// set — the fan needs four domains, so it is opt-in by name.
+func runReroute(cfg FleetConfig) (ScenarioResult, error) {
+	if cfg.Domains < 4 {
+		cfg.Domains = 4
+	}
+	e := newFleetEngine(cfg, "reroute")
+	last := cfg.Domains - 1
+	primary := []int{0, 1, last}
+	alternate := []int{0, 2, last}
+	const (
+		horizon     = 3 * time.Minute
+		outageFrom  = time.Second // before any session fires
+		outageUntil = 2 * time.Minute
+	)
+	// Blockers: one user per admission shard, each booking the shard's
+	// full capacity on the primary branch alone for the outage window.
+	// They book before the first session starts, so every admission
+	// succeeds and the covered shards deny every session they would
+	// have admitted — which is what forces the re-route.
+	perShard := e.domains[1].capacity / units.Bandwidth(cfg.Aggregates)
+	covered := make(map[int]bool, cfg.Aggregates)
+	blockers := make(map[int]bool, cfg.Aggregates)
+	branchOnly := []int{1}
+	for u := 0; u < cfg.Users && len(covered) < cfg.Aggregates; u++ {
+		if covered[e.userShard[u]] {
+			continue
+		}
+		covered[e.userShard[u]] = true
+		blockers[u] = true
+		u := u
+		if _, err := e.sim.Schedule(outageFrom, func() {
+			e.holdThenCancel(e.reserve(u, perShard, outageUntil-outageFrom, branchOnly), outageUntil-outageFrom)
+		}); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+	// Sessions: the rest of the population runs light closed-loop load
+	// across the horizon. The primary branch is tried first; a denial
+	// there re-routes onto the alternate in the same signalling round.
+	// Sessions starting after the outage lifts ride the primary again.
+	for u := 0; u < cfg.Users; u++ {
+		if blockers[u] {
+			continue
+		}
+		r := e.userRNG(u, 5)
+		if r.Float64() >= 0.15 {
+			continue
+		}
+		start := 5*time.Second + r.Between(0, horizon-45*time.Second)
+		hold := r.Between(15*time.Second, 35*time.Second)
+		u := u
+		if _, err := e.sim.Schedule(start, func() {
+			if b := e.reserve(u, cfg.PerUserRate, hold, primary); b != nil {
+				e.holdThenCancel(b, hold)
+				return
+			}
+			e.retries++
+			fmt.Fprintf(e.h, "reroute u%d %d\n", u, e.sim.Now())
+			if b := e.reserve(u, cfg.PerUserRate, hold, alternate); b != nil {
+				e.holdThenCancel(b, hold)
+			}
+		}); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+	events := e.sim.Run(horizon + 5*time.Minute)
+	e.drain()
+	res, err := e.finish("reroute", events)
+	if err == nil && res.Retries == 0 {
+		return res, fmt.Errorf("fleet: reroute scenario produced no re-routes — the outage never bit")
+	}
+	if err == nil {
+		res.Invariants = append(res.Invariants, "denied-primary-rerouted")
+	}
+	return res, err
+}
+
 // runMisreservation replays the paper's Figure 4 at fleet scale: 1%
 // of users are attackers booking AttackerOverbook× bandwidth. In the
 // defended arm provisioning is end-to-end — attackers reserve hop by

@@ -103,6 +103,50 @@ func TestFleetFlashCrowdQueueing(t *testing.T) {
 	}
 }
 
+// TestFleetReroute runs the opt-in multipath scenario: during the
+// outage window the primary branch is booked solid shard by shard, so
+// sessions must deny there and settle on the alternate branch. The
+// scenario itself fails if no re-route happens; the test additionally
+// pins down determinism and the traffic split across branches.
+func TestFleetReroute(t *testing.T) {
+	cfg := smokeFleetConfig()
+	cfg.Scenarios = []string{"reroute"}
+	res, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if len(res.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(res.Scenarios))
+	}
+	s := res.Scenarios[0]
+	if s.Grants == 0 {
+		t.Fatal("no grants")
+	}
+	if s.Retries == 0 {
+		t.Fatal("no re-routes counted")
+	}
+	found := false
+	for _, inv := range s.Invariants {
+		if inv == "denied-primary-rerouted" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing denied-primary-rerouted invariant: %v", s.Invariants)
+	}
+	// Same seed, same outage, same re-route decisions.
+	again, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if again.Scenarios[0].Digest != s.Digest {
+		t.Errorf("reroute digest drifted across same-seed runs")
+	}
+	if again.Scenarios[0].Retries != s.Retries {
+		t.Errorf("re-route count drifted: %d vs %d", again.Scenarios[0].Retries, s.Retries)
+	}
+}
+
 // TestFleetMisreservationAttack checks the scenario reproduces the
 // paper's asymmetry: honest goodput degrades under source-domain
 // provisioning and attackers stay bounded when provisioning is

@@ -84,6 +84,12 @@ type WorldConfig struct {
 	RetryBackoff     time.Duration
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// MaxPaths / SplitParts mirror the bb.Config multipath knobs:
+	// MaxPaths > 1 lets every ingress re-route across that many disjoint
+	// paths, SplitParts >= 2 enables splitting one reservation across
+	// paths when no single path carries it.
+	MaxPaths   int
+	SplitParts int
 	// WrapDialer, when set, wraps each broker's outbound dialer —
 	// the hook the fault-injection experiments use to subject a
 	// specific hop to failure.
@@ -437,6 +443,8 @@ func BuildWorld(cfg WorldConfig) (*World, error) {
 				RetryBackoff:     cfg.RetryBackoff,
 				BreakerThreshold: cfg.BreakerThreshold,
 				BreakerCooldown:  cfg.BreakerCooldown,
+				MaxPaths:         cfg.MaxPaths,
+				SplitParts:       cfg.SplitParts,
 				Logger:           cfg.Logger,
 				Metrics:          reg,
 				Wire:             w.wire,

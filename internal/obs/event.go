@@ -18,6 +18,10 @@ const (
 	// an election, or a deposed leader stepping down. Always forced —
 	// failovers are exactly the events someone will ask about.
 	EventFailover = "failover"
+	// EventRollbackAbandoned is a compensation the broker gave up
+	// retrying: downstream state is unknown and bandwidth may stay
+	// stranded until the reservation window expires. Always forced.
+	EventRollbackAbandoned = "rollback-abandoned"
 )
 
 // Event is one wide flight-recorder record: everything a broker knew

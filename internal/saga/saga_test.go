@@ -1,0 +1,410 @@
+package saga
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeJournal records every appended (op, payload) pair and can replay
+// them into a fresh coordinator the way recovery does.
+type fakeJournal struct {
+	mu   sync.Mutex
+	ops  []string
+	recs []json.RawMessage
+}
+
+func (f *fakeJournal) Append(op string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.ops = append(f.ops, op)
+	f.recs = append(f.recs, raw)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeJournal) replayInto(c *Coordinator) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, op := range f.ops {
+		raw := f.recs[i]
+		handled, err := c.ApplyRecord(op, func(v any) error { return json.Unmarshal(raw, v) })
+		if err != nil {
+			return err
+		}
+		if !handled {
+			return fmt.Errorf("op %q not handled", op)
+		}
+	}
+	return nil
+}
+
+func (f *fakeJournal) opList() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func assertOps(t *testing.T, got, want []string) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("journal ops\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCommitDropsCompensations: a committed saga never runs its
+// compensations and leaves no live state.
+func TestCommitDropsCompensations(t *testing.T) {
+	j := &fakeJournal{}
+	c := New(Options{Journal: j})
+	defer c.Close()
+	ran := 0
+	c.RegisterExec("undo", func([]byte) error { ran++; return nil })
+	if err := c.Begin("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Did("s1", "undo", []byte(`"a"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Did("s1", "undo", []byte(`"b"`)); err != nil {
+		t.Fatal(err)
+	}
+	c.Commit("s1")
+	if ran != 0 {
+		t.Fatalf("compensations ran %d times after commit", ran)
+	}
+	if c.Live() != 0 {
+		t.Fatalf("live=%d after commit", c.Live())
+	}
+	assertOps(t, j.opList(), []string{OpBegin, OpStep, OpStep, OpCommit})
+}
+
+// TestAbortCompensatesInReverse: aborting runs compensations newest
+// first, journals each, and closes the saga with OpDone.
+func TestAbortCompensatesInReverse(t *testing.T) {
+	j := &fakeJournal{}
+	c := New(Options{Journal: j})
+	defer c.Close()
+	var mu sync.Mutex
+	var order []string
+	c.RegisterExec("undo", func(data []byte) error {
+		var s string
+		_ = json.Unmarshal(data, &s)
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+		return nil
+	})
+	if err := c.Begin("s1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"first", "second", "third"} {
+		if err := c.Did("s1", "undo", []byte(`"`+d+`"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Abort("s1")
+	waitFor(t, "saga to close", func() bool { return c.Live() == 0 })
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(order, []string{"third", "second", "first"}) {
+		t.Fatalf("compensation order %v, want reverse registration order", order)
+	}
+	assertOps(t, j.opList(), []string{
+		OpBegin, OpStep, OpStep, OpStep, OpAbort, OpComp, OpComp, OpComp, OpDone,
+	})
+}
+
+// TestRetryWithBackoff: a failing compensation retries and eventually
+// settles within the attempt budget.
+func TestRetryWithBackoff(t *testing.T) {
+	j := &fakeJournal{}
+	c := New(Options{Journal: j, Backoff: time.Millisecond, MaxAttempts: 5})
+	defer c.Close()
+	var mu sync.Mutex
+	calls := 0
+	c.RegisterExec("flaky", func([]byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err := c.RunOne("r1", "flaky", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "compensation to settle", func() bool { return c.Live() == 0 })
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("executor ran %d times, want 3", calls)
+	}
+	assertOps(t, j.opList(), []string{OpBegin, OpStep, OpAbort, OpComp, OpDone})
+}
+
+// TestAbandonment: a compensation that never succeeds is abandoned
+// after MaxAttempts — reported via OnAbandoned, never journaled done,
+// and the saga stays live (the debt is visible).
+func TestAbandonment(t *testing.T) {
+	j := &fakeJournal{}
+	var abandoned []Step
+	var mu sync.Mutex
+	done := make(chan struct{})
+	c := New(Options{
+		Journal:     j,
+		Backoff:     time.Millisecond,
+		MaxAttempts: 3,
+		OnAbandoned: func(id string, s Step) {
+			mu.Lock()
+			abandoned = append(abandoned, s)
+			mu.Unlock()
+			close(done)
+		},
+	})
+	defer c.Close()
+	calls := 0
+	c.RegisterExec("doomed", func([]byte) error {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return errors.New("permanent")
+	})
+	if err := c.RunOne("r1", "doomed", []byte(`"x"`)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnAbandoned never fired")
+	}
+	waitFor(t, "worker to park", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(abandoned) == 1
+	})
+	mu.Lock()
+	if calls != 3 {
+		mu.Unlock()
+		t.Fatalf("executor ran %d times, want MaxAttempts=3", calls)
+	}
+	if abandoned[0].Kind != "doomed" {
+		mu.Unlock()
+		t.Fatalf("abandoned step kind %q", abandoned[0].Kind)
+	}
+	mu.Unlock()
+	if c.Live() != 1 {
+		t.Fatalf("live=%d, abandoned saga must stay open", c.Live())
+	}
+	// No OpComp, no OpDone: the journal still owes this compensation.
+	assertOps(t, j.opList(), []string{OpBegin, OpStep, OpAbort})
+}
+
+// TestCrashReplayResumesCompensation: replay a journal that ends
+// mid-abort into a fresh coordinator; Resume re-runs the unfinished
+// compensations (and only those) with a fresh budget.
+func TestCrashReplayResumesCompensation(t *testing.T) {
+	// First incarnation: registers two steps, compensates one, then
+	// "crashes" (we stop it before the second settles).
+	j := &fakeJournal{}
+	c1 := New(Options{Journal: j, Backoff: time.Millisecond, MaxAttempts: 1})
+	block := errors.New("down")
+	var mu sync.Mutex
+	firstDone := false
+	c1.RegisterExec("undo", func(data []byte) error {
+		var s string
+		_ = json.Unmarshal(data, &s)
+		mu.Lock()
+		defer mu.Unlock()
+		if s == "late" { // registered second, compensated first
+			firstDone = true
+			return nil
+		}
+		return block // the other one keeps failing until the crash
+	})
+	if err := c1.Begin("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Did("s1", "undo", []byte(`"early"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Did("s1", "undo", []byte(`"late"`)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Abort("s1")
+	waitFor(t, "first compensation", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstDone
+	})
+	waitFor(t, "late comp journaled", func() bool { return len(j.opList()) >= 5 })
+	c1.Close() // crash
+
+	// Second incarnation: replay the journal, then Resume.
+	c2 := New(Options{Backoff: time.Millisecond, MaxAttempts: 3})
+	defer c2.Close()
+	var replayed []string
+	c2.RegisterExec("undo", func(data []byte) error {
+		var s string
+		_ = json.Unmarshal(data, &s)
+		mu.Lock()
+		replayed = append(replayed, s)
+		mu.Unlock()
+		return nil
+	})
+	if err := j.replayInto(c2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Live() != 1 {
+		t.Fatalf("replay left live=%d, want 1", c2.Live())
+	}
+	j2 := &fakeJournal{}
+	c2.AttachJournal(j2)
+	if n := c2.Resume(); n != 1 {
+		t.Fatalf("Resume resumed %d sagas, want 1", n)
+	}
+	waitFor(t, "resumed saga to close", func() bool { return c2.Live() == 0 })
+	mu.Lock()
+	defer mu.Unlock()
+	// Only the un-compensated step re-runs: "late" settled before the
+	// crash and its OpComp is in the journal.
+	if !reflect.DeepEqual(replayed, []string{"early"}) {
+		t.Fatalf("resumed compensations %v, want only the unfinished one", replayed)
+	}
+	assertOps(t, j2.opList(), []string{OpComp, OpDone})
+}
+
+// TestPresumedAbort: a saga with no abort record in the journal (crash
+// before the outcome was decided) is aborted by Resume.
+func TestPresumedAbort(t *testing.T) {
+	j := &fakeJournal{}
+	c1 := New(Options{Journal: j})
+	if err := c1.Begin("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Did("s1", "undo", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // crash before commit/abort
+
+	c2 := New(Options{Backoff: time.Millisecond})
+	defer c2.Close()
+	var mu sync.Mutex
+	compensated := 0
+	c2.RegisterExec("undo", func([]byte) error {
+		mu.Lock()
+		compensated++
+		mu.Unlock()
+		return nil
+	})
+	if err := j.replayInto(c2); err != nil {
+		t.Fatal(err)
+	}
+	j2 := &fakeJournal{}
+	c2.AttachJournal(j2)
+	var aborted []string
+	c2.opts.OnAborted = func(id string) { aborted = append(aborted, id) }
+	if n := c2.Resume(); n != 1 {
+		t.Fatalf("Resume resumed %d, want 1", n)
+	}
+	waitFor(t, "presumed-abort compensation", func() bool { return c2.Live() == 0 })
+	mu.Lock()
+	defer mu.Unlock()
+	if compensated != 1 {
+		t.Fatalf("compensated %d steps, want 1", compensated)
+	}
+	if !reflect.DeepEqual(aborted, []string{"s1"}) {
+		t.Fatalf("OnAborted calls %v", aborted)
+	}
+	assertOps(t, j2.opList(), []string{OpAbort, OpComp, OpDone})
+}
+
+// TestSnapshotRoundTrip: snapshot bytes are deterministic and restore
+// reproduces the saga set exactly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New(Options{})
+	defer c.Close()
+	for _, id := range []string{"b", "a"} { // insertion order must not matter
+		if err := c.Begin(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Did(id, "undo", []byte(`"`+id+`"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := c.SnapshotJSON()
+	s2 := c.SnapshotJSON()
+	if string(s1) != string(s2) {
+		t.Fatalf("snapshot not deterministic:\n%s\n%s", s1, s2)
+	}
+
+	c2 := New(Options{Backoff: time.Millisecond})
+	defer c2.Close()
+	if err := c2.RestoreJSON(s1); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Live() != 2 {
+		t.Fatalf("restored live=%d, want 2", c2.Live())
+	}
+	if string(c2.SnapshotJSON()) != string(s1) {
+		t.Fatalf("restored snapshot differs:\n%s\n%s", c2.SnapshotJSON(), s1)
+	}
+	// Restored sagas resume as presumed aborts and compensate.
+	var mu sync.Mutex
+	var got []string
+	c2.RegisterExec("undo", func(data []byte) error {
+		var s string
+		_ = json.Unmarshal(data, &s)
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+		return nil
+	})
+	if n := c2.Resume(); n != 2 {
+		t.Fatalf("Resume resumed %d, want 2", n)
+	}
+	waitFor(t, "restored sagas to close", func() bool { return c2.Live() == 0 })
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("compensated %v", got)
+	}
+	// Empty coordinator snapshots to nil.
+	if b := c2.SnapshotJSON(); b != nil {
+		t.Fatalf("empty snapshot = %q, want nil", b)
+	}
+}
+
+// TestDuplicateBeginRejected pins the id-uniqueness contract.
+func TestDuplicateBeginRejected(t *testing.T) {
+	c := New(Options{})
+	defer c.Close()
+	if err := c.Begin("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin("s1"); err == nil {
+		t.Fatal("duplicate Begin accepted")
+	}
+	if err := c.Did("nope", "undo", nil); err == nil {
+		t.Fatal("Did on unknown saga accepted")
+	}
+}

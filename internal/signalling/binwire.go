@@ -184,12 +184,20 @@ func decodeRARIDFields(d *wire.Dec, rarID *string) error {
 	return d.Err()
 }
 
-// ReservePayload: 1=mode 2=trace_id 3=envelope 4=sampled.
+// ReservePayload: 1=mode 2=trace_id 3=envelope 4=sampled
+// 5=path_pin (repeated) 6=attempt 7=split_part 8=split_of 9=split_bw.
 func (p *ReservePayload) appendFields(buf []byte) []byte {
 	buf = wire.AppendString(buf, 1, string(p.Mode))
 	buf = wire.AppendString(buf, 2, p.TraceID)
 	buf = wire.AppendBytes(buf, 3, p.EnvelopeData)
 	buf = wire.AppendBool(buf, 4, p.Sampled)
+	for _, hop := range p.PathPin {
+		buf = wire.AppendBytes(buf, 5, []byte(hop))
+	}
+	buf = wire.AppendInt(buf, 6, int64(p.Attempt))
+	buf = wire.AppendInt(buf, 7, int64(p.SplitPart))
+	buf = wire.AppendInt(buf, 8, int64(p.SplitOf))
+	buf = wire.AppendInt(buf, 9, p.SplitBW)
 	return buf
 }
 
@@ -205,6 +213,16 @@ func (p *ReservePayload) decodeFields(d *wire.Dec) error {
 			p.EnvelopeData = append([]byte(nil), d.Bytes()...)
 		case f == 4 && wt == wire.TVarint:
 			p.Sampled = d.Bool()
+		case f == 5 && wt == wire.TBytes:
+			p.PathPin = append(p.PathPin, d.String())
+		case f == 6 && wt == wire.TVarint:
+			p.Attempt = int(d.Varint())
+		case f == 7 && wt == wire.TVarint:
+			p.SplitPart = int(d.Varint())
+		case f == 8 && wt == wire.TVarint:
+			p.SplitOf = int(d.Varint())
+		case f == 9 && wt == wire.TVarint:
+			p.SplitBW = d.Varint()
 		default:
 			skipUnknown(d, wt)
 		}

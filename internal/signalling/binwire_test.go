@@ -101,6 +101,26 @@ func goldenMessages() []struct {
 			hex: "e20105090a055241522d541203422d311a102f4f3d477269642f434e3d616c696365220908011202733118e8072a03542d323001",
 		},
 		{
+			// A split child re-routed onto its second disjoint path: the
+			// ingress pinned the full path (field 5, repeated), salted the
+			// idempotency key with the attempt index (field 6), and asked
+			// this child for its share of the signed total (fields 7-9).
+			name: "reserve-multipath",
+			msg: &Message{Type: MsgReserve, ID: 14, Reserve: &ReservePayload{
+				Mode:         ModeEndToEnd,
+				TraceID:      "T-9",
+				EnvelopeData: []byte{0xE5, 0x01, 0x0A},
+				PathPin:      []string{"Domain0", "Domain2", "Domain4"},
+				Attempt:      1,
+				SplitPart:    2,
+				SplitOf:      2,
+				SplitBW:      500000,
+			}},
+			hex: "e201010e0a036532651203542d391a03e5010a" +
+				"2a07446f6d61696e302a07446f6d61696e322a07446f6d61696e34" +
+				"30023804400448c0843d",
+		},
+		{
 			name: "status",
 			msg:  &Message{Type: MsgStatus, ID: 6, Status: &StatusPayload{RARID: "RAR-1"}},
 			hex:  "e20106060a055241522d31",

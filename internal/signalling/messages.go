@@ -96,6 +96,24 @@ type ReservePayload struct {
 	// carried as opaque bytes: the envelope's canonical binary
 	// encoding, base64-wrapped when the frame itself travels as JSON.
 	EnvelopeData []byte `json:"envelope"`
+	// PathPin is the full domain path the ingress broker selected for
+	// this attempt. Mid-chain hops forward along it instead of running
+	// their own next-hop computation, so a re-routed or split RAR stays
+	// on its edge-disjoint path. Empty means legacy hop-by-hop routing.
+	// Brokers reject it on user-facing channels: only peers pin paths.
+	PathPin []string `json:"path_pin,omitempty"`
+	// Attempt is the ingress re-route attempt index (0 = primary path).
+	// It salts the per-hop idempotency key so a re-routed RAR is not
+	// mistaken for a duplicate at domains shared between paths.
+	Attempt int `json:"attempt,omitempty"`
+	// SplitPart / SplitOf / SplitBW describe one child of a reservation
+	// the ingress split across disjoint paths: this child is part
+	// SplitPart of SplitOf and asks for SplitBW bits per second of the
+	// signed total (SplitBW may only reduce the user-signed bandwidth,
+	// never raise it). Zero values mean an unsplit reservation.
+	SplitPart int   `json:"split_part,omitempty"`
+	SplitOf   int   `json:"split_of,omitempty"`
+	SplitBW   int64 `json:"split_bw,omitempty"`
 }
 
 // Envelope decodes the carried envelope.

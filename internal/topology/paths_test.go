@@ -1,0 +1,316 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"e2eqos/internal/units"
+)
+
+// pathCost sums the link costs along a path.
+func pathCost(t *Topology, p []string) int {
+	c := 0
+	for i := 1; i < len(p); i++ {
+		l, ok := t.LinkBetween(p[i-1], p[i])
+		if !ok {
+			return -1
+		}
+		c += l.cost()
+	}
+	return c
+}
+
+// assertEdgeDisjoint fails if any two paths share an undirected edge.
+func assertEdgeDisjoint(t *testing.T, paths [][]string) {
+	t.Helper()
+	seen := make(map[[2]string]int)
+	for pi, p := range paths {
+		for i := 1; i < len(p); i++ {
+			k := edgeKey(p[i-1], p[i])
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("paths %d and %d share edge %v:\n%v", prev, pi, k, paths)
+			}
+			seen[k] = pi
+		}
+	}
+}
+
+// randomTopology builds a seeded random graph whose link costs are
+// distinct powers of two, so every simple path has a unique total cost
+// and the greedy disjoint computation is fully determined — the
+// brute-force enumerator below can then be compared path-for-path.
+func randomTopology(t *testing.T, rng *rand.Rand, n int) *Topology {
+	t.Helper()
+	topo := New()
+	for i := 0; i < n; i++ {
+		if err := topo.AddDomain(Domain{Name: fmt.Sprintf("D%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bit := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() > 0.5 {
+				continue
+			}
+			l := Link{A: fmt.Sprintf("D%02d", i), B: fmt.Sprintf("D%02d", j), Capacity: units.Gbps, Cost: 1 << bit}
+			bit++
+			if err := topo.AddLink(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return topo
+}
+
+// bruteMinPath enumerates every simple path src->dst avoiding banned
+// edges and returns the unique minimum-cost one (costs are distinct
+// powers of two, so no two different paths tie). Nil when none exists.
+func bruteMinPath(topo *Topology, src, dst string, banned map[[2]string]bool) []string {
+	var best []string
+	bestCost := -1
+	var walk func(cur string, cost int, path []string, visited map[string]bool)
+	walk = func(cur string, cost int, path []string, visited map[string]bool) {
+		if cur == dst {
+			if bestCost < 0 || cost < bestCost {
+				best = append([]string(nil), path...)
+				bestCost = cost
+			}
+			return
+		}
+		for _, n := range topo.Neighbors(cur) {
+			if visited[n] || banned[edgeKey(cur, n)] {
+				continue
+			}
+			l, _ := topo.LinkBetween(cur, n)
+			visited[n] = true
+			walk(n, cost+l.cost(), append(path, n), visited)
+			visited[n] = false
+		}
+	}
+	walk(src, 0, []string{src}, map[string]bool{src: true})
+	return best
+}
+
+// bruteDisjoint replicates the greedy iterative construction by brute
+// force: minimum-cost simple path, remove its edges, repeat.
+func bruteDisjoint(topo *Topology, src, dst string) [][]string {
+	banned := make(map[[2]string]bool)
+	var out [][]string
+	for {
+		p := bruteMinPath(topo, src, dst, banned)
+		if p == nil {
+			return out
+		}
+		out = append(out, p)
+		for i := 1; i < len(p); i++ {
+			banned[edgeKey(p[i-1], p[i])] = true
+		}
+	}
+}
+
+// TestPathsAgainstBruteForce cross-checks Paths on seeded random
+// topologies: every returned set must match the brute-force greedy
+// enumeration exactly, be edge-disjoint, and be cost-ordered.
+func TestPathsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(4)
+		topo := randomTopology(t, rng, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				src, dst := fmt.Sprintf("D%02d", i), fmt.Sprintf("D%02d", j)
+				want := bruteDisjoint(topo, src, dst)
+				got, err := topo.Paths(src, dst, 0)
+				if len(want) == 0 {
+					if err == nil {
+						t.Fatalf("trial %d %s->%s: Paths=%v, brute force says disconnected", trial, src, dst, got)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("trial %d %s->%s: %v (brute force found %v)", trial, src, dst, err, want)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %s->%s:\n got %v\nwant %v", trial, src, dst, got, want)
+				}
+				assertEdgeDisjoint(t, got)
+				for k := 1; k < len(got); k++ {
+					if pathCost(topo, got[k]) < pathCost(topo, got[k-1]) {
+						t.Fatalf("trial %d %s->%s: costs not non-decreasing: %v", trial, src, dst, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPathsDeterministic: the same topology built twice (fresh caches)
+// yields identical path sets, and repeated calls replay the cache.
+func TestPathsDeterministic(t *testing.T) {
+	build := func() *Topology {
+		rng := rand.New(rand.NewSource(42))
+		return randomTopology(t, rng, 7)
+	}
+	a, b := build(), build()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			if i == j {
+				continue
+			}
+			src, dst := fmt.Sprintf("D%02d", i), fmt.Sprintf("D%02d", j)
+			p1, err1 := a.Paths(src, dst, 0)
+			p2, err2 := b.Paths(src, dst, 0)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s->%s: err mismatch %v vs %v", src, dst, err1, err2)
+			}
+			if !reflect.DeepEqual(p1, p2) {
+				t.Fatalf("%s->%s: fresh builds disagree:\n%v\n%v", src, dst, p1, p2)
+			}
+			p3, _ := a.Paths(src, dst, 0)
+			if !reflect.DeepEqual(p1, p3) {
+				t.Fatalf("%s->%s: cached call disagrees with first", src, dst)
+			}
+		}
+	}
+}
+
+// TestPathsKDegradesGracefully: asking for more disjoint paths than
+// the graph has returns what exists, without error.
+func TestPathsKDegradesGracefully(t *testing.T) {
+	topo, err := Multi(3, units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := topo.Paths("Domain0", "Domain4", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d paths, want 3: %v", len(ps), ps)
+	}
+	assertEdgeDisjoint(t, ps)
+	// Cost ordering: branch i carries cost i, so the primary path runs
+	// through Domain1.
+	want := [][]string{
+		{"Domain0", "Domain1", "Domain4"},
+		{"Domain0", "Domain2", "Domain4"},
+		{"Domain0", "Domain3", "Domain4"},
+	}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("got %v, want %v", ps, want)
+	}
+	// A chain has exactly one path however large k is.
+	lin, err := Linear(5, units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err = lin.Paths("Domain0", "Domain4", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Fatalf("chain yielded %d paths, want 1: %v", len(ps), ps)
+	}
+	// k=1 truncates.
+	ps, err = topo.Paths("Domain0", "Domain4", 1)
+	if err != nil || len(ps) != 1 {
+		t.Fatalf("k=1: got %v, %v", ps, err)
+	}
+}
+
+// TestPathsSelfAndErrors pins the edge semantics Path had before the
+// cache: src==dst is a single-element path, unknown domains and
+// disconnected pairs are errors.
+func TestPathsSelfAndErrors(t *testing.T) {
+	topo, err := Multi(2, units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := topo.Paths("Domain1", "Domain1", 3)
+	if err != nil || len(ps) != 1 || len(ps[0]) != 1 || ps[0][0] != "Domain1" {
+		t.Fatalf("self path: got %v, %v", ps, err)
+	}
+	if _, err := topo.Paths("Nope", "Domain1", 1); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := topo.Paths("Domain1", "Nope", 1); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	island := New()
+	_ = island.AddDomain(Domain{Name: "A"})
+	_ = island.AddDomain(Domain{Name: "B"})
+	if _, err := island.Paths("A", "B", 1); err == nil {
+		t.Fatal("disconnected pair yielded a path")
+	}
+}
+
+// TestPathCacheInvalidation: a topology mutation must drop cached
+// paths so routing follows the new graph.
+func TestPathCacheInvalidation(t *testing.T) {
+	topo, err := Linear(4, units.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop, err := topo.NextHop("Domain0", "Domain3")
+	if err != nil || hop != "Domain1" {
+		t.Fatalf("pre-shortcut next hop %q, %v", hop, err)
+	}
+	// Add a direct shortcut; the cached chain route must be dropped.
+	if err := topo.AddLink(Link{A: "Domain0", B: "Domain3", Capacity: units.Gbps}); err != nil {
+		t.Fatal(err)
+	}
+	hop, err = topo.NextHop("Domain0", "Domain3")
+	if err != nil || hop != "Domain3" {
+		t.Fatalf("post-shortcut next hop %q, %v (cache not invalidated)", hop, err)
+	}
+	ps, err := topo.Paths("Domain0", "Domain3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("after shortcut: %d disjoint paths, want 2: %v", len(ps), ps)
+	}
+	assertEdgeDisjoint(t, ps)
+}
+
+// BenchmarkNextHop guards the forwarding-path fix: NextHop used to run
+// a full Dijkstra per call; it must now be a cache lookup.
+func BenchmarkNextHop(b *testing.B) {
+	topo, err := Linear(20, units.Gbps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := topo.NextHop("Domain0", "Domain19"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.NextHop("Domain0", "Domain19"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathsCold measures the uncached disjoint computation (the
+// price paid once per (src,dst) per topology change).
+func BenchmarkPathsCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo, err := Multi(4, units.Gbps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := topo.Paths("Domain0", "Domain5", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

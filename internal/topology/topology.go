@@ -43,6 +43,9 @@ func (l Link) cost() int {
 	return l.Cost
 }
 
+// pathKey indexes the disjoint-path cache by endpoint pair.
+type pathKey struct{ src, dst string }
+
 // Topology is the peering graph. It is safe for concurrent use.
 type Topology struct {
 	mu      sync.RWMutex
@@ -54,6 +57,12 @@ type Topology struct {
 	// a scan over every domain (it sits on the per-request signalling
 	// path, where brokers resolve the authenticated upstream hop).
 	byBB map[identity.DN]string
+	// paths caches the full edge-disjoint path set per (src, dst), so
+	// Path/NextHop on the per-RAR forwarding path are map lookups
+	// instead of a Dijkstra run each. Invalidated wholesale on any
+	// topology mutation; entries are computed lazily on first use.
+	// Cached slices are shared with callers and must not be mutated.
+	paths map[pathKey][][]string
 }
 
 // New creates an empty topology.
@@ -62,6 +71,7 @@ func New() *Topology {
 		domains: make(map[string]*Domain),
 		adj:     make(map[string]map[string]Link),
 		byBB:    make(map[identity.DN]string),
+		paths:   make(map[pathKey][][]string),
 	}
 }
 
@@ -83,7 +93,15 @@ func (t *Topology) AddDomain(d Domain) error {
 	if t.adj[d.Name] == nil {
 		t.adj[d.Name] = make(map[string]Link)
 	}
+	t.invalidatePathsLocked()
 	return nil
+}
+
+// invalidatePathsLocked drops every cached path set; callers hold t.mu.
+func (t *Topology) invalidatePathsLocked() {
+	if len(t.paths) > 0 {
+		t.paths = make(map[pathKey][][]string)
+	}
 }
 
 // DomainOfBB resolves a broker DN to the domain it controls.
@@ -111,6 +129,7 @@ func (t *Topology) AddLink(l Link) error {
 	rev := l
 	rev.A, rev.B = l.B, l.A
 	t.adj[l.B][l.A] = rev
+	t.invalidatePathsLocked()
 	return nil
 }
 
@@ -173,21 +192,19 @@ func (t *Topology) DomainForHost(host string) (string, error) {
 	return best, nil
 }
 
-// Path computes the minimum-cost domain path from src to dst (inclusive
-// of both endpoints) with Dijkstra over link costs. Ties break toward
-// lexicographically smaller neighbor names so paths are deterministic.
-func (t *Topology) Path(src, dst string) ([]string, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.domains[src] == nil {
-		return nil, fmt.Errorf("topology: unknown source domain %s", src)
+// edgeKey normalises an undirected link to a canonical pair.
+func edgeKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
 	}
-	if t.domains[dst] == nil {
-		return nil, fmt.Errorf("topology: unknown destination domain %s", dst)
-	}
-	if src == dst {
-		return []string{src}, nil
-	}
+	return [2]string{a, b}
+}
+
+// shortestLocked runs Dijkstra from src to dst over link costs,
+// ignoring every link in banned (keyed by edgeKey). Ties break toward
+// lexicographically smaller names so paths are deterministic. Returns
+// nil when dst is unreachable. Callers hold t.mu (read or write).
+func (t *Topology) shortestLocked(src, dst string, banned map[[2]string]bool) []string {
 	const inf = int(^uint(0) >> 1)
 	dist := make(map[string]int, len(t.domains))
 	prev := make(map[string]string, len(t.domains))
@@ -209,7 +226,7 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 			}
 		}
 		if cur == "" || best == inf {
-			return nil, fmt.Errorf("topology: no path from %s to %s", src, dst)
+			return nil
 		}
 		if cur == dst {
 			break
@@ -222,7 +239,7 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 		}
 		sort.Strings(neigh)
 		for _, n := range neigh {
-			if visited[n] {
+			if visited[n] || banned[edgeKey(cur, n)] {
 				continue
 			}
 			l := t.adj[cur][n]
@@ -241,16 +258,92 @@ func (t *Topology) Path(src, dst string) ([]string, error) {
 		}
 	}
 	if rev[len(rev)-1] != src {
-		return nil, fmt.Errorf("topology: no path from %s to %s", src, dst)
+		return nil
 	}
 	path := make([]string, len(rev))
 	for i, d := range rev {
 		path[len(rev)-1-i] = d
 	}
-	return path, nil
+	return path
+}
+
+// disjointLocked computes the full edge-disjoint path set from src to
+// dst by iterative Dijkstra with edge removal: the minimum-cost path
+// first, then the minimum-cost path not sharing an edge with any
+// earlier one, until the endpoints disconnect. Successive path costs
+// are non-decreasing (each search runs over a subgraph of the last),
+// so the set comes out cost-ordered. Callers hold t.mu for writing.
+func (t *Topology) disjointLocked(src, dst string) [][]string {
+	if src == dst {
+		return [][]string{{src}}
+	}
+	banned := make(map[[2]string]bool)
+	var out [][]string
+	for {
+		p := t.shortestLocked(src, dst, banned)
+		if p == nil {
+			return out
+		}
+		out = append(out, p)
+		for i := 1; i < len(p); i++ {
+			banned[edgeKey(p[i-1], p[i])] = true
+		}
+	}
+}
+
+// Paths returns up to k edge-disjoint domain paths from src to dst
+// (inclusive of both endpoints), cost-ordered with the minimum-cost
+// path first; k <= 0 returns every disjoint path. Fewer than k paths
+// may exist — callers get what the graph has, never an error for
+// asking too much. The set is deterministic (lexicographic tiebreaks)
+// and served from a cache invalidated on every topology change. The
+// returned inner slices are shared and must not be mutated.
+func (t *Topology) Paths(src, dst string, k int) ([][]string, error) {
+	t.mu.RLock()
+	if t.domains[src] == nil {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("topology: unknown source domain %s", src)
+	}
+	if t.domains[dst] == nil {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("topology: unknown destination domain %s", dst)
+	}
+	all, ok := t.paths[pathKey{src, dst}]
+	t.mu.RUnlock()
+	if !ok {
+		t.mu.Lock()
+		if all, ok = t.paths[pathKey{src, dst}]; !ok {
+			all = t.disjointLocked(src, dst)
+			t.paths[pathKey{src, dst}] = all
+		}
+		t.mu.Unlock()
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("topology: no path from %s to %s", src, dst)
+	}
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	// Copy the outer slice so callers appending to the result never
+	// alias the cache; the inner path slices stay shared.
+	out := make([][]string, len(all))
+	copy(out, all)
+	return out, nil
+}
+
+// Path computes the minimum-cost domain path from src to dst (inclusive
+// of both endpoints): the first entry of the cached disjoint path set.
+func (t *Topology) Path(src, dst string) ([]string, error) {
+	ps, err := t.Paths(src, dst, 1)
+	if err != nil {
+		return nil, err
+	}
+	return ps[0], nil
 }
 
 // NextHop returns the neighbor of cur on the computed path toward dst.
+// Served from the path cache: the per-RAR forwarding path pays a map
+// lookup, not a Dijkstra run.
 func (t *Topology) NextHop(cur, dst string) (string, error) {
 	path, err := t.Path(cur, dst)
 	if err != nil {
@@ -292,6 +385,42 @@ func Linear(n int, capacity units.Bandwidth, labels ...string) (*Topology, error
 	}
 	for i := 1; i < n; i++ {
 		if err := t.AddLink(Link{A: name(i - 1), B: name(i), Capacity: capacity}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Multi builds a source–mesh–destination topology with `branches`
+// edge-disjoint two-hop paths between Domain0 (the source) and
+// Domain{branches+1} (the destination): Domain0 peers with every mid
+// domain Domain1..Domain{branches}, each of which peers with the
+// destination. Branch i's links carry cost i, so the disjoint path set
+// comes out in a deterministic order — the branch through Domain1 is
+// always the primary. Naming conventions (BB DNs, host prefixes)
+// match Linear, so the experiment world wires it unchanged.
+func Multi(branches int, capacity units.Bandwidth) (*Topology, error) {
+	if branches < 1 {
+		return nil, fmt.Errorf("topology: need at least one branch")
+	}
+	n := branches + 2
+	t := New()
+	name := func(i int) string { return fmt.Sprintf("Domain%d", i) }
+	for i := 0; i < n; i++ {
+		d := Domain{
+			Name:     name(i),
+			BBDN:     identity.NewDN("Grid", name(i), fmt.Sprintf("bb-%d", i)),
+			Prefixes: []string{fmt.Sprintf("host%d.", i), strings.ToLower(name(i)) + "."},
+		}
+		if err := t.AddDomain(d); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i <= branches; i++ {
+		if err := t.AddLink(Link{A: name(0), B: name(i), Capacity: capacity, Cost: i}); err != nil {
+			return nil, err
+		}
+		if err := t.AddLink(Link{A: name(i), B: name(n - 1), Capacity: capacity, Cost: i}); err != nil {
 			return nil, err
 		}
 	}
